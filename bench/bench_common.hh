@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared plumbing for the bench binaries: every binary prints its
+ * table/figure to stdout (the paper's rows/series plus an ASCII chart)
+ * and exports CSV + gnuplot files under an output directory
+ * (./bench_out by default, overridable with HCM_BENCH_OUT).
+ */
+
+#ifndef HCM_BENCH_BENCH_COMMON_HH
+#define HCM_BENCH_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/projection.hh"
+#include "plot/figure.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+namespace hcm {
+namespace bench {
+
+/** Directory the bench harness writes CSV/gnuplot exports to. */
+inline std::string
+outputDir()
+{
+    const char *env = std::getenv("HCM_BENCH_OUT");
+    return env ? env : "bench_out";
+}
+
+/** Print a figure as ASCII and export its files. */
+inline void
+emitFigure(const plot::Figure &fig)
+{
+    fig.renderAscii(std::cout);
+    fig.writeFiles(outputDir());
+    std::cout << "[files] " << outputDir() << "/" << fig.id()
+              << ".csv (+ gnuplot scripts)\n";
+}
+
+/**
+ * Print the numeric rows behind a projection figure: one table per
+ * parallel fraction, one row per organization, one column per node,
+ * annotated with the binding constraint (a/p/b).
+ */
+inline void
+emitProjectionRows(const wl::Workload &w,
+                   const std::vector<double> &fractions,
+                   const core::Scenario &scenario,
+                   bool energy = false)
+{
+    for (double f : fractions) {
+        TextTable t((energy ? "Energy (normalized to BCE@40nm), " :
+                              "Speedup (vs 1 BCE), ") +
+                    w.name() + ", f=" + fmtFixed(f, 3) + ", scenario=" +
+                    scenario.name);
+        std::vector<std::string> headers = {"Organization"};
+        for (const auto &node : itrs::nodeTable())
+            headers.push_back(node.label());
+        t.setHeaders(headers);
+        for (const auto &series : core::projectAll(w, f, scenario)) {
+            std::vector<std::string> row = {
+                "(" + std::to_string(series.org.paperIndex) + ") " +
+                series.org.name};
+            for (const core::NodePoint &pt : series.points) {
+                if (!pt.design.feasible) {
+                    row.push_back("infeasible");
+                    continue;
+                }
+                double v = energy ? pt.energyNormalized()
+                                  : pt.design.speedup;
+                row.push_back(
+                    fmtSig(v, 3) + " (" +
+                    core::limiterName(pt.design.limiter).substr(0, 1) +
+                    ")");
+            }
+            t.addRow(row);
+        }
+        std::cout << t << "\n";
+    }
+    std::cout << "legend: (a) area-limited, (p) power-limited, "
+                 "(b) bandwidth-limited\n\n";
+}
+
+} // namespace bench
+} // namespace hcm
+
+#endif // HCM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,15 @@
+/** @file Regenerates Figure 10: MMM total-energy projections normalized
+ *  to one BCE at 40nm, f in {0.5, 0.9, 0.99}. */
+
+#include "bench_common.hh"
+#include "core/paper.hh"
+
+int
+main()
+{
+    using namespace hcm;
+    bench::emitFigure(core::paper::fig10MmmEnergy());
+    bench::emitProjectionRows(wl::Workload::mmm(), {0.5, 0.9, 0.99},
+                              core::baselineScenario(), /*energy=*/true);
+    return 0;
+}

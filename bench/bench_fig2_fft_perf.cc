@@ -1,0 +1,46 @@
+/** @file Regenerates Figure 2: FFT performance (raw and
+ *  area-normalized) across devices and input sizes. */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/paper.hh"
+#include "devices/perf_model.hh"
+
+int
+main()
+{
+    using namespace hcm;
+    bench::emitFigure(core::paper::fig2FftPerf());
+
+    // Numeric rows at the anchor sizes.
+    TextTable t("FFT pseudo-GFLOP/s (per mm^2 at 40nm in parentheses)");
+    std::vector<std::string> headers = {"Device"};
+    for (std::size_t n : {64u, 1024u, 16384u, 1048576u})
+        headers.push_back("N=2^" + std::to_string(
+            static_cast<int>(std::log2(n))));
+    t.setHeaders(headers);
+    for (dev::DeviceId id : dev::FftPerfModel::figureDevices()) {
+        dev::FftPerfModel model(id);
+        std::vector<std::string> row = {dev::deviceName(id)};
+        for (std::size_t n : {64u, 1024u, 16384u, 1048576u})
+            row.push_back(fmtSig(model.perfAt(n).value(), 3) + " (" +
+                          fmtSig(model.perfPerMm2At(n), 3) + ")");
+        t.addRow(row);
+    }
+    std::cout << t;
+
+    // The paper's headline ratios.
+    dev::FftPerfModel asic(dev::DeviceId::Asic);
+    dev::FftPerfModel gpu(dev::DeviceId::Gtx285);
+    dev::FftPerfModel cpu(dev::DeviceId::CoreI7);
+    std::cout << "\narea-normalized ASIC advantage at N=1024: "
+              << fmtSig(asic.perfPerMm2At(1024) / gpu.perfPerMm2At(1024),
+                        3)
+              << "x vs GTX285, "
+              << fmtSig(asic.perfPerMm2At(1024) / cpu.perfPerMm2At(1024),
+                        3)
+              << "x vs Core i7 (paper: ~100x / ~1000x)\n";
+    return 0;
+}

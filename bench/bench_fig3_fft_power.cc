@@ -1,0 +1,36 @@
+/** @file Regenerates Figure 3: FFT power-consumption breakdown
+ *  (non-normalized watts, per device and size), and validates the
+ *  Section 4.2 probe-subtraction methodology against the model. */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/paper.hh"
+#include "devices/probe.hh"
+
+int
+main()
+{
+    using namespace hcm;
+    bench::emitFigure(core::paper::fig3FftPower());
+
+    TextTable t("Power breakdown at N = 1024 (raw watts) and the "
+                "probe-recovered core power");
+    t.setHeaders({"Device", "core dyn", "core leak", "uncore static",
+                  "uncore dyn", "unknown", "total", "probe est. core"});
+    for (dev::DeviceId id : dev::FftPerfModel::figureDevices()) {
+        dev::FftPowerModel model(id);
+        dev::PowerBreakdown b = model.breakdownAt(1024);
+        dev::CurrentProbe probe(id, 0.01);
+        dev::UncoreSubtraction sub(probe, 32);
+        t.addRow({dev::deviceName(id), fmtSig(b.coreDynamic.value(), 3),
+                  fmtSig(b.coreLeakage.value(), 3),
+                  fmtSig(b.uncoreStatic.value(), 3),
+                  fmtSig(b.uncoreDynamic.value(), 3),
+                  fmtSig(b.unknown.value(), 3),
+                  fmtSig(b.total().value(), 3),
+                  fmtSig(sub.estimateCorePower(1024).value(), 3)});
+    }
+    std::cout << t;
+    return 0;
+}

@@ -1,0 +1,34 @@
+/** @file Regenerates Figure 4: FFT energy efficiency (top) and the
+ *  GTX285 compulsory/measured bandwidth (bottom). */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/paper.hh"
+#include "devices/bandwidth_model.hh"
+#include "devices/power_model.hh"
+
+int
+main()
+{
+    using namespace hcm;
+    bench::emitFigure(core::paper::fig4FftEnergyBandwidth());
+
+    TextTable bw("GTX285 FFT bandwidth (GB/s); peak = 159");
+    bw.setHeaders({"log2(N)", "compulsory", "measured", "passes",
+                   "compute-bound?"});
+    dev::FftBandwidthModel m285(dev::DeviceId::Gtx285);
+    for (std::size_t n : dev::FftPerfModel::figureSizes()) {
+        bw.addRow({std::to_string(static_cast<int>(std::log2(n))),
+                   fmtSig(m285.compulsoryAt(n).value(), 3),
+                   fmtSig(m285.measuredAt(n).value(), 3),
+                   fmtSig(m285.trafficMultiplier(n), 2),
+                   m285.computeBoundAt(n) ? "yes" : "no"});
+    }
+    std::cout << bw;
+    std::cout << "\non-chip capacity: 2^"
+              << static_cast<int>(std::log2(m285.onchipCapacityPoints()))
+              << " points — compulsory traffic until then (paper: 2^12)\n";
+    return 0;
+}

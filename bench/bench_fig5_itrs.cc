@@ -1,0 +1,25 @@
+/** @file Regenerates Figure 5: ITRS 2009 scaling projections. */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/paper.hh"
+#include "itrs/roadmap.hh"
+
+int
+main()
+{
+    using namespace hcm;
+    bench::emitFigure(core::paper::fig5Itrs());
+
+    TextTable t("ITRS 2009 projections (normalized to 2011)");
+    t.setHeaders({"Year", "Package pins", "Vdd", "Gate capacitance",
+                  "Combined power reduction"});
+    for (const itrs::RoadmapYear &y : itrs::Roadmap::instance().years()) {
+        t.addRow({std::to_string(y.year), fmtFixed(y.pins, 3),
+                  fmtFixed(y.vdd, 3), fmtFixed(y.gateCap, 3),
+                  fmtFixed(y.combinedPower, 3)});
+    }
+    std::cout << t;
+    return 0;
+}

@@ -1,0 +1,16 @@
+/** @file Regenerates Figure 6: FFT-1024 speedup projections for
+ *  f in {0.5, 0.9, 0.99, 0.999} under ITRS scaling. */
+
+#include "bench_common.hh"
+#include "core/paper.hh"
+
+int
+main()
+{
+    using namespace hcm;
+    bench::emitFigure(core::paper::fig6FftProjection());
+    bench::emitProjectionRows(wl::Workload::fft(1024),
+                              core::paper::standardFractions(),
+                              core::baselineScenario());
+    return 0;
+}

@@ -1,0 +1,16 @@
+/** @file Regenerates Figure 7: MMM speedup projections (the ASIC core is
+ *  bandwidth-exempt: its 40nm design blocks at N >= 2048). */
+
+#include "bench_common.hh"
+#include "core/paper.hh"
+
+int
+main()
+{
+    using namespace hcm;
+    bench::emitFigure(core::paper::fig7MmmProjection());
+    bench::emitProjectionRows(wl::Workload::mmm(),
+                              core::paper::standardFractions(),
+                              core::baselineScenario());
+    return 0;
+}

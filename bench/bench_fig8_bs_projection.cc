@@ -1,0 +1,15 @@
+/** @file Regenerates Figure 8: Black-Scholes speedup projections for
+ *  f in {0.5, 0.9}. */
+
+#include "bench_common.hh"
+#include "core/paper.hh"
+
+int
+main()
+{
+    using namespace hcm;
+    bench::emitFigure(core::paper::fig8BsProjection());
+    bench::emitProjectionRows(wl::Workload::blackScholes(), {0.5, 0.9},
+                              core::baselineScenario());
+    return 0;
+}

@@ -1,0 +1,16 @@
+/** @file Regenerates Figure 9: FFT-1024 projections given 1 TB/s
+ *  off-chip bandwidth (eDRAM / 3D-stacked memory, scenario 2). */
+
+#include "bench_common.hh"
+#include "core/paper.hh"
+
+int
+main()
+{
+    using namespace hcm;
+    bench::emitFigure(core::paper::fig9Fft1TbProjection());
+    bench::emitProjectionRows(wl::Workload::fft(1024),
+                              core::paper::standardFractions(),
+                              core::scenarioByName("bandwidth-1tb"));
+    return 0;
+}

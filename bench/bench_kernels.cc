@@ -1,0 +1,147 @@
+/** @file Google-benchmark microbenchmarks of the real compute kernels —
+ *  the host-side analogue of the paper's tuned-workload measurements.
+ *  Counters report Gops/s in each workload's own unit (pseudo-GFLOP/s
+ *  for FFT, GFLOP/s for MMM, Gopts/s for Black-Scholes). */
+
+#include <benchmark/benchmark.h>
+
+#include "workloads/blackscholes.hh"
+#include "workloads/fft.hh"
+#include "workloads/generator.hh"
+#include "workloads/mmm.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace hcm;
+
+void
+BM_FftRadix2(benchmark::State &state)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    wl::Rng rng(n);
+    auto signal = wl::randomSignal(n, rng);
+    wl::FftPlan plan(n, wl::FftPlan::Algorithm::Radix2DIT);
+    for (auto _ : state) {
+        plan.forward(signal.data());
+        benchmark::DoNotOptimize(signal.data());
+    }
+    state.counters["pseudo-GFLOP/s"] = benchmark::Counter(
+        plan.pseudoFlops() * state.iterations() / 1e9,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FftRadix2)->RangeMultiplier(4)->Range(64, 16384);
+
+void
+BM_FftStockham(benchmark::State &state)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    wl::Rng rng(n);
+    auto signal = wl::randomSignal(n, rng);
+    wl::FftPlan plan(n, wl::FftPlan::Algorithm::Stockham);
+    for (auto _ : state) {
+        plan.forward(signal.data());
+        benchmark::DoNotOptimize(signal.data());
+    }
+    state.counters["pseudo-GFLOP/s"] = benchmark::Counter(
+        plan.pseudoFlops() * state.iterations() / 1e9,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FftStockham)->RangeMultiplier(4)->Range(64, 16384);
+
+void
+BM_FftStockhamRadix4(benchmark::State &state)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    wl::Rng rng(n);
+    auto signal = wl::randomSignal(n, rng);
+    wl::FftPlan plan(n, wl::FftPlan::Algorithm::StockhamRadix4);
+    for (auto _ : state) {
+        plan.forward(signal.data());
+        benchmark::DoNotOptimize(signal.data());
+    }
+    state.counters["pseudo-GFLOP/s"] = benchmark::Counter(
+        plan.pseudoFlops() * state.iterations() / 1e9,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FftStockhamRadix4)->RangeMultiplier(4)->Range(64, 16384);
+
+void
+BM_RealFft(benchmark::State &state)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    wl::Rng rng(n);
+    std::vector<float> signal(n);
+    for (float &v : signal)
+        v = rng.uniformF(-1.0f, 1.0f);
+    for (auto _ : state) {
+        auto spectrum = wl::realFft(signal);
+        benchmark::DoNotOptimize(spectrum.data());
+    }
+    state.counters["pseudo-GFLOP/s"] = benchmark::Counter(
+        wl::Workload::fft(n).opsPerInvocation() * state.iterations() /
+            1e9,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RealFft)->Arg(1024)->Arg(16384);
+
+void
+BM_MmmNaive(benchmark::State &state)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    wl::Rng rng(n);
+    auto a = wl::randomMatrix(n, rng);
+    auto b = wl::randomMatrix(n, rng);
+    std::vector<float> c(n * n);
+    for (auto _ : state) {
+        wl::gemmNaive(a.data(), b.data(), c.data(), n, n, n);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        wl::gemmFlops(n, n, n) * state.iterations() / 1e9,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MmmNaive)->Arg(64)->Arg(128);
+
+void
+BM_MmmBlocked(benchmark::State &state)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    wl::Rng rng(n);
+    auto a = wl::randomMatrix(n, rng);
+    auto b = wl::randomMatrix(n, rng);
+    std::vector<float> c(n * n);
+    for (auto _ : state) {
+        wl::gemmBlocked(a.data(), b.data(), c.data(), n, n, n, 64);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        wl::gemmFlops(n, n, n) * state.iterations() / 1e9,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MmmBlocked)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_BlackScholes(benchmark::State &state)
+{
+    std::size_t count = static_cast<std::size_t>(state.range(0));
+    wl::Rng rng(count);
+    auto options = wl::randomOptions(count, rng);
+    std::vector<float> out(count);
+    auto method = state.range(1) == 0 ? wl::CndfMethod::Erf
+                                      : wl::CndfMethod::Polynomial;
+    for (auto _ : state) {
+        wl::priceBatch(options.data(), out.data(), count, method);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.counters["Mopts/s"] = benchmark::Counter(
+        static_cast<double>(count) * state.iterations() / 1e6,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BlackScholes)
+    ->ArgsProduct({{4096, 65536}, {0, 1}})
+    ->ArgNames({"options", "poly"});
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,22 @@
+/** @file Regenerates the Section 6.2 alternative-scenario study: the
+ *  final-node speedups of every organization per scenario, per
+ *  workload. */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/paper.hh"
+
+int
+main()
+{
+    using namespace hcm;
+    for (const wl::Workload &w :
+         {wl::Workload::fft(1024), wl::Workload::mmm(),
+          wl::Workload::blackScholes()}) {
+        for (double f : {0.9, 0.99})
+            std::cout << core::paper::scenarioSummary(w, f) << "\n";
+    }
+    std::cout << "limiters: (ar) area, (po) power, (ba) bandwidth\n";
+    return 0;
+}

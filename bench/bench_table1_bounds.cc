@@ -1,0 +1,41 @@
+/** @file Regenerates Table 1 (the bound formulas) and demonstrates them
+ *  numerically at the 40nm FFT-1024 operating point. */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/bounds.hh"
+#include "core/budget.hh"
+#include "core/paper.hh"
+
+int
+main()
+{
+    using namespace hcm;
+    using namespace hcm::core;
+
+    std::cout << paper::table1Bounds() << "\n";
+
+    // Numeric illustration: evaluate each bound at r = 4 under the
+    // paper's 40nm FFT-1024 budgets.
+    auto w = wl::Workload::fft(1024);
+    Budget b = makeBudget(itrs::nodeParams(40.0), w);
+    double r = 4.0;
+    double alpha = model::kDefaultAlpha;
+
+    TextTable t("Bounds evaluated at 40nm, FFT-1024, r = 4 (BCE units: A=" +
+                fmtSig(b.area, 3) + ", P=" + fmtSig(b.power, 3) +
+                ", B=" + fmtSig(b.bandwidth, 3) + ")");
+    t.setHeaders({"Organization", "area n<=", "power n<=", "bandwidth n<=",
+                  "serial r<="});
+    for (const Organization &org : paperOrganizations(w)) {
+        if (org.kind == OrgKind::DynamicCmp)
+            continue;
+        t.addRow({org.name, fmtSig(areaBoundN(b), 3),
+                  fmtSig(powerBoundN(org, r, b, alpha), 3),
+                  fmtSig(bandwidthBoundN(org, r, b), 3),
+                  fmtSig(serialRCap(b, alpha), 3)});
+    }
+    std::cout << t;
+    return 0;
+}

@@ -1,0 +1,12 @@
+/** @file Regenerates Table 2 (device summary). */
+
+#include <iostream>
+
+#include "core/paper.hh"
+
+int
+main()
+{
+    std::cout << hcm::core::paper::table2Devices();
+    return 0;
+}

@@ -1,0 +1,30 @@
+/** @file Regenerates Table 3 (workload/toolchain summary) plus the
+ *  compulsory-intensity constants the projections use. */
+
+#include <iostream>
+
+#include "core/paper.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace hcm;
+    std::cout << core::paper::table3Workloads() << "\n";
+
+    TextTable t("Compulsory arithmetic intensity (Section 6 footnotes)");
+    t.setHeaders({"Workload", "ops/invocation", "bytes/invocation",
+                  "bytes/op", "ops/byte"});
+    for (const wl::Workload &w :
+         {wl::Workload::mmm(128), wl::Workload::blackScholes(),
+          wl::Workload::fft(64), wl::Workload::fft(1024),
+          wl::Workload::fft(16384)}) {
+        t.addRow({w.name(), fmtSig(w.opsPerInvocation(), 4),
+                  fmtSig(w.bytesPerInvocation(), 4),
+                  fmtSig(w.bytesPerOp(), 4), fmtSig(w.intensity(), 4)});
+    }
+    std::cout << t;
+    return 0;
+}

@@ -1,0 +1,12 @@
+/** @file Regenerates Table 4 (baseline MMM and Black-Scholes results). */
+
+#include <iostream>
+
+#include "core/paper.hh"
+
+int
+main()
+{
+    std::cout << hcm::core::paper::table4Baseline();
+    return 0;
+}

@@ -1,0 +1,33 @@
+/** @file Regenerates Table 5 (derived U-core parameters) and reports the
+ *  agreement against the paper's published values. */
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "core/calibration.hh"
+#include "core/paper.hh"
+#include "util/format.hh"
+
+int
+main()
+{
+    using namespace hcm;
+    std::cout << core::paper::table5UCores() << "\n";
+
+    const auto &calib = core::BceCalibration::standard();
+    double worst = 0.0;
+    for (const dev::PublishedUCore &p : dev::publishedTable5()) {
+        auto d = calib.deriveUCore(p.device, p.workload);
+        worst = std::max({worst, std::fabs(d->mu - p.mu) / p.mu,
+                          std::fabs(d->phi - p.phi) / p.phi});
+    }
+    std::cout << "BCE calibration: area = "
+              << fmtSig(calib.bceArea().value(), 3) << " mm^2, power = "
+              << fmtSig(calib.bcePower().value(), 3)
+              << " W, Atom cross-check = "
+              << fmtSig(calib.atomComputeArea().value(), 3) << " mm^2\n";
+    std::cout << "worst relative deviation from published Table 5: "
+              << fmtPercent(worst, 2) << "\n";
+    return 0;
+}

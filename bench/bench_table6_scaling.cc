@@ -1,0 +1,35 @@
+/** @file Regenerates Table 6 (technology scaling parameters) and the
+ *  BCE-unit budgets they imply per workload. */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/budget.hh"
+#include "core/paper.hh"
+
+int
+main()
+{
+    using namespace hcm;
+    std::cout << core::paper::table6Scaling() << "\n";
+
+    TextTable t("Implied BCE-unit budgets (A | P | B per workload)");
+    std::vector<std::string> headers = {"Node", "A", "P"};
+    const wl::Workload workloads[] = {wl::Workload::mmm(),
+                                      wl::Workload::blackScholes(),
+                                      wl::Workload::fft(1024)};
+    for (const auto &w : workloads)
+        headers.push_back("B(" + w.name() + ")");
+    t.setHeaders(headers);
+    for (const itrs::NodeParams &node : itrs::nodeTable()) {
+        std::vector<std::string> row = {node.label()};
+        core::Budget b = core::makeBudget(node, workloads[0]);
+        row.push_back(fmtSig(b.area, 3));
+        row.push_back(fmtSig(b.power, 3));
+        for (const auto &w : workloads)
+            row.push_back(fmtSig(core::makeBudget(node, w).bandwidth, 3));
+        t.addRow(row);
+    }
+    std::cout << t;
+    return 0;
+}

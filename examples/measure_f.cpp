@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Measure the model's central parameter on real hardware: run the
+ * repo's kernels multi-threaded on this machine, record the thread-
+ * scaling curve, fit the Amdahl parallel fraction f (Section 2.1's
+ * definition), then feed the *measured* f into the projection model to
+ * see which fabric a future chip should carry for this machine's
+ * workload mix.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <thread>
+
+#include "core/projection.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+#include "workloads/blackscholes.hh"
+#include "workloads/generator.hh"
+#include "workloads/mmm.hh"
+#include "workloads/parallel_harness.hh"
+
+namespace {
+
+using namespace hcm;
+
+wl::ScalingCurve
+scaleBlackScholes(std::size_t max_threads)
+{
+    constexpr std::size_t kOptions = 32768;
+    static wl::Rng rng(21);
+    auto options = wl::randomOptions(kOptions, rng);
+    std::vector<float> out(kOptions);
+    wl::ChunkedKernel kernel = [&](std::size_t c, std::size_t chunks) {
+        std::size_t begin = kOptions * c / chunks;
+        std::size_t end = kOptions * (c + 1) / chunks;
+        wl::priceBatch(options.data() + begin, out.data() + begin,
+                       end - begin, wl::CndfMethod::Polynomial);
+    };
+    return wl::measureScaling(kernel, 64, max_threads);
+}
+
+wl::ScalingCurve
+scaleMmm(std::size_t max_threads)
+{
+    constexpr std::size_t n = 192;
+    static wl::Rng rng(22);
+    auto a = wl::randomMatrix(n, rng);
+    auto b = wl::randomMatrix(n, rng);
+    std::vector<float> c(n * n);
+    // Chunk over row blocks of C (independent outputs).
+    wl::ChunkedKernel kernel = [&](std::size_t ci, std::size_t chunks) {
+        std::size_t r0 = n * ci / chunks;
+        std::size_t r1 = n * (ci + 1) / chunks;
+        if (r1 > r0)
+            wl::gemmBlocked(a.data() + r0 * n, b.data(),
+                            c.data() + r0 * n, r1 - r0, n, n, 64);
+    };
+    return wl::measureScaling(kernel, 32, max_threads);
+}
+
+void
+report(const std::string &name, const wl::ScalingCurve &curve)
+{
+    TextTable t(name + " thread scaling on this host");
+    t.setHeaders({"threads", "speedup"});
+    for (const wl::ScalingPoint &p : curve.points)
+        t.addRow({std::to_string(p.threads), fmtFixed(p.speedup, 2)});
+    std::cout << t;
+    std::cout << "fitted Amdahl fraction f = "
+              << fmtFixed(curve.fittedF, 3) << "\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::size_t hw = std::max(2u, std::thread::hardware_concurrency());
+    std::size_t max_threads = std::min<std::size_t>(hw, 8);
+    std::cout << "Measuring on " << max_threads
+              << " threads (hardware reports " << hw << ")...\n\n";
+
+    wl::ScalingCurve bs = scaleBlackScholes(max_threads);
+    report("Black-Scholes", bs);
+    wl::ScalingCurve mmm = scaleMmm(max_threads);
+    report("Blocked MMM", mmm);
+
+    // Feed the measured f into the projection model.
+    double f = bs.fittedF;
+    std::cout << "Projecting a heterogeneous chip for BS at the "
+                 "*measured* f = " << fmtFixed(f, 3) << ":\n";
+    TextTable t("Speedup at 11nm (Table 6 budgets)");
+    t.setHeaders({"Organization", "speedup", "limiter"});
+    for (const auto &series :
+         core::projectAll(wl::Workload::blackScholes(), f)) {
+        const auto &last = series.points.back();
+        t.addRow({series.org.name, fmtSig(last.design.speedup, 3),
+                  core::limiterName(last.design.limiter)});
+    }
+    std::cout << t;
+    std::cout << "\nThe paper's conclusion 1 in action: whether the "
+                 "U-cores pay off on *your*\nworkload depends on the f "
+                 "you just measured, not on the fabric's peak "
+                 "numbers.\n";
+    return 0;
+}

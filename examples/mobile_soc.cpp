@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Mobile SoC study (Section 6.2, scenario 5): under a 10 W budget, which
+ * fabrics still deliver? The paper observes that only ASIC-based HETs
+ * ever approach bandwidth-limited performance in this regime — this
+ * example reproduces that finding and quantifies the mobile "efficiency
+ * gap" per workload and node.
+ */
+
+#include <iostream>
+
+#include "core/projection.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace hcm;
+    const core::Scenario &mobile = core::scenarioByName("power-10w");
+    double f = 0.99;
+
+    for (const wl::Workload &w :
+         {wl::Workload::fft(1024), wl::Workload::blackScholes()}) {
+        TextTable t("10 W budget, " + w.name() + ", f=" + fmtFixed(f, 2) +
+                    " — speedup (limiter)");
+        std::vector<std::string> headers = {"Organization"};
+        for (const auto &node : itrs::nodeTable())
+            headers.push_back(node.label());
+        headers.push_back("vs 100W @11nm");
+        t.setHeaders(headers);
+
+        auto base = core::projectAll(w, f); // 100 W baseline
+        auto constrained = core::projectAll(w, f, mobile);
+        for (std::size_t i = 0; i < constrained.size(); ++i) {
+            const auto &series = constrained[i];
+            std::vector<std::string> row = {series.org.name};
+            for (const core::NodePoint &pt : series.points) {
+                row.push_back(
+                    pt.design.feasible
+                        ? fmtSig(pt.design.speedup, 3) + " (" +
+                              core::limiterName(pt.design.limiter)
+                                  .substr(0, 1) + ")"
+                        : "infeasible");
+            }
+            double ratio = series.points.back().design.speedup /
+                           base[i].points.back().design.speedup;
+            row.push_back(fmtPercent(ratio, 0));
+            t.addRow(row);
+        }
+        std::cout << t << "\n";
+    }
+
+    std::cout << "Reading: at 10 W only the ASIC HET reaches the "
+                 "bandwidth ceiling (b);\nflexible fabrics stay "
+                 "power-limited (p) and lose most of their headroom,\n"
+                 "while the ASIC retains nearly all of its 100 W "
+                 "performance.\n";
+    return 0;
+}

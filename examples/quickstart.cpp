@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Quickstart: model one heterogeneous chip and ask the paper's core
+ * question — is a U-core worth it for your workload?
+ *
+ * Build & run:  ./examples/quickstart
+ *
+ * Walks the whole public API surface in ~60 lines: pick a workload, get
+ * calibrated U-core parameters, build budgets for a technology node,
+ * optimize the design, and read off speedup / limiter / energy.
+ */
+
+#include <iostream>
+
+#include "core/budget.hh"
+#include "core/optimizer.hh"
+#include "core/organization.hh"
+#include "util/format.hh"
+
+int
+main()
+{
+    using namespace hcm;
+
+    // 1. The workload: a 1024-point FFT kernel dominating 95% of the
+    //    program's (single-BCE) execution time.
+    wl::Workload workload = wl::Workload::fft(1024);
+    double f = 0.95;
+
+    // 2. A heterogeneous chip with GPU-style U-cores, calibrated from
+    //    the embedded GTX285 measurements (Table 5 of the paper).
+    core::Organization chip =
+        *core::heterogeneous(dev::DeviceId::Gtx285, workload);
+    std::cout << "U-core parameters for " << chip.name << " on "
+              << workload.name() << ": mu = " << fmtSig(chip.ucore.mu, 3)
+              << ", phi = " << fmtSig(chip.ucore.phi, 3) << "\n";
+
+    // 3. Budgets at the 22nm node (Table 6: 432 mm^2, 100 W, 234 GB/s),
+    //    converted to BCE units for this workload's intensity.
+    const itrs::NodeParams &node = itrs::nodeParams(22.0);
+    core::Budget budget = core::makeBudget(node, workload);
+    std::cout << "22nm budgets (BCE units): A = " << fmtSig(budget.area, 3)
+              << ", P = " << fmtSig(budget.power, 3)
+              << ", B = " << fmtSig(budget.bandwidth, 3) << "\n";
+
+    // 4. Optimize the sequential-core size and read the result.
+    core::DesignPoint best = core::optimize(chip, f, budget);
+    std::cout << "best design: r = " << fmtSig(best.r, 3)
+              << " BCE sequential core, n = " << fmtSig(best.n, 3)
+              << " total BCE\n";
+    std::cout << "speedup vs one BCE: " << fmtSig(best.speedup, 3)
+              << " (" << core::limiterName(best.limiter) << "-limited)\n";
+
+    // 5. Compare against a conventional asymmetric CMP.
+    core::DesignPoint cmp = core::optimize(core::asymmetricCmp(), f,
+                                           budget);
+    std::cout << "asymmetric CMP gets " << fmtSig(cmp.speedup, 3)
+              << "  ->  the U-core is " << fmtSig(best.speedup /
+                                                  cmp.speedup, 3)
+              << "x better\n";
+
+    // 6. Energy view (normalized to one BCE at 40nm).
+    std::cout << "energy: HET "
+              << fmtSig(core::normalizedEnergy(
+                     best.energy, node.relPowerPerTransistor), 3)
+              << " vs CMP "
+              << fmtSig(core::normalizedEnergy(
+                     cmp.energy, node.relPowerPerTransistor), 3)
+              << " BCE-units\n";
+    return 0;
+}

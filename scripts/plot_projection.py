@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Plot an `hcm project --json` document with matplotlib.
+
+Usage:
+    build/tools/hcm project --workload fft:1024 --f 0.99 --json \
+        | scripts/plot_projection.py [-o out.png]
+
+Renders one line per organization across the ITRS nodes, styled by the
+binding constraint the way the paper styles Figures 6-9: dashed =
+power-limited, solid = bandwidth-limited, dotted = area-limited.
+"""
+
+import argparse
+import json
+import sys
+
+
+STYLE = {"power": "--", "bandwidth": "-", "area": ":"}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default="projection.png")
+    parser.add_argument("--energy", action="store_true",
+                        help="plot normalized energy instead of speedup")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib is required: pip install matplotlib",
+              file=sys.stderr)
+        return 1
+
+    doc = json.load(sys.stdin)
+    metric = "energyNormalized" if args.energy else "speedup"
+
+    projections = doc["projections"]
+    fig, axes = plt.subplots(1, len(projections),
+                             figsize=(6 * len(projections), 4.5),
+                             squeeze=False)
+    for ax, proj in zip(axes[0], projections):
+        for series in proj["series"]:
+            points = [p for p in series["points"] if p["feasible"]]
+            if not points:
+                continue
+            xs = list(range(len(points)))
+            ys = [p[metric] for p in points]
+            # Style by the final node's limiter (the paper styles
+            # per-segment; one style per line keeps the plot legible).
+            style = STYLE.get(points[-1]["limiter"], "-")
+            ax.plot(xs, ys, style, marker="o",
+                    label=series["organization"])
+            ax.set_xticks(xs)
+            ax.set_xticklabels([p["node"] for p in points])
+        ax.set_title(f'{doc["workload"]}  f={proj["f"]}  '
+                     f'({doc["scenario"]})')
+        ax.set_xlabel("technology node")
+        ax.set_ylabel("energy (normalized)" if args.energy
+                      else "speedup (vs 1 BCE)")
+        ax.grid(True, alpha=0.3)
+        ax.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(args.output, dpi=150)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

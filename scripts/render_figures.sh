@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerate every paper figure's data and render PNGs with gnuplot.
+#
+# Usage: scripts/render_figures.sh [build_dir] [out_dir]
+set -euo pipefail
+
+BUILD=${1:-build}
+OUT=${2:-bench_out}
+
+if [ ! -d "$BUILD/bench" ]; then
+    echo "error: $BUILD/bench not found — build the project first" >&2
+    exit 1
+fi
+
+export HCM_BENCH_OUT="$OUT"
+for b in "$BUILD"/bench/bench_fig*; do
+    echo "== $(basename "$b")"
+    "$b" > /dev/null
+done
+
+if ! command -v gnuplot > /dev/null; then
+    echo "gnuplot not installed: data and scripts are in $OUT/," \
+         "render them elsewhere with: (cd $OUT && for g in *.gp; do" \
+         "gnuplot \$g; done)"
+    exit 0
+fi
+
+(
+    cd "$OUT"
+    shopt -s nullglob
+    for g in *.gp; do
+        gnuplot "$g"
+    done
+)
+echo "PNGs written to $OUT/"

@@ -1,0 +1,42 @@
+#include "amdahl.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace hcm {
+namespace model {
+
+void
+checkFraction(double f)
+{
+    hcm_assert(f >= 0.0 && f <= 1.0, "fraction f=", f, " outside [0,1]");
+}
+
+double
+amdahlSpeedup(double f, double s)
+{
+    checkFraction(f);
+    hcm_assert(s > 0.0, "acceleration factor must be positive");
+    return 1.0 / (f / s + (1.0 - f));
+}
+
+double
+amdahlLimit(double f)
+{
+    checkFraction(f);
+    if (f >= 1.0)
+        return std::numeric_limits<double>::infinity();
+    return 1.0 / (1.0 - f);
+}
+
+double
+gustafsonSpeedup(double f, double n)
+{
+    checkFraction(f);
+    hcm_assert(n >= 1.0, "processor count must be >= 1");
+    return (1.0 - f) + f * n;
+}
+
+} // namespace model
+} // namespace hcm

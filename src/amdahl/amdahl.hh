@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Amdahl's law and close relatives (Section 2.1). Speedup of a program
+ * whose fraction f (of original execution time) can be accelerated by a
+ * factor S: 1 / (f/S + (1 - f)).
+ */
+
+#ifndef HCM_AMDAHL_AMDAHL_HH
+#define HCM_AMDAHL_AMDAHL_HH
+
+namespace hcm {
+namespace model {
+
+/**
+ * Classic Amdahl speedup.
+ * @param f fraction of time in the accelerable section, in [0, 1].
+ * @param s acceleration factor applied to that section (> 0).
+ */
+double amdahlSpeedup(double f, double s);
+
+/**
+ * Asymptotic Amdahl speedup as s -> infinity: 1 / (1 - f); +inf at f = 1.
+ */
+double amdahlLimit(double f);
+
+/**
+ * Gustafson's scaled speedup (Section 2.3 related work): with the
+ * parallel portion scaled to keep runtime constant on n processors,
+ * speedup = (1 - f) + f * n.
+ */
+double gustafsonSpeedup(double f, double n);
+
+/** Validate f in [0, 1]; panics otherwise. */
+void checkFraction(double f);
+
+} // namespace model
+} // namespace hcm
+
+#endif // HCM_AMDAHL_AMDAHL_HH

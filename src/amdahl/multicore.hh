@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Hill & Marty's multicore speedup models and this paper's extensions
+ * (Sections 2.1 and 3). All speedups are relative to one BCE core;
+ * n is total chip resources and r the resources of the sequential core,
+ * both in BCE units; f is the parallelizable fraction.
+ *
+ *  - symmetric:           n/r cores of perf sqrt(r) run everything.
+ *  - asymmetric:          one sqrt(r) core + (n - r) BCEs; the big core
+ *                         also helps in parallel sections.
+ *  - asymmetric-offload:  the paper's power-motivated variant — the big
+ *                         core is powered off in parallel sections.
+ *  - dynamic:             Hill & Marty's upper bound — all n resources
+ *                         act as one sqrt(n)-perf core serially and n
+ *                         BCEs in parallel.
+ *  - heterogeneous:       one sqrt(r) core + (n - r) BCE-units of U-core
+ *                         running parallel work at relative perf mu.
+ */
+
+#ifndef HCM_AMDAHL_MULTICORE_HH
+#define HCM_AMDAHL_MULTICORE_HH
+
+namespace hcm {
+namespace model {
+
+/** Hill-Marty symmetric multicore speedup. Requires n >= r > 0. */
+double speedupSymmetric(double f, double n, double r);
+
+/** Hill-Marty asymmetric multicore speedup. Requires n >= r > 0. */
+double speedupAsymmetric(double f, double n, double r);
+
+/**
+ * Asymmetric-offload speedup (Section 3.1): sequential core powered off
+ * in parallel phases, parallel perf = n - r. Requires n > r > 0 when
+ * f > 0.
+ */
+double speedupAsymmetricOffload(double f, double n, double r);
+
+/** Hill-Marty dynamic multicore speedup (upper bound). Requires n > 0. */
+double speedupDynamic(double f, double n);
+
+/**
+ * Heterogeneous (U-core) speedup (Section 3.3): parallel perf =
+ * mu * (n - r); the conventional core contributes nothing in parallel
+ * phases. Requires n > r > 0 when f > 0, mu > 0.
+ */
+double speedupHeterogeneous(double f, double n, double r, double mu);
+
+} // namespace model
+} // namespace hcm
+
+#endif // HCM_AMDAHL_MULTICORE_HH

@@ -1,0 +1,107 @@
+#include "bounds.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "amdahl/pollack.hh"
+#include "util/logging.hh"
+
+namespace hcm {
+namespace core {
+
+std::string
+limiterName(Limiter limiter)
+{
+    switch (limiter) {
+      case Limiter::Area:
+        return "area";
+      case Limiter::Power:
+        return "power";
+      case Limiter::Bandwidth:
+        return "bandwidth";
+    }
+    hcm_panic("bad limiter");
+}
+
+double
+areaBoundN(const Budget &budget)
+{
+    return budget.area;
+}
+
+double
+powerBoundN(const Organization &org, double r, const Budget &budget,
+            double alpha)
+{
+    double p = budget.power;
+    switch (org.kind) {
+      case OrgKind::SymmetricCmp:
+        // n/r cores, each burning r^(alpha/2): n * r^(alpha/2 - 1) <= P.
+        return p / std::pow(r, alpha / 2.0 - 1.0);
+      case OrgKind::AsymmetricCmp:
+        // n - r BCEs at power 1; the big core is powered off.
+        return p + r;
+      case OrgKind::Heterogeneous:
+        // n - r BCE-tiles of U-core at power phi each.
+        return p / org.ucore.phi + r;
+      case OrgKind::DynamicCmp:
+        // All n resources active as BCEs in the parallel phase.
+        return p;
+    }
+    hcm_panic("bad organization kind");
+}
+
+double
+bandwidthBoundN(const Organization &org, double r, const Budget &budget)
+{
+    double b = budget.bandwidth;
+    switch (org.kind) {
+      case OrgKind::SymmetricCmp:
+        // n/r cores of perf sqrt(r): traffic n/sqrt(r) <= B.
+        return b * std::sqrt(r);
+      case OrgKind::AsymmetricCmp:
+        return b + r;
+      case OrgKind::Heterogeneous:
+        if (org.bandwidthExempt)
+            return std::numeric_limits<double>::infinity();
+        // Parallel perf mu*(n-r) consumes mu*(n-r) units of traffic.
+        return b / org.ucore.mu + r;
+      case OrgKind::DynamicCmp:
+        return b;
+    }
+    hcm_panic("bad organization kind");
+}
+
+ParallelBound
+parallelBound(const Organization &org, double r, const Budget &budget,
+              double alpha)
+{
+    hcm_assert(r > 0.0, "core size must be positive");
+    double n_area = areaBoundN(budget);
+    double n_power = powerBoundN(org, r, budget, alpha);
+    double n_bw = bandwidthBoundN(org, r, budget);
+
+    ParallelBound out;
+    out.n = std::min({n_area, n_power, n_bw});
+    // Classification per the paper's figure conventions: area-limited
+    // designs use the full die; otherwise bandwidth takes precedence
+    // over power in the (measure-zero) tie case.
+    if (n_area <= n_power && n_area <= n_bw)
+        out.limiter = Limiter::Area;
+    else if (n_bw <= n_power)
+        out.limiter = Limiter::Bandwidth;
+    else
+        out.limiter = Limiter::Power;
+    return out;
+}
+
+double
+serialRCap(const Budget &budget, double alpha)
+{
+    return std::min(model::maxSerialRForPower(budget.power, alpha),
+                    model::maxSerialRForBandwidth(budget.bandwidth));
+}
+
+} // namespace core
+} // namespace hcm

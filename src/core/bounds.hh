@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Table 1: how the (n, r) design variables are bounded by the area,
+ * power, and bandwidth budgets for each chip organization.
+ *
+ *                    Symmetric        Asym-offload    Heterogeneous
+ *  area              n <= A           n <= A          n <= A
+ *  parallel power    n <= P/r^(a/2-1) n <= P + r      n <= P/phi + r
+ *  serial power      r^(a/2) <= P     r^(a/2) <= P    r^(a/2) <= P
+ *  parallel bw       n <= B sqrt(r)   n <= B + r      n <= B/mu + r
+ *  serial bw         r <= B^2         r <= B^2        r <= B^2
+ *
+ * The binding parallel constraint is recorded as the design's Limiter —
+ * the paper's dashed (power) / solid (bandwidth) / unconnected (area)
+ * line classification.
+ */
+
+#ifndef HCM_CORE_BOUNDS_HH
+#define HCM_CORE_BOUNDS_HH
+
+#include <string>
+
+#include "core/budget.hh"
+#include "core/organization.hh"
+
+namespace hcm {
+namespace core {
+
+/** Which budget caps a design's scaling. */
+enum class Limiter {
+    Area,
+    Power,
+    Bandwidth,
+};
+
+/** Display name ("area", "power", "bandwidth"). */
+std::string limiterName(Limiter limiter);
+
+/** Result of evaluating the parallel-phase bounds at a given r. */
+struct ParallelBound
+{
+    double n = 0.0;   ///< usable resources, min over the three bounds
+    Limiter limiter = Limiter::Area;
+};
+
+/**
+ * Usable total resources n for organization @p org with a sequential
+ * core of size @p r (Table 1, parallel rows + area row).
+ */
+ParallelBound parallelBound(const Organization &org, double r,
+                            const Budget &budget, double alpha);
+
+/**
+ * Largest sequential core size satisfying the serial rows of Table 1:
+ * min(P^(2/alpha), B^2).
+ */
+double serialRCap(const Budget &budget, double alpha);
+
+/** Individual parallel bounds, exposed for tests and reports. */
+double areaBoundN(const Budget &budget);
+double powerBoundN(const Organization &org, double r, const Budget &budget,
+                   double alpha);
+double bandwidthBoundN(const Organization &org, double r,
+                       const Budget &budget);
+
+} // namespace core
+} // namespace hcm
+
+#endif // HCM_CORE_BOUNDS_HH

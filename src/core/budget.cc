@@ -1,0 +1,31 @@
+#include "budget.hh"
+
+#include "util/logging.hh"
+
+namespace hcm {
+namespace core {
+
+void
+Budget::check() const
+{
+    hcm_assert(area > 0.0, "area budget must be positive");
+    hcm_assert(power > 0.0, "power budget must be positive");
+    hcm_assert(bandwidth > 0.0, "bandwidth budget must be positive");
+}
+
+Budget
+makeBudget(const itrs::NodeParams &node, const wl::Workload &w,
+           const Scenario &scenario, const BceCalibration &calib)
+{
+    Budget b;
+    b.area = node.maxAreaBce * scenario.areaScale;
+    b.power = scenario.powerBudgetW /
+              (calib.bcePower().value() * node.relPowerPerTransistor);
+    double bce_gbs = calib.bceBandwidth(w).value();
+    b.bandwidth = scenario.baseBwGBs * node.relBandwidth / bce_gbs;
+    b.check();
+    return b;
+}
+
+} // namespace core
+} // namespace hcm

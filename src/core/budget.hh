@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Resource budgets in BCE units (the currency of Table 1's bounds):
+ * A (area), P (power, units of BCE active power) and B (bandwidth, units
+ * of one BCE's compulsory traffic for a given workload), plus the
+ * conversion from a node's physical budgets through the BCE calibration.
+ */
+
+#ifndef HCM_CORE_BUDGET_HH
+#define HCM_CORE_BUDGET_HH
+
+#include "core/calibration.hh"
+#include "core/scenario.hh"
+#include "itrs/scaling.hh"
+#include "workloads/workload.hh"
+
+namespace hcm {
+namespace core {
+
+/** Chip-level budgets in BCE units. */
+struct Budget
+{
+    double area = 0.0;      ///< A: max BCE tiles that fit the die
+    double power = 0.0;     ///< P: watts / (BCE watts)
+    double bandwidth = 0.0; ///< B: GB/s / (BCE compulsory GB/s)
+
+    /** Validate positivity; panics otherwise. */
+    void check() const;
+};
+
+/**
+ * Budgets for @p node under @p scenario, for a program dominated by
+ * workload @p w (which sets the compulsory bytes/op that turn GB/s into
+ * BCE bandwidth units):
+ *
+ *   A = maxAreaBce * areaScale
+ *   P = powerBudgetW / (bcePowerW * relPowerPerTransistor)
+ *   B = baseBwGBs * relBandwidth / (bcePerf(w) * bytesPerOp(w))
+ */
+Budget makeBudget(const itrs::NodeParams &node, const wl::Workload &w,
+                  const Scenario &scenario = baselineScenario(),
+                  const BceCalibration &calib = BceCalibration::standard());
+
+} // namespace core
+} // namespace hcm
+
+#endif // HCM_CORE_BUDGET_HH

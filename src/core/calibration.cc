@@ -1,0 +1,114 @@
+#include "calibration.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace hcm {
+namespace core {
+
+BceCalibration::BceCalibration(const dev::MeasurementDb &db,
+                               CalibConstants consts)
+    : _db(db), _consts(consts)
+{
+    hcm_assert(_consts.rFast > 1.0, "fast core must exceed one BCE");
+    hcm_assert(_consts.alpha >= 1.0, "alpha must be super-linear");
+
+    const dev::Device &i7_dev = dev::deviceInfo(dev::DeviceId::CoreI7);
+    hcm_assert(i7_dev.coreCount > 0, "baseline CPU needs a core count");
+    Area per_core = i7_dev.coreArea / i7_dev.coreCount;
+    _bceArea = per_core / _consts.rFast;
+
+    // Mean Core i7 per-core power across every measured workload,
+    // de-rated to one BCE by the serial power law.
+    double acc = 0.0;
+    int count = 0;
+    for (const dev::Measurement &m : db.all()) {
+        if (m.device != dev::DeviceId::CoreI7)
+            continue;
+        acc += m.power40.value() / i7_dev.coreCount;
+        ++count;
+    }
+    hcm_assert(count > 0, "no Core i7 measurements in database");
+    double per_core_watts = acc / count;
+    _bcePower =
+        Power(per_core_watts / std::pow(_consts.rFast, _consts.alpha / 2.0));
+}
+
+const BceCalibration &
+BceCalibration::standard()
+{
+    static const BceCalibration calib(dev::MeasurementDb::instance());
+    return calib;
+}
+
+Area
+BceCalibration::atomComputeArea() const
+{
+    return Area(_consts.atomAreaMm2 * (1.0 - _consts.atomNonComputeFrac));
+}
+
+const dev::Measurement &
+BceCalibration::i7(const wl::Workload &w) const
+{
+    return _db.get(dev::DeviceId::CoreI7, w);
+}
+
+Perf
+BceCalibration::bcePerf(const wl::Workload &w) const
+{
+    const dev::Device &i7_dev = dev::deviceInfo(dev::DeviceId::CoreI7);
+    return i7(w).perf /
+           (i7_dev.coreCount * std::sqrt(_consts.rFast));
+}
+
+Bandwidth
+BceCalibration::bceBandwidth(const wl::Workload &w) const
+{
+    return trafficFor(bcePerf(w), w.bytesPerOp());
+}
+
+UCoreParams
+BceCalibration::deriveUCore(const dev::Measurement &m) const
+{
+    const dev::Measurement &base = i7(m.workload);
+    double x_u = m.perfPerMm2();
+    double e_u = m.perfPerWatt().value();
+    double x_i7 = base.perfPerMm2();
+    double e_i7 = base.perfPerWatt().value();
+    hcm_assert(x_u > 0.0 && e_u > 0.0 && x_i7 > 0.0 && e_i7 > 0.0,
+               "measurements must be positive");
+
+    double r = _consts.rFast;
+    UCoreParams p;
+    p.mu = x_u / (x_i7 * std::sqrt(r));
+    p.phi = p.mu * e_i7 /
+            (std::pow(r, (1.0 - _consts.alpha) / 2.0) * e_u);
+    p.check();
+    return p;
+}
+
+std::optional<UCoreParams>
+BceCalibration::deriveUCore(dev::DeviceId device, const wl::Workload &w)
+    const
+{
+    auto m = _db.find(device, w);
+    if (!m)
+        return std::nullopt;
+    return deriveUCore(*m);
+}
+
+std::vector<BceCalibration::Table5Entry>
+BceCalibration::deriveTable5() const
+{
+    std::vector<Table5Entry> out;
+    for (const dev::Measurement &m : _db.all()) {
+        if (m.device == dev::DeviceId::CoreI7)
+            continue;
+        out.push_back(Table5Entry{m.device, m.workload, deriveUCore(m)});
+    }
+    return out;
+}
+
+} // namespace core
+} // namespace hcm

@@ -1,0 +1,65 @@
+#include "energy.hh"
+
+#include <cmath>
+
+#include "amdahl/pollack.hh"
+#include "util/logging.hh"
+
+namespace hcm {
+namespace core {
+
+EnergyBreakdown
+designEnergy(const Organization &org, double f, double r, double n,
+             double alpha)
+{
+    hcm_assert(f >= 0.0 && f <= 1.0, "fraction outside [0,1]");
+    hcm_assert(r > 0.0 && n >= r, "invalid design (r=", r, ", n=", n, ")");
+
+    EnergyBreakdown e;
+
+    // Serial phase: time (1-f)/perf, power perf^alpha.
+    double serial_perf = (org.kind == OrgKind::DynamicCmp)
+                             ? model::perfSeq(n)
+                             : model::perfSeq(r);
+    e.serial = (1.0 - f) / serial_perf *
+               model::powerForPerf(serial_perf, alpha);
+
+    if (f <= 0.0)
+        return e;
+
+    // Parallel phase: time f/perf_par, power of the active fabric.
+    switch (org.kind) {
+      case OrgKind::SymmetricCmp: {
+        double perf_par = (n / r) * model::perfSeq(r);
+        double power_par = n * std::pow(r, alpha / 2.0 - 1.0);
+        e.parallel = f / perf_par * power_par;
+        break;
+      }
+      case OrgKind::AsymmetricCmp:
+        // (n - r) BCEs at power 1 and perf 1 each: energy = f.
+        e.parallel = f;
+        break;
+      case OrgKind::Heterogeneous: {
+        hcm_assert(n > r, "heterogeneous design needs parallel resources");
+        e.parallel = f * org.ucore.phi / org.ucore.mu;
+        break;
+      }
+      case OrgKind::DynamicCmp:
+        // n BCEs at power 1 and perf 1 each.
+        e.parallel = f;
+        break;
+    }
+    return e;
+}
+
+double
+normalizedEnergy(const EnergyBreakdown &energy,
+                 double rel_power_per_transistor)
+{
+    hcm_assert(rel_power_per_transistor > 0.0,
+               "relative power must be positive");
+    return energy.total() * rel_power_per_transistor;
+}
+
+} // namespace core
+} // namespace hcm

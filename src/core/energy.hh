@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Energy model behind Figure 10. With perfectly scalable parallel work,
+ * phase energy is time x active power, and the parallel-phase power and
+ * time both scale with the resources applied — so energy depends only on
+ * the sequential core size r and the fabric's efficiency:
+ *
+ *   E_serial   = (1 - f) / sqrt(r) * r^(alpha/2) = (1-f) r^((alpha-1)/2)
+ *   E_parallel = f * r^((alpha-1)/2)   (symmetric: big cores everywhere)
+ *              = f                     (asymmetric-offload: BCEs)
+ *              = f * phi / mu          (heterogeneous: U-cores)
+ *
+ * All values are in BCE energy units (one BCE running the whole program
+ * = 1). Technology scaling multiplies by the node's relative power per
+ * transistor, which is how Figure 10's energy falls across generations.
+ */
+
+#ifndef HCM_CORE_ENERGY_HH
+#define HCM_CORE_ENERGY_HH
+
+#include "core/organization.hh"
+
+namespace hcm {
+namespace core {
+
+/** Phase energies of one design, in BCE units (before node scaling). */
+struct EnergyBreakdown
+{
+    double serial = 0.0;
+    double parallel = 0.0;
+
+    double total() const { return serial + parallel; }
+};
+
+/**
+ * Energy of organization @p org executing a program with parallel
+ * fraction @p f on a design (r, n). Unused resources are power-gated
+ * (the model's assumption); idle phases contribute nothing.
+ */
+EnergyBreakdown designEnergy(const Organization &org, double f, double r,
+                             double n, double alpha);
+
+/**
+ * Figure 10's normalized metric: design energy at a node, relative to
+ * one BCE at 40nm (multiply by the node's relPowerPerTransistor).
+ */
+double normalizedEnergy(const EnergyBreakdown &energy,
+                        double rel_power_per_transistor);
+
+} // namespace core
+} // namespace hcm
+
+#endif // HCM_CORE_ENERGY_HH

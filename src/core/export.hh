@@ -1,0 +1,44 @@
+/**
+ * @file
+ * JSON export of projection results: the machine-readable counterpart
+ * of the figure benches, for notebooks and downstream tooling.
+ */
+
+#ifndef HCM_CORE_EXPORT_HH
+#define HCM_CORE_EXPORT_HH
+
+#include <ostream>
+#include <vector>
+
+#include "core/projection.hh"
+
+namespace hcm {
+namespace core {
+
+/**
+ * Write a full projection (every organization x node) for @p w at the
+ * given fractions as one JSON document:
+ *
+ * {
+ *   "workload": "FFT-1024", "scenario": "baseline",
+ *   "bytesPerOp": 0.32,
+ *   "projections": [
+ *     {"f": 0.99, "series": [
+ *        {"organization": "ASIC", "paperIndex": 6, "mu": ..., "phi": ...,
+ *         "points": [{"node": "40nm", "year": 2011, "speedup": ...,
+ *                     "r": ..., "n": ..., "limiter": "bandwidth",
+ *                     "energyNormalized": ..., "budget":
+ *                     {"area": ..., "power": ..., "bandwidth": ...}},
+ *                    ...]},
+ *        ...]},
+ *     ...]
+ * }
+ */
+void exportProjectionJson(std::ostream &out, const wl::Workload &w,
+                          const std::vector<double> &fractions,
+                          const Scenario &scenario = baselineScenario());
+
+} // namespace core
+} // namespace hcm
+
+#endif // HCM_CORE_EXPORT_HH

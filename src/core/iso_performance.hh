@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Iso-performance serial power reduction — the other Section 6.3 use of
+ * U-cores: "if the goal is to achieve the same level of performance as
+ * a baseline system with processors, a U-core can be used to speed up
+ * parallel sections of an application while allowing the sequential
+ * processor to slow down with a significant reduction in power".
+ *
+ * Given a baseline design's overall speedup S0, a heterogeneous chip
+ * only needs serial performance
+ *
+ *   p = (1 - f) / (1/S0 - f / (mu (n - r)))
+ *
+ * to match it; running the sequential core at that (DVFS-scaled) point
+ * costs p^alpha instead of sqrt(r)^alpha. This module computes the
+ * matching point and the resulting serial power/energy savings.
+ */
+
+#ifndef HCM_CORE_ISO_PERFORMANCE_HH
+#define HCM_CORE_ISO_PERFORMANCE_HH
+
+#include "core/optimizer.hh"
+
+namespace hcm {
+namespace core {
+
+/** Result of matching a baseline's performance with a U-core chip. */
+struct IsoPerformanceResult
+{
+    bool achievable = false; ///< fabric alone can't reach S0 when false
+    double targetSpeedup = 0.0;  ///< the baseline S0 being matched
+    double serialPerf = 0.0;     ///< required sequential perf p (BCE)
+    double serialPower = 0.0;    ///< p^alpha (BCE power units)
+    double baselineSerialPower = 0.0; ///< the baseline core's r^(alpha/2)
+    /** Fraction of serial power saved vs the baseline core. */
+    double
+    serialPowerSaving() const
+    {
+        if (baselineSerialPower <= 0.0)
+            return 0.0;
+        return 1.0 - serialPower / baselineSerialPower;
+    }
+    /** Total energy of the iso-performance design (BCE units). */
+    double energy = 0.0;
+    /** Total energy of the baseline design (BCE units). */
+    double baselineEnergy = 0.0;
+};
+
+/**
+ * Match @p baseline's speedup using heterogeneous organization @p het
+ * under @p budget: the fabric keeps its optimized size, while the
+ * sequential core is slowed (DVFS) to the minimum performance that
+ * still meets the target.
+ *
+ * @param baseline a design point of a non-heterogeneous organization
+ *        (typically optimize(asymmetricCmp(), ...)).
+ */
+IsoPerformanceResult matchBaselinePerformance(
+    const Organization &het, const DesignPoint &baseline, double f,
+    const Budget &budget, OptimizerOptions opts = {});
+
+} // namespace core
+} // namespace hcm
+
+#endif // HCM_CORE_ISO_PERFORMANCE_HH

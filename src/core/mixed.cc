@@ -1,0 +1,226 @@
+#include "mixed.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "amdahl/pollack.hh"
+#include "util/logging.hh"
+
+namespace hcm {
+namespace core {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/** Sum of slot fractions; validates each slot. */
+double
+totalFraction(const std::vector<KernelSlot> &slots)
+{
+    hcm_assert(!slots.empty(), "mixed chip needs at least one slot");
+    double sum = 0.0;
+    for (const KernelSlot &s : slots) {
+        hcm_assert(s.fraction >= 0.0 && s.fraction <= 1.0,
+                   "slot fraction outside [0,1]");
+        s.ucore.check();
+        sum += s.fraction;
+    }
+    hcm_assert(sum <= 1.0 + 1e-9, "slot fractions sum to ", sum, " > 1");
+    return std::min(sum, 1.0);
+}
+
+/** Per-slot cap from the phase-exclusive power and bandwidth budgets. */
+double
+slotCap(const KernelSlot &slot, const Budget &slot_budget)
+{
+    double cap = slot_budget.power / slot.ucore.phi;
+    if (!slot.bandwidthExempt)
+        cap = std::min(cap, slot_budget.bandwidth / slot.ucore.mu);
+    return cap;
+}
+
+Limiter
+slotLimiterAt(const KernelSlot &slot, const Budget &slot_budget,
+              double area)
+{
+    double p_cap = slot_budget.power / slot.ucore.phi;
+    double b_cap = slot.bandwidthExempt
+                       ? std::numeric_limits<double>::infinity()
+                       : slot_budget.bandwidth / slot.ucore.mu;
+    if (area + kEps < std::min(p_cap, b_cap))
+        return Limiter::Area;
+    return b_cap <= p_cap ? Limiter::Bandwidth : Limiter::Power;
+}
+
+} // namespace
+
+std::vector<double>
+waterfillAreas(const std::vector<double> &fractions,
+               const std::vector<double> &mus,
+               const std::vector<double> &caps, double total)
+{
+    std::size_t k = fractions.size();
+    hcm_assert(mus.size() == k && caps.size() == k,
+               "waterfill vector sizes differ");
+    hcm_assert(total >= 0.0, "negative area to allocate");
+
+    // Minimizing sum f_i/(mu_i a_i) subject to sum a_i = total has the
+    // KKT solution a_i ~ sqrt(f_i/mu_i); slots that would exceed their
+    // cap are pinned there and the rest re-solved on the leftover area.
+    std::vector<double> weight(k), areas(k, 0.0);
+    std::vector<bool> pinned(k, false);
+    for (std::size_t i = 0; i < k; ++i) {
+        hcm_assert(mus[i] > 0.0 && caps[i] >= 0.0, "bad waterfill input");
+        weight[i] = std::sqrt(fractions[i] / mus[i]);
+        if (fractions[i] <= 0.0)
+            pinned[i] = true; // zero demand: no area
+    }
+
+    double remaining = total;
+    for (std::size_t round = 0; round < k; ++round) {
+        double wsum = 0.0;
+        for (std::size_t i = 0; i < k; ++i)
+            if (!pinned[i])
+                wsum += weight[i];
+        if (wsum <= 0.0 || remaining <= 0.0)
+            break;
+        bool repinned = false;
+        for (std::size_t i = 0; i < k; ++i) {
+            if (pinned[i])
+                continue;
+            double proposal = remaining * weight[i] / wsum;
+            if (proposal >= caps[i] - kEps) {
+                areas[i] = caps[i];
+                pinned[i] = true;
+                remaining -= caps[i];
+                repinned = true;
+            }
+        }
+        if (repinned)
+            continue;
+        for (std::size_t i = 0; i < k; ++i)
+            if (!pinned[i])
+                areas[i] = remaining * weight[i] / wsum;
+        break;
+    }
+    return areas;
+}
+
+KernelSlot
+makeSlot(dev::DeviceId device, const wl::Workload &w, double fraction,
+         const BceCalibration &calib)
+{
+    auto params = calib.deriveUCore(device, w);
+    hcm_assert(params.has_value(), "no measurement for ",
+               dev::deviceName(device), " on ", w.name());
+    KernelSlot slot;
+    slot.workload = w;
+    slot.fraction = fraction;
+    slot.ucore = *params;
+    slot.fabricName = dev::deviceName(device);
+    slot.bandwidthExempt =
+        device == dev::DeviceId::Asic && w.kind() == wl::Kind::MMM;
+    return slot;
+}
+
+MixedDesign
+optimizeMixed(const std::vector<KernelSlot> &slots, FabricMode mode,
+              const itrs::NodeParams &node, const Scenario &scenario,
+              OptimizerOptions opts, const BceCalibration &calib)
+{
+    double f_par = totalFraction(slots);
+    double f_ser = 1.0 - f_par;
+    opts.alpha = scenario.alpha;
+
+    // Phase-exclusive budgets per slot (bandwidth units depend on the
+    // slot's workload intensity).
+    std::vector<Budget> slot_budgets;
+    slot_budgets.reserve(slots.size());
+    for (const KernelSlot &s : slots)
+        slot_budgets.push_back(makeBudget(node, s.workload, scenario,
+                                          calib));
+    double area_budget = slot_budgets.front().area;
+
+    // Serial bounds: the tightest across slot budgets (power is shared;
+    // bandwidth differs per workload and the serial core must respect
+    // each phase boundary's stream-in).
+    double r_cap = opts.rMax;
+    for (const Budget &b : slot_budgets)
+        r_cap = std::min(r_cap, serialRCap(b, opts.alpha));
+
+    MixedDesign best;
+    if (r_cap < 1.0)
+        return best;
+
+    std::vector<double> candidates;
+    for (double r = 1.0; r <= std::floor(r_cap); r += 1.0)
+        candidates.push_back(r);
+    if (r_cap > candidates.back())
+        candidates.push_back(r_cap);
+
+    for (double r : candidates) {
+        double fabric_area = area_budget - r;
+        if (fabric_area <= kEps)
+            continue;
+
+        std::vector<double> areas(slots.size(), 0.0);
+        if (mode == FabricMode::Partitioned) {
+            std::vector<double> fractions, mus, caps;
+            for (std::size_t i = 0; i < slots.size(); ++i) {
+                fractions.push_back(slots[i].fraction);
+                mus.push_back(slots[i].ucore.mu);
+                caps.push_back(slotCap(slots[i], slot_budgets[i]));
+            }
+            areas = waterfillAreas(fractions, mus, caps, fabric_area);
+        } else {
+            // One fabric reused by every phase: its size is bounded by
+            // the tightest per-phase cap and the die.
+            double a = fabric_area;
+            for (std::size_t i = 0; i < slots.size(); ++i)
+                if (slots[i].fraction > 0.0)
+                    a = std::min(a, slotCap(slots[i], slot_budgets[i]));
+            areas.assign(slots.size(), a);
+        }
+
+        // Evaluate.
+        double parallel_time = 0.0;
+        bool ok = true;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (slots[i].fraction <= 0.0)
+                continue;
+            if (areas[i] <= kEps) {
+                ok = false;
+                break;
+            }
+            parallel_time += slots[i].fraction /
+                             (slots[i].ucore.mu * areas[i]);
+        }
+        if (!ok)
+            continue;
+        double speedup =
+            1.0 / (f_ser / model::perfSeq(r) + parallel_time);
+
+        if (!best.feasible || speedup > best.speedup) {
+            best.feasible = true;
+            best.r = r;
+            best.areas = areas;
+            best.speedup = speedup;
+            best.slotLimiter.clear();
+            for (std::size_t i = 0; i < slots.size(); ++i)
+                best.slotLimiter.push_back(
+                    slotLimiterAt(slots[i], slot_budgets[i], areas[i]));
+            // Energy: serial phase + per-slot f_i * phi_i / mu_i.
+            best.energy = f_ser / model::perfSeq(r) *
+                          model::powerSeq(r, opts.alpha);
+            for (const KernelSlot &s : slots)
+                if (s.fraction > 0.0)
+                    best.energy += s.fraction * s.ucore.phi / s.ucore.mu;
+        }
+    }
+    return best;
+}
+
+} // namespace core
+} // namespace hcm

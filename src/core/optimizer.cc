@@ -1,0 +1,167 @@
+#include "optimizer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "amdahl/multicore.hh"
+#include "util/logging.hh"
+#include "util/math.hh"
+
+namespace hcm {
+namespace core {
+
+namespace {
+
+/** Minimum parallel headroom (n - r) for organizations that need it. */
+constexpr double kMinParallel = 1e-9;
+
+/** True when the organization runs parallel work on resources beyond r. */
+bool
+needsParallelHeadroom(const Organization &org, double f)
+{
+    if (f <= 0.0)
+        return false;
+    return org.kind == OrgKind::AsymmetricCmp ||
+           org.kind == OrgKind::Heterogeneous;
+}
+
+/** Evaluate a candidate r; nullopt when the design cannot be built. */
+std::optional<DesignPoint>
+evaluateAtR(const Organization &org, double f, double r,
+            const Budget &budget, const OptimizerOptions &opts)
+{
+    ParallelBound pb = parallelBound(org, r, budget, opts.alpha);
+    double n = pb.n;
+    if (n < r)
+        return std::nullopt; // the sequential core alone overflows a bound
+    if (needsParallelHeadroom(org, f) && n - r < kMinParallel)
+        return std::nullopt;
+
+    DesignPoint dp;
+    dp.f = f;
+    dp.r = r;
+    dp.n = n;
+    dp.limiter = pb.limiter;
+    dp.speedup = evaluateSpeedup(org, f, r, n);
+    dp.energy = designEnergy(org, f, r, n, opts.alpha);
+    dp.feasible = true;
+    return dp;
+}
+
+/** True when @p candidate beats @p best under the chosen objective. */
+bool
+better(const DesignPoint &candidate, const DesignPoint &best,
+       Objective objective)
+{
+    if (!best.feasible)
+        return true;
+    if (objective == Objective::MaxSpeedup)
+        return candidate.speedup > best.speedup;
+    return candidate.energy.total() < best.energy.total();
+}
+
+/** Dynamic CMP: no independent r; n takes the tightest of all bounds. */
+DesignPoint
+optimizeDynamic(const Organization &org, double f, const Budget &budget,
+                const OptimizerOptions &opts)
+{
+    DesignPoint dp;
+    dp.f = f;
+    // Parallel rows (n BCEs active) and serial rows (one sqrt(n) core).
+    double n_power = std::min(budget.power,
+                              model::maxSerialRForPower(budget.power,
+                                                        opts.alpha));
+    double n_bw = std::min(budget.bandwidth,
+                           model::maxSerialRForBandwidth(budget.bandwidth));
+    double n = std::min({budget.area, n_power, n_bw});
+    if (n < 1.0)
+        return dp; // infeasible
+    if (budget.area <= n_power && budget.area <= n_bw)
+        dp.limiter = Limiter::Area;
+    else if (n_bw <= n_power)
+        dp.limiter = Limiter::Bandwidth;
+    else
+        dp.limiter = Limiter::Power;
+    dp.r = n;
+    dp.n = n;
+    dp.speedup = model::speedupDynamic(f, n);
+    dp.energy = designEnergy(org, f, n, n, opts.alpha);
+    dp.feasible = true;
+    return dp;
+}
+
+} // namespace
+
+double
+evaluateSpeedup(const Organization &org, double f, double r, double n)
+{
+    switch (org.kind) {
+      case OrgKind::SymmetricCmp:
+        return model::speedupSymmetric(f, n, r);
+      case OrgKind::AsymmetricCmp:
+        if (f <= 0.0)
+            return model::perfSeq(r);
+        return model::speedupAsymmetricOffload(f, n, r);
+      case OrgKind::Heterogeneous:
+        if (f <= 0.0)
+            return model::perfSeq(r);
+        return model::speedupHeterogeneous(f, n, r, org.ucore.mu);
+      case OrgKind::DynamicCmp:
+        return model::speedupDynamic(f, n);
+    }
+    hcm_panic("bad organization kind");
+}
+
+DesignPoint
+optimize(const Organization &org, double f, const Budget &budget,
+         OptimizerOptions opts)
+{
+    hcm_assert(f >= 0.0 && f <= 1.0, "fraction outside [0,1]");
+    budget.check();
+    if (org.isHet())
+        org.ucore.check();
+
+    if (org.kind == OrgKind::DynamicCmp)
+        return optimizeDynamic(org, f, budget, opts);
+
+    DesignPoint best;
+    best.f = f;
+
+    double cap = std::min(opts.rMax, serialRCap(budget, opts.alpha));
+    if (cap < 1.0)
+        return best; // even a single-BCE core violates the serial bounds
+
+    // The paper's discrete sweep: r = 1 .. floor(cap), plus the
+    // fractional cap itself (the largest core the serial bounds allow).
+    std::vector<double> candidates;
+    for (double r = 1.0; r <= std::floor(cap); r += 1.0)
+        candidates.push_back(r);
+    if (cap > candidates.back())
+        candidates.push_back(cap);
+
+    for (double r : candidates) {
+        auto dp = evaluateAtR(org, f, r, budget, opts);
+        if (dp && better(*dp, best, opts.objective))
+            best = *dp;
+    }
+
+    if (opts.continuousR && best.feasible) {
+        auto objective_value = [&](double r) {
+            auto dp = evaluateAtR(org, f, r, budget, opts);
+            if (!dp)
+                return -1e300;
+            return opts.objective == Objective::MaxSpeedup
+                       ? dp->speedup
+                       : -dp->energy.total();
+        };
+        double r_star = goldenMax(objective_value, 1.0, cap, 1e-6);
+        auto dp = evaluateAtR(org, f, r_star, budget, opts);
+        if (dp && better(*dp, best, opts.objective))
+            best = *dp;
+    }
+    return best;
+}
+
+} // namespace core
+} // namespace hcm

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Design-point optimizer (Section 6): for one organization, workload
+ * fraction f, and budget, sweep the sequential core size r (the paper
+ * sweeps r <= 16), bound n by Table 1, and report the
+ * speedup-maximizing (or energy-minimizing) design with its binding
+ * constraint.
+ */
+
+#ifndef HCM_CORE_OPTIMIZER_HH
+#define HCM_CORE_OPTIMIZER_HH
+
+#include "core/bounds.hh"
+#include "core/energy.hh"
+#include "core/organization.hh"
+
+namespace hcm {
+namespace core {
+
+/** What the optimizer maximizes. */
+enum class Objective {
+    MaxSpeedup,
+    MinEnergy,
+};
+
+/** Optimizer knobs. */
+struct OptimizerOptions
+{
+    /** Serial power exponent. */
+    double alpha = model::kDefaultAlpha;
+    /** Upper limit of the r sweep (the paper sweeps up to 16). */
+    double rMax = 16.0;
+    /**
+     * Refine the best integer r by golden-section search over the
+     * continuous range (off by default: the paper sweeps discrete r).
+     */
+    bool continuousR = false;
+    Objective objective = Objective::MaxSpeedup;
+};
+
+/** One evaluated design. */
+struct DesignPoint
+{
+    double f = 0.0;
+    double r = 1.0;         ///< sequential core size (BCE)
+    double n = 1.0;         ///< total usable resources (BCE)
+    double speedup = 0.0;   ///< vs one BCE
+    Limiter limiter = Limiter::Area;
+    EnergyBreakdown energy; ///< BCE units, before node power scaling
+    /** False when no design satisfies the serial bounds. */
+    bool feasible = false;
+};
+
+/**
+ * Speedup of organization @p org at an explicit (f, r, n)
+ * (the Section 2.1 / 3.3 formulas, dispatched by kind).
+ */
+double evaluateSpeedup(const Organization &org, double f, double r,
+                       double n);
+
+/** Best design for @p org under @p budget at parallel fraction @p f. */
+DesignPoint optimize(const Organization &org, double f,
+                     const Budget &budget, OptimizerOptions opts = {});
+
+} // namespace core
+} // namespace hcm
+
+#endif // HCM_CORE_OPTIMIZER_HH

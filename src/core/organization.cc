@@ -1,0 +1,97 @@
+#include "organization.hh"
+
+#include "util/logging.hh"
+
+namespace hcm {
+namespace core {
+
+Organization
+symmetricCmp()
+{
+    Organization o;
+    o.kind = OrgKind::SymmetricCmp;
+    o.name = "SymCMP";
+    o.paperIndex = 0;
+    return o;
+}
+
+Organization
+asymmetricCmp()
+{
+    Organization o;
+    o.kind = OrgKind::AsymmetricCmp;
+    o.name = "AsymCMP";
+    o.paperIndex = 1;
+    return o;
+}
+
+Organization
+dynamicCmp()
+{
+    Organization o;
+    o.kind = OrgKind::DynamicCmp;
+    o.name = "DynCMP";
+    return o;
+}
+
+namespace {
+
+int
+paperIndexFor(dev::DeviceId id)
+{
+    switch (id) {
+      case dev::DeviceId::Lx760:
+        return 2;
+      case dev::DeviceId::Gtx285:
+        return 3;
+      case dev::DeviceId::Gtx480:
+        return 4;
+      case dev::DeviceId::R5870:
+        return 5;
+      case dev::DeviceId::Asic:
+        return 6;
+      case dev::DeviceId::CoreI7:
+        break;
+    }
+    hcm_panic("device is not a U-core source");
+}
+
+} // namespace
+
+std::optional<Organization>
+heterogeneous(dev::DeviceId device, const wl::Workload &w,
+              const BceCalibration &calib)
+{
+    auto params = calib.deriveUCore(device, w);
+    if (!params)
+        return std::nullopt;
+
+    Organization o;
+    o.kind = OrgKind::Heterogeneous;
+    o.name = dev::deviceName(device);
+    o.paperIndex = paperIndexFor(device);
+    o.device = device;
+    o.ucore = *params;
+    o.bandwidthExempt =
+        device == dev::DeviceId::Asic && w.kind() == wl::Kind::MMM;
+    return o;
+}
+
+std::vector<Organization>
+paperOrganizations(const wl::Workload &w, const BceCalibration &calib)
+{
+    std::vector<Organization> orgs = {symmetricCmp(), asymmetricCmp()};
+    const dev::DeviceId het_order[] = {
+        dev::DeviceId::Lx760, dev::DeviceId::Gtx285, dev::DeviceId::Gtx480,
+        dev::DeviceId::R5870, dev::DeviceId::Asic,
+    };
+    for (dev::DeviceId id : het_order) {
+        auto het = heterogeneous(id, w, calib);
+        if (het)
+            orgs.push_back(*het);
+    }
+    return orgs;
+}
+
+} // namespace core
+} // namespace hcm

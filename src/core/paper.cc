@@ -1,0 +1,441 @@
+#include "paper.hh"
+
+#include <cmath>
+
+#include "devices/bandwidth_model.hh"
+#include "devices/measured.hh"
+#include "devices/perf_model.hh"
+#include "devices/power_model.hh"
+#include "itrs/roadmap.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace hcm {
+namespace core {
+namespace paper {
+
+namespace {
+
+/** Per-workload display scale: BS is reported in Mopts (Gopts * 1000). */
+double
+displayScale(const wl::Workload &w)
+{
+    return w.kind() == wl::Kind::BlackScholes ? 1000.0 : 1.0;
+}
+
+plot::LineStyle
+styleFor(Limiter limiter)
+{
+    switch (limiter) {
+      case Limiter::Power:
+        return plot::LineStyle::Dashed;
+      case Limiter::Bandwidth:
+        return plot::LineStyle::Solid;
+      case Limiter::Area:
+        return plot::LineStyle::Points;
+    }
+    hcm_panic("bad limiter");
+}
+
+/** Node-category x axis shared by the projection figures. */
+plot::Axis
+nodeAxis()
+{
+    plot::Axis x;
+    x.label = "technology node";
+    x.categories = itrs::nodeLabels();
+    return x;
+}
+
+} // namespace
+
+const std::vector<double> &
+standardFractions()
+{
+    static const std::vector<double> fs = {0.5, 0.9, 0.99, 0.999};
+    return fs;
+}
+
+TextTable
+table1Bounds()
+{
+    TextTable t("Table 1: Bounds on area, power, and bandwidth");
+    t.setHeaders({"", "Symmetric", "Asym-offload", "Heterogeneous"});
+    t.setAlign({Align::Left, Align::Center, Align::Center, Align::Center});
+    t.addRow({"Area constraints", "n <= A", "n <= A", "n <= A"});
+    t.addRow({"Parallel power bounds", "n <= P/r^(a/2-1)", "n <= P + r",
+              "n <= P/phi + r"});
+    t.addRow({"Serial power bounds", "r^(a/2) <= P", "r^(a/2) <= P",
+              "r^(a/2) <= P"});
+    t.addRow({"Parallel bandwidth bounds", "n <= B*sqrt(r)", "n <= B + r",
+              "n <= B/mu + r"});
+    t.addRow({"Serial bandwidth bounds", "r <= B^2", "r <= B^2",
+              "r <= B^2"});
+    return t;
+}
+
+TextTable
+table2Devices()
+{
+    TextTable t("Table 2: Summary of devices");
+    t.setHeaders({"Device", "Class", "Year", "Process", "Die area",
+                  "Core area", "Clock", "Voltage", "Memory", "Peak BW"});
+    for (dev::DeviceId id : dev::allDevices()) {
+        const dev::Device &d = dev::deviceInfo(id);
+        auto dash_if_zero = [](double v, const std::string &unit) {
+            return v > 0.0 ? fmtSig(v, 4) + unit : std::string("-");
+        };
+        t.addRow({d.name, dev::className(d.cls), std::to_string(d.year),
+                  d.process, dash_if_zero(d.dieArea.value(), " mm^2"),
+                  dash_if_zero(d.coreArea.value(), " mm^2"),
+                  dash_if_zero(d.clock.value(), " GHz"), d.voltage,
+                  d.memory, dash_if_zero(d.memBw.value(), " GB/s")});
+    }
+    return t;
+}
+
+TextTable
+table3Workloads()
+{
+    TextTable t("Table 3: Summary of workloads");
+    t.setHeaders({"Workload", "Core i7", "GTX285", "GTX480", "R5870",
+                  "LX760/ASIC"});
+    t.setAlign({Align::Left, Align::Left, Align::Left, Align::Left,
+                Align::Left, Align::Left});
+    for (const wl::ImplementationInfo &info : wl::implementationTable())
+        t.addRow({wl::kindName(info.kind), info.coreI7, info.gtx285,
+                  info.gtx480, info.r5870, info.asic});
+    return t;
+}
+
+TextTable
+table4Baseline()
+{
+    TextTable t("Table 4: Summary of results for MMM and BS");
+    t.setHeaders({"Workload", "Device", "Perf", "Perf/mm^2", "Perf/J"});
+    const dev::MeasurementDb &db = dev::MeasurementDb::instance();
+    for (const wl::Workload &w :
+         {wl::Workload::mmm(), wl::Workload::blackScholes()}) {
+        double scale = displayScale(w);
+        for (const dev::Measurement &m : db.forWorkload(w)) {
+            t.addRow({w.name() + " (" + w.perfUnit() + ")",
+                      dev::deviceName(m.device),
+                      fmtSig(m.perf.value() * scale, 4),
+                      fmtSig(m.perfPerMm2() * scale, 4),
+                      fmtSig(m.perfPerWatt().value() * scale, 4)});
+        }
+        if (w.kind() == wl::Kind::MMM)
+            t.addRule();
+    }
+    return t;
+}
+
+TextTable
+table5UCores()
+{
+    TextTable t("Table 5: U-core parameters "
+                "(phi = rel. BCE power, mu = rel. BCE performance)");
+    std::vector<std::string> headers = {"Device", ""};
+    for (const wl::Workload &w : dev::table5Workloads())
+        headers.push_back(w.name());
+    t.setHeaders(headers);
+
+    const BceCalibration &calib = BceCalibration::standard();
+    const dev::DeviceId devices[] = {
+        dev::DeviceId::Gtx285, dev::DeviceId::Gtx480, dev::DeviceId::R5870,
+        dev::DeviceId::Lx760, dev::DeviceId::Asic,
+    };
+    for (dev::DeviceId id : devices) {
+        std::vector<std::string> phi_row = {dev::deviceName(id), "phi"};
+        std::vector<std::string> mu_row = {"", "mu"};
+        for (const wl::Workload &w : dev::table5Workloads()) {
+            auto p = calib.deriveUCore(id, w);
+            phi_row.push_back(p ? fmtSig(p->phi, 3) : "-");
+            mu_row.push_back(p ? fmtSig(p->mu, 3) : "-");
+        }
+        t.addRow(phi_row);
+        t.addRow(mu_row);
+    }
+    return t;
+}
+
+TextTable
+table6Scaling()
+{
+    TextTable t("Table 6: Parameters assumed in technology scaling");
+    t.setHeaders({"Parameter", "2011", "2013", "2016", "2019", "2022"});
+    auto row = [&](const std::string &name, auto getter, int sig) {
+        std::vector<std::string> cells = {name};
+        for (const itrs::NodeParams &n : itrs::nodeTable())
+            cells.push_back(fmtSig(getter(n), sig));
+        t.addRow(cells);
+    };
+    {
+        std::vector<std::string> cells = {"Technology node"};
+        for (const itrs::NodeParams &n : itrs::nodeTable())
+            cells.push_back(n.label());
+        t.addRow(cells);
+    }
+    row("Core die budget (mm^2)",
+        [](const itrs::NodeParams &n) { return n.coreDieBudget.value(); },
+        4);
+    row("Core power budget (W)",
+        [](const itrs::NodeParams &n) { return n.corePowerBudget.value(); },
+        4);
+    row("Bandwidth (GB/s)",
+        [](const itrs::NodeParams &n) { return n.offchipBw.value(); }, 4);
+    row("Max area (BCE units)",
+        [](const itrs::NodeParams &n) { return n.maxAreaBce; }, 4);
+    row("Rel. pwr per transistor",
+        [](const itrs::NodeParams &n) { return n.relPowerPerTransistor; },
+        3);
+    row("Rel. bandwidth",
+        [](const itrs::NodeParams &n) { return n.relBandwidth; }, 3);
+    return t;
+}
+
+plot::Figure
+fig2FftPerf()
+{
+    plot::Figure fig("fig2", "FFT performance in pseudo-GFLOP/s "
+                             "(# FLOPS = 5 N log2 N)");
+    plot::Axis x{"log2(N)", false, {}};
+    plot::Axis y_raw{"pseudo-GFLOP/s", true, {}};
+    plot::Axis y_norm{"pseudo-GFLOP/s per mm^2 (40nm)", true, {}};
+
+    plot::Panel &raw = fig.addPanel("FFT performance (non-normalized)", x,
+                                    y_raw);
+    plot::Panel &norm = fig.addPanel("Area-normalized FFT performance "
+                                     "(40nm)", x, y_norm);
+    for (dev::DeviceId id : dev::FftPerfModel::figureDevices()) {
+        dev::FftPerfModel model(id);
+        plot::Series s_raw(dev::deviceName(id));
+        plot::Series s_norm(dev::deviceName(id));
+        for (std::size_t n : dev::FftPerfModel::figureSizes()) {
+            double l = std::log2(static_cast<double>(n));
+            s_raw.add(l, model.perfAt(n).value());
+            s_norm.add(l, model.perfPerMm2At(n));
+        }
+        raw.series.push_back(s_raw);
+        norm.series.push_back(s_norm);
+    }
+    return fig;
+}
+
+plot::Figure
+fig3FftPower()
+{
+    plot::Figure fig("fig3", "FFT power consumption breakdown "
+                             "(non-normalized)");
+    plot::Axis x{"log2(N)", false, {}};
+    plot::Axis y{"power (W)", false, {}};
+    for (dev::DeviceId id : dev::FftPerfModel::figureDevices()) {
+        dev::FftPowerModel model(id);
+        plot::Panel &panel =
+            fig.addPanel(dev::deviceName(id) + " power breakdown", x, y);
+        plot::Series core_dyn("core dynamic");
+        plot::Series core_leak("core leakage");
+        plot::Series unc_static("uncore static");
+        plot::Series unc_dyn("uncore dynamic");
+        plot::Series unknown("unknown");
+        plot::Series total("total");
+        // Figure 3 sweeps each device over the sizes its platform was
+        // actually measured at (the paper's per-device x ranges).
+        for (std::size_t n : dev::FftPerfModel::measuredSizes(id)) {
+            double l = std::log2(static_cast<double>(n));
+            dev::PowerBreakdown b = model.breakdownAt(n);
+            core_dyn.add(l, b.coreDynamic.value());
+            core_leak.add(l, b.coreLeakage.value());
+            unc_static.add(l, b.uncoreStatic.value());
+            unc_dyn.add(l, b.uncoreDynamic.value());
+            unknown.add(l, b.unknown.value());
+            total.add(l, b.total().value());
+        }
+        panel.series = {core_dyn, core_leak, unc_static, unc_dyn, unknown,
+                        total};
+    }
+    return fig;
+}
+
+plot::Figure
+fig4FftEnergyBandwidth()
+{
+    plot::Figure fig("fig4", "FFT energy efficiency and bandwidth");
+    plot::Axis x{"log2(N)", false, {}};
+    plot::Axis y_eff{"pseudo-GFLOPs per J (40nm)", true, {}};
+    plot::Axis y_bw{"memory bandwidth (GB/s)", false, {}};
+
+    plot::Panel &eff = fig.addPanel("FFT energy efficiency (40nm)", x,
+                                    y_eff);
+    for (dev::DeviceId id : dev::FftPerfModel::figureDevices()) {
+        dev::FftPerfModel perf(id);
+        dev::FftPowerModel power(id);
+        plot::Series s(dev::deviceName(id));
+        for (std::size_t n : dev::FftPerfModel::figureSizes()) {
+            double l = std::log2(static_cast<double>(n));
+            s.add(l, perf.perfAt(n).value() /
+                         power.corePower40At(n).value());
+        }
+        eff.series.push_back(s);
+    }
+
+    plot::Panel &bw = fig.addPanel("FFT bandwidth", x, y_bw);
+    {
+        dev::FftBandwidthModel m285(dev::DeviceId::Gtx285);
+        dev::FftBandwidthModel m480(dev::DeviceId::Gtx480);
+        plot::Series comp285("FFT compulsory bandwidth (GTX285)");
+        plot::Series meas285("FFT measured bandwidth (GTX285)");
+        plot::Series comp480("FFT compulsory bandwidth (GTX480)");
+        for (std::size_t n : dev::FftPerfModel::figureSizes()) {
+            double l = std::log2(static_cast<double>(n));
+            comp285.add(l, m285.compulsoryAt(n).value());
+            meas285.add(l, m285.measuredAt(n).value());
+            comp480.add(l, m480.compulsoryAt(n).value());
+        }
+        bw.series = {comp285, meas285, comp480};
+    }
+    return fig;
+}
+
+plot::Figure
+fig5Itrs()
+{
+    plot::Figure fig("fig5", "ITRS 2009 scaling projections "
+                             "(high-performance MPUs and ASICs)");
+    plot::Axis x{"year", false, {}};
+    plot::Axis y{"normalized to 2011", false, {}};
+    plot::Panel &panel = fig.addPanel("ITRS 2009 projections", x, y);
+
+    plot::Series pins("Package pins");
+    plot::Series vdd("Vdd");
+    plot::Series cap("Gate capacitance");
+    plot::Series pwr("Combined technology power reduction");
+    for (const itrs::RoadmapYear &yr : itrs::Roadmap::instance().years()) {
+        pins.add(yr.year, yr.pins);
+        vdd.add(yr.year, yr.vdd);
+        cap.add(yr.year, yr.gateCap);
+        pwr.add(yr.year, yr.combinedPower);
+    }
+    panel.series = {pins, vdd, cap, pwr};
+    return fig;
+}
+
+plot::Figure
+projectionFigure(const std::string &id, const std::string &caption,
+                 const wl::Workload &w,
+                 const std::vector<double> &fractions,
+                 const Scenario &scenario)
+{
+    plot::Figure fig(id, caption + " (dashed = power-limited, solid = "
+                                   "bandwidth-limited, isolated points = "
+                                   "area-limited)");
+    plot::Axis y{"speedup (vs 1 BCE)", false, {}};
+    for (double f : fractions) {
+        plot::Panel &panel =
+            fig.addPanel("f=" + fmtFixed(f, 3), nodeAxis(), y);
+        for (const ProjectionSeries &series : projectAll(w, f, scenario)) {
+            plot::Series s("(" + std::to_string(series.org.paperIndex) +
+                           ") " + series.org.name);
+            for (std::size_t i = 0; i < series.points.size(); ++i) {
+                const NodePoint &pt = series.points[i];
+                if (!pt.design.feasible)
+                    continue;
+                s.add(static_cast<double>(i), pt.design.speedup,
+                      styleFor(pt.design.limiter));
+            }
+            panel.series.push_back(s);
+        }
+    }
+    return fig;
+}
+
+plot::Figure
+fig6FftProjection()
+{
+    return projectionFigure("fig6", "FFT-1024 projection",
+                            wl::Workload::fft(1024), standardFractions());
+}
+
+plot::Figure
+fig7MmmProjection()
+{
+    return projectionFigure("fig7", "MMM projection", wl::Workload::mmm(),
+                            standardFractions());
+}
+
+plot::Figure
+fig8BsProjection()
+{
+    return projectionFigure("fig8", "Black-Scholes projection",
+                            wl::Workload::blackScholes(), {0.5, 0.9});
+}
+
+plot::Figure
+fig9Fft1TbProjection()
+{
+    return projectionFigure("fig9",
+                            "FFT-1024 projection given 1 TB/s bandwidth",
+                            wl::Workload::fft(1024), standardFractions(),
+                            scenarioByName("bandwidth-1tb"));
+}
+
+plot::Figure
+fig10MmmEnergy()
+{
+    plot::Figure fig("fig10", "MMM energy projections "
+                              "(normalized to BCE at 40nm)");
+    plot::Axis y{"energy (normalized)", false, {}};
+    for (double f : {0.5, 0.9, 0.99}) {
+        plot::Panel &panel =
+            fig.addPanel("f=" + fmtFixed(f, 3), nodeAxis(), y);
+        for (const ProjectionSeries &series :
+             projectAll(wl::Workload::mmm(), f)) {
+            plot::Series s("(" + std::to_string(series.org.paperIndex) +
+                           ") " + series.org.name);
+            for (std::size_t i = 0; i < series.points.size(); ++i) {
+                const NodePoint &pt = series.points[i];
+                if (!pt.design.feasible)
+                    continue;
+                s.add(static_cast<double>(i), pt.energyNormalized(),
+                      styleFor(pt.design.limiter));
+            }
+            panel.series.push_back(s);
+        }
+    }
+    return fig;
+}
+
+TextTable
+scenarioSummary(const wl::Workload &w, double f)
+{
+    TextTable t("Section 6.2 scenarios: " + w.name() + " speedups at 11nm"
+                ", f=" + fmtFixed(f, 3));
+    std::vector<std::string> headers = {"Scenario"};
+    for (const Organization &org : paperOrganizations(w))
+        headers.push_back(org.name);
+    t.setHeaders(headers);
+
+    auto add_scenario = [&](const Scenario &scenario) {
+        std::vector<std::string> cells = {scenario.name};
+        for (const ProjectionSeries &series : projectAll(w, f, scenario)) {
+            const NodePoint &last = series.points.back();
+            if (!last.design.feasible) {
+                cells.push_back("infeasible");
+                continue;
+            }
+            cells.push_back(fmtSig(last.design.speedup, 3) + " (" +
+                            limiterName(last.design.limiter).substr(0, 2) +
+                            ")");
+        }
+        t.addRow(cells);
+    };
+
+    add_scenario(baselineScenario());
+    for (const Scenario &s : alternativeScenarios())
+        add_scenario(s);
+    return t;
+}
+
+} // namespace paper
+} // namespace core
+} // namespace hcm

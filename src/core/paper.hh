@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Report generators: every table and figure of the paper, assembled from
+ * the library's models into TextTable / plot::Figure objects. The bench
+ * binaries print and export these; the integration tests assert on the
+ * same data the benches show.
+ */
+
+#ifndef HCM_CORE_PAPER_HH
+#define HCM_CORE_PAPER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/projection.hh"
+#include "plot/figure.hh"
+#include "util/table.hh"
+
+namespace hcm {
+namespace core {
+namespace paper {
+
+/** Table 1: bound formulas (rendered as text; verified in tests). */
+TextTable table1Bounds();
+
+/** Table 2: device summary. */
+TextTable table2Devices();
+
+/** Table 3: workload / toolchain summary. */
+TextTable table3Workloads();
+
+/** Table 4: MMM and Black-Scholes baseline results. */
+TextTable table4Baseline();
+
+/** Table 5: derived U-core parameters (phi, mu). */
+TextTable table5UCores();
+
+/** Table 6: technology scaling parameters. */
+TextTable table6Scaling();
+
+/** Figure 2: FFT performance, raw and area-normalized. */
+plot::Figure fig2FftPerf();
+
+/** Figure 3: FFT power-consumption breakdown per device and size. */
+plot::Figure fig3FftPower();
+
+/** Figure 4: FFT energy efficiency and GTX285 bandwidth. */
+plot::Figure fig4FftEnergyBandwidth();
+
+/** Figure 5: ITRS 2009 scaling projections. */
+plot::Figure fig5Itrs();
+
+/**
+ * Generic speedup-projection figure: one panel per f, one series per
+ * organization, segments styled by limiter (dashed = power-limited,
+ * solid = bandwidth-limited, unconnected = area-limited).
+ */
+plot::Figure projectionFigure(const std::string &id,
+                              const std::string &caption,
+                              const wl::Workload &w,
+                              const std::vector<double> &fractions,
+                              const Scenario &scenario = baselineScenario());
+
+/** Figure 6: FFT-1024 projection, f in {.5, .9, .99, .999}. */
+plot::Figure fig6FftProjection();
+
+/** Figure 7: MMM projection, f in {.5, .9, .99, .999}. */
+plot::Figure fig7MmmProjection();
+
+/** Figure 8: Black-Scholes projection, f in {.5, .9}. */
+plot::Figure fig8BsProjection();
+
+/** Figure 9: FFT-1024 projection at 1 TB/s (scenario 2). */
+plot::Figure fig9Fft1TbProjection();
+
+/** Figure 10: MMM energy (normalized to BCE@40nm), f in {.5, .9, .99}. */
+plot::Figure fig10MmmEnergy();
+
+/**
+ * Section 6.2 summary: per scenario, each organization's speedup and
+ * limiter at the final (11nm) node for workload @p w at fraction @p f.
+ */
+TextTable scenarioSummary(const wl::Workload &w, double f);
+
+/** The standard f sweep of Figures 6 and 7. */
+const std::vector<double> &standardFractions();
+
+} // namespace paper
+} // namespace core
+} // namespace hcm
+
+#endif // HCM_CORE_PAPER_HH

@@ -1,0 +1,119 @@
+#include "pareto.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace hcm {
+namespace core {
+
+namespace {
+
+constexpr double kTieEps = 1e-12;
+
+} // namespace
+
+bool
+ParetoPoint::dominates(const ParetoPoint &other) const
+{
+    bool no_worse = design.speedup >= other.design.speedup - kTieEps &&
+                    energyNormalized <= other.energyNormalized + kTieEps;
+    bool better = design.speedup > other.design.speedup + kTieEps ||
+                  energyNormalized < other.energyNormalized - kTieEps;
+    return no_worse && better;
+}
+
+std::vector<ParetoPoint>
+enumerateDesigns(const wl::Workload &w, double f,
+                 const itrs::NodeParams &node, const Scenario &scenario,
+                 OptimizerOptions opts, const BceCalibration &calib)
+{
+    opts.alpha = scenario.alpha;
+    Budget budget = makeBudget(node, w, scenario, calib);
+
+    std::vector<ParetoPoint> points;
+    for (const Organization &org : paperOrganizations(w, calib)) {
+        double cap = std::min(opts.rMax, serialRCap(budget, opts.alpha));
+        if (cap < 1.0)
+            continue;
+        std::vector<double> candidates;
+        for (double r = 1.0; r <= std::floor(cap); r += 1.0)
+            candidates.push_back(r);
+        if (cap > candidates.back())
+            candidates.push_back(cap);
+        for (double r : candidates) {
+            // Evaluate the design at exactly this r.
+            ParallelBound pb = parallelBound(org, r, budget, opts.alpha);
+            if (pb.n < r)
+                continue;
+            bool needs_headroom =
+                f > 0.0 && (org.kind == OrgKind::AsymmetricCmp ||
+                            org.kind == OrgKind::Heterogeneous);
+            if (needs_headroom && pb.n - r < 1e-9)
+                continue;
+
+            ParetoPoint pt;
+            pt.orgName = org.name;
+            pt.paperIndex = org.paperIndex;
+            pt.design.f = f;
+            pt.design.r = r;
+            pt.design.n = pb.n;
+            pt.design.limiter = pb.limiter;
+            pt.design.speedup = evaluateSpeedup(org, f, r, pb.n);
+            pt.design.energy = designEnergy(org, f, r, pb.n, opts.alpha);
+            pt.design.feasible = true;
+            pt.energyNormalized = normalizedEnergy(
+                pt.design.energy, node.relPowerPerTransistor);
+            points.push_back(pt);
+        }
+    }
+    return points;
+}
+
+std::vector<ParetoPoint>
+paretoFrontier(std::vector<ParetoPoint> points)
+{
+    std::vector<ParetoPoint> frontier;
+    for (const ParetoPoint &candidate : points) {
+        bool dominated = false;
+        for (const ParetoPoint &other : points) {
+            if (&other == &candidate)
+                continue;
+            if (other.dominates(candidate)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (dominated)
+            continue;
+        // Collapse exact ties (same speedup and energy).
+        bool duplicate = false;
+        for (const ParetoPoint &kept : frontier) {
+            if (std::fabs(kept.design.speedup - candidate.design.speedup)
+                    <= kTieEps &&
+                std::fabs(kept.energyNormalized -
+                          candidate.energyNormalized) <= kTieEps) {
+                duplicate = true;
+                break;
+            }
+        }
+        if (!duplicate)
+            frontier.push_back(candidate);
+    }
+    std::sort(frontier.begin(), frontier.end(),
+              [](const ParetoPoint &a, const ParetoPoint &b) {
+                  return a.design.speedup < b.design.speedup;
+              });
+    return frontier;
+}
+
+std::vector<ParetoPoint>
+paretoFrontier(const wl::Workload &w, double f,
+               const itrs::NodeParams &node, const Scenario &scenario)
+{
+    return paretoFrontier(enumerateDesigns(w, f, node, scenario));
+}
+
+} // namespace core
+} // namespace hcm

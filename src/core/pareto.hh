@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Speedup/energy Pareto exploration. Section 6.3 shows that the best
+ * chip depends on whether performance or energy is the objective; this
+ * module enumerates every candidate design (organization x sequential
+ * core size) at a node and extracts the designs that are not dominated
+ * in the (maximize speedup, minimize energy) plane — the menu a
+ * designer actually chooses from.
+ */
+
+#ifndef HCM_CORE_PARETO_HH
+#define HCM_CORE_PARETO_HH
+
+#include <string>
+#include <vector>
+
+#include "core/projection.hh"
+
+namespace hcm {
+namespace core {
+
+/** One candidate design with both objectives evaluated. */
+struct ParetoPoint
+{
+    std::string orgName;
+    int paperIndex = -1;
+    DesignPoint design;
+    double energyNormalized = 0.0;
+
+    /** True when this point dominates @p other (no worse in both,
+     *  strictly better in one). */
+    bool dominates(const ParetoPoint &other) const;
+};
+
+/**
+ * Enumerate all feasible designs for @p w at @p node: every paper
+ * organization crossed with every integer r up to the serial cap
+ * (plus the fractional cap).
+ */
+std::vector<ParetoPoint> enumerateDesigns(
+    const wl::Workload &w, double f, const itrs::NodeParams &node,
+    const Scenario &scenario = baselineScenario(),
+    OptimizerOptions opts = {},
+    const BceCalibration &calib = BceCalibration::standard());
+
+/**
+ * The non-dominated subset of @p points, sorted by increasing speedup.
+ * Ties collapse to a single representative.
+ */
+std::vector<ParetoPoint> paretoFrontier(std::vector<ParetoPoint> points);
+
+/** Convenience: enumerate + filter in one call. */
+std::vector<ParetoPoint> paretoFrontier(
+    const wl::Workload &w, double f, const itrs::NodeParams &node,
+    const Scenario &scenario = baselineScenario());
+
+} // namespace core
+} // namespace hcm
+
+#endif // HCM_CORE_PARETO_HH

@@ -1,0 +1,175 @@
+#include "profile.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "amdahl/pollack.hh"
+#include "util/logging.hh"
+
+namespace hcm {
+namespace core {
+
+ParallelismProfile::ParallelismProfile(std::vector<ProfileSegment> segments)
+    : _segments(std::move(segments))
+{
+    hcm_assert(!_segments.empty(), "profile needs at least one segment");
+    double sum = 0.0;
+    for (const ProfileSegment &s : _segments) {
+        hcm_assert(s.fraction >= 0.0, "negative segment fraction");
+        hcm_assert(s.width >= 1.0, "segment width below 1");
+        sum += s.fraction;
+    }
+    hcm_assert(std::fabs(sum - 1.0) < 1e-9,
+               "profile fractions sum to ", sum, ", expected 1");
+}
+
+ParallelismProfile
+ParallelismProfile::uniform(double f)
+{
+    hcm_assert(f >= 0.0 && f <= 1.0, "fraction outside [0,1]");
+    return ParallelismProfile({
+        {1.0 - f, 1.0},
+        {f, std::numeric_limits<double>::infinity()},
+    });
+}
+
+ParallelismProfile
+ParallelismProfile::geometric(double f, int levels, double base_width,
+                              double ratio)
+{
+    hcm_assert(f >= 0.0 && f <= 1.0, "fraction outside [0,1]");
+    hcm_assert(levels >= 1, "need at least one level");
+    hcm_assert(base_width >= 1.0 && ratio >= 1.0, "bad width ladder");
+    std::vector<ProfileSegment> segments = {{1.0 - f, 1.0}};
+    double width = base_width;
+    for (int i = 0; i < levels; ++i) {
+        segments.push_back({f / levels, width});
+        width *= ratio;
+    }
+    return ParallelismProfile(std::move(segments));
+}
+
+double
+ParallelismProfile::parallelFraction() const
+{
+    double sum = 0.0;
+    for (const ProfileSegment &s : _segments)
+        if (s.width > 1.0)
+            sum += s.fraction;
+    return sum;
+}
+
+double
+ParallelismProfile::effectiveWidth() const
+{
+    // Harmonic mean weighted by time: the width a uniform profile would
+    // need to finish the parallel work in the same time on BCE tiles.
+    double time = 0.0, frac = 0.0;
+    for (const ProfileSegment &s : _segments) {
+        if (s.width <= 1.0)
+            continue;
+        frac += s.fraction;
+        time += s.fraction / s.width; // 0 for infinite width
+    }
+    if (frac <= 0.0)
+        return 1.0;
+    if (time <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return frac / time;
+}
+
+namespace {
+
+/** Throughput of one profile segment on the given design. */
+double
+segmentPerf(const Organization &org, const ProfileSegment &seg, double r,
+            double n)
+{
+    double core_perf = model::perfSeq(
+        org.kind == OrgKind::DynamicCmp ? n : r);
+
+    // A single sequential task stays on the sequential core — offloading
+    // serial code to a U-core tile is the Section 6.3 "conservation
+    // cores" idea, deliberately outside this model (as in the paper).
+    if (seg.width <= 1.0)
+        return core_perf;
+
+    double fabric_perf = 0.0;
+    switch (org.kind) {
+      case OrgKind::SymmetricCmp: {
+        // Up to n/r cores, each sqrt(r); one task per core.
+        double cores = std::min(seg.width, n / r);
+        fabric_perf = cores * model::perfSeq(r);
+        break;
+      }
+      case OrgKind::AsymmetricCmp:
+        fabric_perf = std::min(seg.width, n - r);
+        break;
+      case OrgKind::Heterogeneous:
+        fabric_perf = org.ucore.mu * std::min(seg.width, n - r);
+        break;
+      case OrgKind::DynamicCmp:
+        fabric_perf = std::min(seg.width, n);
+        break;
+    }
+    return std::max(core_perf, fabric_perf);
+}
+
+} // namespace
+
+double
+profiledSpeedup(const Organization &org, const ParallelismProfile &profile,
+                double r, double n)
+{
+    hcm_assert(r > 0.0 && n >= r, "invalid design");
+    double time = 0.0;
+    for (const ProfileSegment &seg : profile.segments()) {
+        if (seg.fraction <= 0.0)
+            continue;
+        time += seg.fraction / segmentPerf(org, seg, r, n);
+    }
+    hcm_assert(time > 0.0, "profile with no work");
+    return 1.0 / time;
+}
+
+DesignPoint
+optimizeProfiled(const Organization &org,
+                 const ParallelismProfile &profile, const Budget &budget,
+                 OptimizerOptions opts)
+{
+    budget.check();
+    DesignPoint best;
+    best.f = profile.parallelFraction();
+
+    double cap = std::min(opts.rMax, serialRCap(budget, opts.alpha));
+    if (cap < 1.0)
+        return best;
+
+    std::vector<double> candidates;
+    for (double r = 1.0; r <= std::floor(cap); r += 1.0)
+        candidates.push_back(r);
+    if (cap > candidates.back())
+        candidates.push_back(cap);
+
+    for (double r : candidates) {
+        ParallelBound pb = parallelBound(org, r, budget, opts.alpha);
+        if (pb.n < r)
+            continue;
+        double speedup = profiledSpeedup(org, profile, r, pb.n);
+        if (!best.feasible || speedup > best.speedup) {
+            best.feasible = true;
+            best.r = r;
+            best.n = pb.n;
+            best.speedup = speedup;
+            best.limiter = pb.limiter;
+            best.energy = designEnergy(org, best.f, r,
+                                       std::max(pb.n, r + 1e-9),
+                                       opts.alpha);
+        }
+    }
+    return best;
+}
+
+} // namespace core
+} // namespace hcm

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Parallelism profiles — the paper's first future-work item ("models in
+ * the future should attempt to incorporate varying degrees of
+ * parallelism in an application, in order to capture how 'suitable'
+ * certain types of U-cores might be under a given parallelism
+ * profile").
+ *
+ * A profile splits baseline execution into segments, each with a
+ * parallelism width: the number of concurrent BCE-granularity tasks the
+ * software exposes there. A segment runs on whichever side of the chip
+ * is faster for it:
+ *
+ *   fabric:  min(width, n - r) tiles, each mu (BCE tiles: mu = 1)
+ *   core:    the sqrt(r) sequential core
+ *
+ * so segment perf = max(perf_seq(r), mu * min(width, tiles)) for
+ * parallel segments; width-1 segments stay on the sequential core (as
+ * in the paper — offloading serial code to U-cores is Section 6.3's
+ * separate "conservation cores" discussion). The classic two-point
+ * model is the special case of one width-1 segment plus one
+ * infinite-width segment, and profiledSpeedup() reduces to the
+ * Section 3.3 formula there (tested).
+ */
+
+#ifndef HCM_CORE_PROFILE_HH
+#define HCM_CORE_PROFILE_HH
+
+#include <vector>
+
+#include "core/optimizer.hh"
+
+namespace hcm {
+namespace core {
+
+/** One segment of a parallelism profile. */
+struct ProfileSegment
+{
+    double fraction = 0.0; ///< share of baseline (1-BCE) execution time
+    double width = 1.0;    ///< exploitable concurrent BCE-tasks (>= 1;
+                           ///< infinity() = embarrassingly parallel)
+};
+
+/** A complete application profile (fractions sum to 1). */
+class ParallelismProfile
+{
+  public:
+    /** Build from explicit segments; validates and normalizes nothing —
+     *  fractions must sum to 1 within 1e-9. */
+    explicit ParallelismProfile(std::vector<ProfileSegment> segments);
+
+    /** The paper's two-point model: (1-f) serial + f infinitely wide. */
+    static ParallelismProfile uniform(double f);
+
+    /**
+     * A geometric work profile: fraction `f` of time is parallel, split
+     * across `levels` segments whose widths grow by `ratio` from
+     * `base_width` — a stand-in for applications whose parallelism
+     * varies phase to phase.
+     */
+    static ParallelismProfile geometric(double f, int levels,
+                                        double base_width, double ratio);
+
+    const std::vector<ProfileSegment> &segments() const
+    { return _segments; }
+
+    /** Fraction of time with width > 1. */
+    double parallelFraction() const;
+
+    /** Time-weighted harmonic-mean width of the parallel segments. */
+    double effectiveWidth() const;
+
+  private:
+    std::vector<ProfileSegment> _segments;
+};
+
+/**
+ * Speedup of organization @p org on profile @p profile at design (r, n)
+ * — each segment on its faster executor (see file comment). Symmetric
+ * chips run segments on min(width, n/r) cores of perf sqrt(r).
+ */
+double profiledSpeedup(const Organization &org,
+                       const ParallelismProfile &profile, double r,
+                       double n);
+
+/**
+ * Best design for @p org under @p budget for a profiled application:
+ * the same Table 1 bounds and r-sweep as optimize(), with
+ * profiledSpeedup() as the objective.
+ */
+DesignPoint optimizeProfiled(const Organization &org,
+                             const ParallelismProfile &profile,
+                             const Budget &budget,
+                             OptimizerOptions opts = {});
+
+} // namespace core
+} // namespace hcm
+
+#endif // HCM_CORE_PROFILE_HH

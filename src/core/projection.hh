@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ITRS scaling projections (Section 6): optimal designs per organization
+ * across the Table 6 nodes, the data behind Figures 6-10.
+ */
+
+#ifndef HCM_CORE_PROJECTION_HH
+#define HCM_CORE_PROJECTION_HH
+
+#include <vector>
+
+#include "core/optimizer.hh"
+#include "core/scenario.hh"
+#include "itrs/scaling.hh"
+
+namespace hcm {
+namespace core {
+
+/** One node of a projection line. */
+struct NodePoint
+{
+    itrs::NodeParams node;
+    Budget budget;          ///< BCE-unit budgets at this node
+    DesignPoint design;     ///< optimal design under those budgets
+
+    /** Figure 10's metric: energy relative to one BCE at 40nm. */
+    double
+    energyNormalized() const
+    {
+        return normalizedEnergy(design.energy,
+                                node.relPowerPerTransistor);
+    }
+};
+
+/** One organization's line across all nodes. */
+struct ProjectionSeries
+{
+    Organization org;
+    std::vector<NodePoint> points;
+};
+
+/** Project one organization across the Table 6 nodes. */
+ProjectionSeries projectOrganization(
+    const Organization &org, const wl::Workload &w, double f,
+    const Scenario &scenario = baselineScenario(),
+    OptimizerOptions opts = {},
+    const BceCalibration &calib = BceCalibration::standard());
+
+/**
+ * Project every organization the paper plots for @p w (CMPs + HETs with
+ * data), in legend order. The optimizer's alpha follows the scenario.
+ */
+std::vector<ProjectionSeries> projectAll(
+    const wl::Workload &w, double f,
+    const Scenario &scenario = baselineScenario(),
+    OptimizerOptions opts = {},
+    const BceCalibration &calib = BceCalibration::standard());
+
+} // namespace core
+} // namespace hcm
+
+#endif // HCM_CORE_PROJECTION_HH

@@ -1,0 +1,74 @@
+#include "scenario.hh"
+
+#include "util/logging.hh"
+
+namespace hcm {
+namespace core {
+
+Scenario
+baselineScenario()
+{
+    return Scenario{};
+}
+
+const std::vector<Scenario> &
+alternativeScenarios()
+{
+    static const std::vector<Scenario> scenarios = [] {
+        std::vector<Scenario> out;
+
+        Scenario s1;
+        s1.name = "bandwidth-90";
+        s1.description = "reduced packaging: 90 GB/s at 40nm";
+        s1.baseBwGBs = 90.0;
+        out.push_back(s1);
+
+        Scenario s2;
+        s2.name = "bandwidth-1tb";
+        s2.description = "eDRAM / 3D-stacked memory: 1 TB/s at 40nm";
+        s2.baseBwGBs = 1000.0;
+        out.push_back(s2);
+
+        Scenario s3;
+        s3.name = "half-area";
+        s3.description = "216 mm^2 core area budget";
+        s3.areaScale = 0.5;
+        out.push_back(s3);
+
+        Scenario s4;
+        s4.name = "power-200w";
+        s4.description = "200 W budget (high-end cooling)";
+        s4.powerBudgetW = 200.0;
+        out.push_back(s4);
+
+        Scenario s5;
+        s5.name = "power-10w";
+        s5.description = "10 W budget (laptop / mobile)";
+        s5.powerBudgetW = 10.0;
+        out.push_back(s5);
+
+        Scenario s6;
+        s6.name = "alpha-2.25";
+        s6.description = "steeper serial power law (alpha = 2.25)";
+        s6.alpha = model::kHighAlpha;
+        out.push_back(s6);
+
+        return out;
+    }();
+    return scenarios;
+}
+
+const Scenario &
+scenarioByName(const std::string &name)
+{
+    static const Scenario baseline = baselineScenario();
+    if (name == baseline.name)
+        return baseline;
+    for (const Scenario &s : alternativeScenarios())
+        if (s.name == name)
+            return s;
+    hcm_panic("unknown scenario '", name, "'");
+}
+
+} // namespace core
+} // namespace hcm

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Projection scenarios (Section 6.2). The baseline uses Table 6 budgets
+ * (432 mm^2 core area, 100 W, 180 GB/s at 40nm scaling with ITRS); the
+ * six alternatives perturb one input each:
+ *
+ *   1. bandwidth-90:   cheaper packaging, 90 GB/s at 40nm
+ *   2. bandwidth-1tb:  disruptive memory (eDRAM/3D), 1 TB/s at 40nm
+ *   3. half-area:      216 mm^2 core budget (yield/cost constrained)
+ *   4. power-200w:     200 W (high-end cooling)
+ *   5. power-10w:      10 W (laptop/mobile)
+ *   6. alpha-2.25:     steeper serial power law
+ */
+
+#ifndef HCM_CORE_SCENARIO_HH
+#define HCM_CORE_SCENARIO_HH
+
+#include <string>
+#include <vector>
+
+#include "amdahl/pollack.hh"
+#include "itrs/scaling.hh"
+
+namespace hcm {
+namespace core {
+
+/** One projection scenario: the model inputs Section 6.2 varies. */
+struct Scenario
+{
+    std::string name = "baseline";
+    std::string description = "Table 6 budgets";
+    /** Off-chip bandwidth at 40nm (GB/s); scales with relBandwidth. */
+    double baseBwGBs = itrs::kBaseBandwidthGBs;
+    /** Core+cache power budget (W), constant across nodes. */
+    double powerBudgetW = 100.0;
+    /** Multiplier on the Table 6 BCE area budget (0.5 = 216 mm^2). */
+    double areaScale = 1.0;
+    /** Serial power exponent. */
+    double alpha = model::kDefaultAlpha;
+};
+
+/** The paper's primary projection configuration. */
+Scenario baselineScenario();
+
+/** Section 6.2 scenarios 1-6, in order. */
+const std::vector<Scenario> &alternativeScenarios();
+
+/** Scenario by name ("bandwidth-1tb", ...); panics when unknown. */
+const Scenario &scenarioByName(const std::string &name);
+
+} // namespace core
+} // namespace hcm
+
+#endif // HCM_CORE_SCENARIO_HH

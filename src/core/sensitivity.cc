@@ -1,0 +1,66 @@
+#include "sensitivity.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace hcm {
+namespace core {
+
+Limiter
+BudgetSensitivity::dominant() const
+{
+    if (bandwidth >= power && bandwidth >= area)
+        return Limiter::Bandwidth;
+    if (power >= area)
+        return Limiter::Power;
+    return Limiter::Area;
+}
+
+namespace {
+
+/** Optimized speedup, 0 when infeasible. */
+double
+speedupAt(const Organization &org, double f, const Budget &budget,
+          const OptimizerOptions &opts)
+{
+    DesignPoint dp = optimize(org, f, budget, opts);
+    return dp.feasible ? dp.speedup : 0.0;
+}
+
+/** d(log S)/d(log X) by central difference along one budget member. */
+double
+elasticity(const Organization &org, double f, Budget budget,
+           double Budget::*member, const OptimizerOptions &opts,
+           double rel_step)
+{
+    Budget up = budget, down = budget;
+    up.*member *= 1.0 + rel_step;
+    down.*member *= 1.0 - rel_step;
+    double s_up = speedupAt(org, f, up, opts);
+    double s_down = speedupAt(org, f, down, opts);
+    if (s_up <= 0.0 || s_down <= 0.0)
+        return 0.0;
+    return (std::log(s_up) - std::log(s_down)) /
+           (std::log(1.0 + rel_step) - std::log(1.0 - rel_step));
+}
+
+} // namespace
+
+BudgetSensitivity
+budgetSensitivity(const Organization &org, double f, const Budget &budget,
+                  OptimizerOptions opts, double rel_step)
+{
+    hcm_assert(rel_step > 0.0 && rel_step < 0.5, "bad step");
+    budget.check();
+
+    BudgetSensitivity s;
+    s.area = elasticity(org, f, budget, &Budget::area, opts, rel_step);
+    s.power = elasticity(org, f, budget, &Budget::power, opts, rel_step);
+    s.bandwidth =
+        elasticity(org, f, budget, &Budget::bandwidth, opts, rel_step);
+    return s;
+}
+
+} // namespace core
+} // namespace hcm

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Budget sensitivity: the limiter label says *which* constraint binds;
+ * the elasticity says *how hard*. For a design point, compute
+ * d(log S)/d(log X) for X in {A, P, B} by central finite differences of
+ * the re-optimized speedup — the fraction of a 1% budget increase that
+ * turns into speedup. A designer reads this as "where to spend":
+ * bandwidth-limited FFT chips return ~1.0 on bandwidth and ~0 on area.
+ */
+
+#ifndef HCM_CORE_SENSITIVITY_HH
+#define HCM_CORE_SENSITIVITY_HH
+
+#include "core/optimizer.hh"
+
+namespace hcm {
+namespace core {
+
+/** Elasticities of optimized speedup to each budget. */
+struct BudgetSensitivity
+{
+    double area = 0.0;
+    double power = 0.0;
+    double bandwidth = 0.0;
+
+    /** The budget with the largest elasticity. */
+    Limiter dominant() const;
+
+    /** Sum of elasticities (<= ~1 for this model's speedups). */
+    double total() const { return area + power + bandwidth; }
+};
+
+/**
+ * Elasticities at (org, f, budget): central differences with relative
+ * step @p rel_step on each budget axis, re-optimizing r each time.
+ * Because the optimizer's discrete r sweep makes speedup piecewise
+ * smooth, the default step is large enough to straddle kinks.
+ */
+BudgetSensitivity budgetSensitivity(const Organization &org, double f,
+                                    const Budget &budget,
+                                    OptimizerOptions opts = {},
+                                    double rel_step = 0.02);
+
+} // namespace core
+} // namespace hcm
+
+#endif // HCM_CORE_SENSITIVITY_HH

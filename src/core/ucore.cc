@@ -1,0 +1,16 @@
+#include "ucore.hh"
+
+#include "util/logging.hh"
+
+namespace hcm {
+namespace core {
+
+void
+UCoreParams::check() const
+{
+    hcm_assert(mu > 0.0, "U-core mu must be positive");
+    hcm_assert(phi > 0.0, "U-core phi must be positive");
+}
+
+} // namespace core
+} // namespace hcm

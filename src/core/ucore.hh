@@ -1,0 +1,34 @@
+/**
+ * @file
+ * U-core characterization (Section 3.3): a BCE-sized tile of an
+ * unconventional fabric executes parallel work at relative performance mu
+ * and consumes relative power phi, both against one BCE core. (mu > 1,
+ * phi = 1) is a same-power accelerator; (mu = 1, phi < 1) is an
+ * iso-performance power saver.
+ */
+
+#ifndef HCM_CORE_UCORE_HH
+#define HCM_CORE_UCORE_HH
+
+#include <string>
+
+namespace hcm {
+namespace core {
+
+/** (mu, phi) pair characterizing a U-core fabric on one workload. */
+struct UCoreParams
+{
+    double mu = 1.0;  ///< relative performance per BCE of area
+    double phi = 1.0; ///< relative power per BCE of area
+
+    /** Performance per unit power relative to a BCE (mu / phi). */
+    double efficiencyGain() const { return mu / phi; }
+
+    /** Validate positivity; panics otherwise. */
+    void check() const;
+};
+
+} // namespace core
+} // namespace hcm
+
+#endif // HCM_CORE_UCORE_HH

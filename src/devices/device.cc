@@ -1,0 +1,91 @@
+#include "device.hh"
+
+#include "util/logging.hh"
+
+namespace hcm {
+namespace dev {
+
+const std::vector<DeviceId> &
+allDevices()
+{
+    static const std::vector<DeviceId> ids = {
+        DeviceId::CoreI7, DeviceId::Gtx285, DeviceId::Gtx480,
+        DeviceId::R5870, DeviceId::Lx760, DeviceId::Asic,
+    };
+    return ids;
+}
+
+namespace {
+
+/** Table 2, one entry per device. */
+const std::vector<Device> &
+catalog()
+{
+    static const std::vector<Device> devices = {
+        {DeviceId::CoreI7, DeviceClass::CPU, "Core i7-960", "Intel/45nm",
+         2009, 45.0, Area(263.0), Area(193.0), Freq(3.2), "0.8-1.375V",
+         "3GB DDR3", Bandwidth(32.0), 4},
+        {DeviceId::Gtx285, DeviceClass::GPU, "GTX285", "TSMC/55nm", 2008,
+         55.0, Area(470.0), Area(338.0), Freq(1.476), "1.05-1.18V",
+         "1GB GDDR3", Bandwidth(159.0), 0},
+        {DeviceId::Gtx480, DeviceClass::GPU, "GTX480", "TSMC/40nm", 2010,
+         40.0, Area(529.0), Area(422.0), Freq(1.4), "0.96-1.025V",
+         "1.5GB GDDR5", Bandwidth(177.4), 0},
+        // No die photo was available for the R5870; the paper assumes a
+        // 25% non-compute overhead: core = 0.75 * 334 = 250.5 mm^2.
+        {DeviceId::R5870, DeviceClass::GPU, "R5870", "TSMC/40nm", 2009,
+         40.0, Area(334.0), Area(250.5), Freq(0.85), "0.95-1.174V",
+         "1GB GDDR5", Bandwidth(153.6), 0},
+        {DeviceId::Lx760, DeviceClass::FPGA, "V6-LX760",
+         "UMC/Samsung/40nm", 2009, 40.0, Area(0.0), Area(0.0), Freq(0.0),
+         "0.9-1.0V", "-", Bandwidth(0.0), 0},
+        {DeviceId::Asic, DeviceClass::ASIC, "ASIC", "65nm std cells", 2007,
+         65.0, Area(0.0), Area(0.0), Freq(0.0), "1.1V", "-",
+         Bandwidth(0.0), 0},
+    };
+    return devices;
+}
+
+} // namespace
+
+const Device &
+deviceInfo(DeviceId id)
+{
+    for (const Device &d : catalog())
+        if (d.id == id)
+            return d;
+    hcm_panic("unknown device id");
+}
+
+std::string
+deviceName(DeviceId id)
+{
+    return deviceInfo(id).name;
+}
+
+std::string
+className(DeviceClass cls)
+{
+    switch (cls) {
+      case DeviceClass::CPU:
+        return "CPU";
+      case DeviceClass::GPU:
+        return "GPU";
+      case DeviceClass::FPGA:
+        return "FPGA";
+      case DeviceClass::ASIC:
+        return "ASIC";
+    }
+    hcm_panic("bad device class");
+}
+
+Area
+lx760EffectiveArea()
+{
+    // Back-derived from Table 4 (see header comment); corresponds to
+    // ~201.6k LUTs at the paper's per-LUT area estimate.
+    return Area(385.0);
+}
+
+} // namespace dev
+} // namespace hcm

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The paper's device catalog (Table 2): one CPU baseline, three GPUs, one
+ * FPGA, and the synthesized-ASIC flow.
+ */
+
+#ifndef HCM_DEVICES_DEVICE_HH
+#define HCM_DEVICES_DEVICE_HH
+
+#include <string>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace hcm {
+namespace dev {
+
+/** Device identifiers, in Table 2 column order. */
+enum class DeviceId {
+    CoreI7,
+    Gtx285,
+    Gtx480,
+    R5870,
+    Lx760,
+    Asic,
+};
+
+/** Broad technology class of a device. */
+enum class DeviceClass {
+    CPU,
+    GPU,
+    FPGA,
+    ASIC,
+};
+
+/** All device ids in Table 2 order. */
+const std::vector<DeviceId> &allDevices();
+
+/** One Table 2 row. */
+struct Device
+{
+    DeviceId id;
+    DeviceClass cls;
+    std::string name;     ///< "Core i7-960"
+    std::string process;  ///< "Intel/45nm"
+    int year;             ///< introduction / library year
+    double nodeNm;        ///< feature size in nm
+    /**
+     * Total die area; zero when the paper lists none (FPGA effective area
+     * is derived from the LUT area model, ASIC areas are per-design).
+     */
+    Area dieArea;
+    /**
+     * Core+cache-only area: die area minus non-compute components
+     * (memory controllers, I/O), estimated from die photos or, for the
+     * R5870, from an assumed 25% non-compute overhead. Zero when
+     * per-design (ASIC).
+     */
+    Area coreArea;
+    Freq clock;           ///< zero when design-dependent (FPGA/ASIC)
+    std::string voltage;  ///< operating voltage range
+    std::string memory;   ///< platform memory configuration
+    Bandwidth memBw;      ///< peak off-chip memory bandwidth
+    int coreCount;        ///< CPU cores (CPU only; 0 otherwise)
+};
+
+/** Look up a Table 2 row. */
+const Device &deviceInfo(DeviceId id);
+
+/** Short display name ("GTX285"). */
+std::string deviceName(DeviceId id);
+
+/** Class display name ("GPU"). */
+std::string className(DeviceClass cls);
+
+/**
+ * Effective compute area of the Virtex-6 LX760 at the paper's LUT area
+ * model (0.00191 mm^2 per LUT including flip-flop/RAM/DSP/interconnect
+ * overhead). Consistent with Table 4: 204 GFLOP/s / 0.53 GFLOP/s/mm^2 =
+ * 385 mm^2 for a timing-limited full-fabric design.
+ */
+Area lx760EffectiveArea();
+
+/** The paper's per-LUT area estimate (mm^2). */
+constexpr double kAreaPerLutMm2 = 0.00191;
+
+} // namespace dev
+} // namespace hcm
+
+#endif // HCM_DEVICES_DEVICE_HH

@@ -1,0 +1,252 @@
+#include "measured.hh"
+
+#include <cmath>
+
+#include "devices/tech_node.hh"
+#include "util/logging.hh"
+
+namespace hcm {
+namespace dev {
+
+namespace {
+
+// Calibration constants of Section 5.1: one Core i7 core equals r = 2
+// BCEs (sized from an Intel Atom), and power_seq = perf^alpha with
+// alpha = 1.75 [Grochowski & Annavaram]. Used here only to *invert* the
+// published Table 5 into per-device FFT datapoints; the forward
+// derivation lives in core/calibration and is tested against Table 5.
+constexpr double kR = 2.0;
+constexpr double kAlpha = 1.75;
+
+// Core i7 FFT anchors (see measured.hh provenance note 2):
+// pseudo-GFLOP/s and core-only watts at N = 64 / 1024 / 16384.
+struct I7FftAnchor
+{
+    std::size_t n;
+    double perf;
+    double watts;
+};
+
+constexpr I7FftAnchor kI7Fft[] = {
+    {64, 45.0, 78.0},
+    {1024, 55.0, 85.0},
+    {16384, 48.0, 88.0},
+};
+
+// 40nm-normalized ASIC core areas per workload/size (mm^2). MMM and BS
+// are back-derived from Table 4; the FFT core areas are chosen in the
+// low-mm^2 range typical of Spiral-generated streaming FFT cores (larger
+// N needs deeper buffering and more butterfly stages on chip).
+double
+asicArea40(const wl::Workload &w)
+{
+    switch (w.kind()) {
+      case wl::Kind::MMM:
+        return 694.0 / 19.28;
+      case wl::Kind::BlackScholes:
+        return 25532.0 / 1719.0;
+      case wl::Kind::FFT:
+        switch (w.size()) {
+          case 64:
+            return 1.0;
+          case 1024:
+            return 2.0;
+          case 16384:
+            return 4.0;
+          default:
+            hcm_panic("no ASIC area anchor for FFT-", w.size());
+        }
+    }
+    hcm_panic("bad workload");
+}
+
+/** 40nm-normalized compute area of a non-ASIC device. */
+Area
+computeArea40(DeviceId id)
+{
+    if (id == DeviceId::Lx760)
+        return lx760EffectiveArea();
+    const Device &d = deviceInfo(id);
+    hcm_assert(d.coreArea.value() > 0.0, "device has no core area");
+    return normalizeAreaTo40(d.coreArea, d.nodeNm);
+}
+
+const I7FftAnchor &
+i7Anchor(std::size_t n)
+{
+    for (const I7FftAnchor &a : kI7Fft)
+        if (a.n == n)
+            return a;
+    hcm_panic("no Core i7 FFT anchor for N=", n);
+}
+
+} // namespace
+
+const std::vector<PublishedUCore> &
+publishedTable5()
+{
+    auto mmm = wl::Workload::mmm();
+    auto bs = wl::Workload::blackScholes();
+    auto f64 = wl::Workload::fft(64);
+    auto f1k = wl::Workload::fft(1024);
+    auto f16k = wl::Workload::fft(16384);
+
+    static const std::vector<PublishedUCore> table = {
+        // device, workload, phi, mu  — Table 5 of the paper.
+        {DeviceId::Gtx285, mmm, 0.74, 3.41},
+        {DeviceId::Gtx285, bs, 0.57, 17.0},
+        {DeviceId::Gtx285, f64, 0.59, 2.42},
+        {DeviceId::Gtx285, f1k, 0.63, 2.88},
+        {DeviceId::Gtx285, f16k, 0.89, 3.75},
+
+        {DeviceId::Gtx480, mmm, 0.77, 1.83},
+        {DeviceId::Gtx480, f64, 0.39, 1.56},
+        {DeviceId::Gtx480, f1k, 0.47, 2.20},
+        {DeviceId::Gtx480, f16k, 0.66, 2.83},
+
+        {DeviceId::R5870, mmm, 1.27, 8.47},
+
+        {DeviceId::Lx760, mmm, 0.31, 0.75},
+        {DeviceId::Lx760, bs, 0.26, 5.68},
+        {DeviceId::Lx760, f64, 0.29, 2.81},
+        {DeviceId::Lx760, f1k, 0.29, 2.02},
+        {DeviceId::Lx760, f16k, 0.37, 3.02},
+
+        {DeviceId::Asic, mmm, 0.79, 27.4},
+        {DeviceId::Asic, bs, 4.75, 482.0},
+        {DeviceId::Asic, f64, 5.34, 733.0},
+        {DeviceId::Asic, f1k, 4.96, 489.0},
+        {DeviceId::Asic, f16k, 6.38, 689.0},
+    };
+    return table;
+}
+
+std::optional<PublishedUCore>
+findPublished(DeviceId device, const wl::Workload &workload)
+{
+    for (const PublishedUCore &p : publishedTable5())
+        if (p.device == device && p.workload == workload)
+            return p;
+    return std::nullopt;
+}
+
+const std::vector<std::size_t> &
+table5FftSizes()
+{
+    static const std::vector<std::size_t> sizes = {64, 1024, 16384};
+    return sizes;
+}
+
+std::vector<wl::Workload>
+table5Workloads()
+{
+    std::vector<wl::Workload> out = {wl::Workload::mmm(),
+                                     wl::Workload::blackScholes()};
+    for (std::size_t n : table5FftSizes())
+        out.push_back(wl::Workload::fft(n));
+    return out;
+}
+
+MeasurementDb::MeasurementDb()
+{
+    auto mmm = wl::Workload::mmm();
+    auto bs = wl::Workload::blackScholes();
+
+    auto add = [&](DeviceId id, const wl::Workload &w, double perf,
+                   double area, double watts) {
+        _data.push_back(
+            Measurement{id, w, Perf(perf), Area(area), Power(watts)});
+    };
+
+    // --- Table 4, MMM (GFLOP/s; powers from the GFLOP/J column). ---
+    add(DeviceId::CoreI7, mmm, 96.0, computeArea40(DeviceId::CoreI7).value(),
+        96.0 / 1.14);
+    add(DeviceId::Gtx285, mmm, 425.0,
+        computeArea40(DeviceId::Gtx285).value(), 425.0 / 6.78);
+    add(DeviceId::Gtx480, mmm, 541.0,
+        computeArea40(DeviceId::Gtx480).value(), 541.0 / 3.52);
+    add(DeviceId::R5870, mmm, 1491.0,
+        computeArea40(DeviceId::R5870).value(), 1491.0 / 9.87);
+    add(DeviceId::Lx760, mmm, 204.0, lx760EffectiveArea().value(),
+        204.0 / 3.62);
+    add(DeviceId::Asic, mmm, 694.0, asicArea40(mmm), 694.0 / 50.73);
+
+    // --- Table 4, Black-Scholes (stored in Gopts/s = Mopts/s / 1000). ---
+    add(DeviceId::CoreI7, bs, 0.487, computeArea40(DeviceId::CoreI7).value(),
+        487.0 / 4.88);
+    add(DeviceId::Gtx285, bs, 10.756,
+        computeArea40(DeviceId::Gtx285).value(), 10756.0 / 189.0);
+    add(DeviceId::Lx760, bs, 7.800, lx760EffectiveArea().value(),
+        7800.0 / 138.0);
+    add(DeviceId::Asic, bs, 25.532, asicArea40(bs), 25532.0 / 642.5);
+
+    // --- Core i7 FFT anchors (provenance note 2). ---
+    double i7_area = computeArea40(DeviceId::CoreI7).value();
+    for (const I7FftAnchor &a : kI7Fft)
+        add(DeviceId::CoreI7, wl::Workload::fft(a.n), a.perf, i7_area,
+            a.watts);
+
+    // --- FFT entries synthesized from the published Table 5
+    //     (provenance note 3): invert the Section 5.1 formulas
+    //       mu  = x_u / (x_i7 * sqrt(r))
+    //       phi = mu * e_i7 / (r^((1-alpha)/2) * e_u)
+    //     for x_u (perf per mm^2) and e_u (perf per W). ---
+    for (const PublishedUCore &p : publishedTable5()) {
+        if (p.workload.kind() != wl::Kind::FFT)
+            continue;
+        const I7FftAnchor &a = i7Anchor(p.workload.size());
+        double x_i7 = a.perf / i7_area;
+        double e_i7 = a.perf / a.watts;
+
+        double x_u = p.mu * x_i7 * std::sqrt(kR);
+        double e_u = p.mu * e_i7 /
+                     (std::pow(kR, (1.0 - kAlpha) / 2.0) * p.phi);
+
+        double area = (p.device == DeviceId::Asic)
+                          ? asicArea40(p.workload)
+                          : computeArea40(p.device).value();
+        double perf = x_u * area;
+        add(p.device, p.workload, perf, area, perf / e_u);
+    }
+}
+
+const MeasurementDb &
+MeasurementDb::instance()
+{
+    static const MeasurementDb db;
+    return db;
+}
+
+std::optional<Measurement>
+MeasurementDb::find(DeviceId device, const wl::Workload &workload) const
+{
+    for (const Measurement &m : _data)
+        if (m.device == device && m.workload == workload)
+            return m;
+    return std::nullopt;
+}
+
+const Measurement &
+MeasurementDb::get(DeviceId device, const wl::Workload &workload) const
+{
+    for (const Measurement &m : _data)
+        if (m.device == device && m.workload == workload)
+            return m;
+    hcm_panic("no measurement for ", deviceName(device), " on ",
+              workload.name());
+}
+
+std::vector<Measurement>
+MeasurementDb::forWorkload(const wl::Workload &w) const
+{
+    std::vector<Measurement> out;
+    for (DeviceId id : allDevices()) {
+        auto m = find(id, w);
+        if (m)
+            out.push_back(*m);
+    }
+    return out;
+}
+
+} // namespace dev
+} // namespace hcm

@@ -1,0 +1,96 @@
+#include "power_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "devices/measured.hh"
+#include "devices/tech_node.hh"
+#include "util/logging.hh"
+#include "util/math.hh"
+
+namespace hcm {
+namespace dev {
+
+namespace {
+
+/** Uncore/unknown raw-watt parameters per device (see file header). */
+struct UncoreParams
+{
+    double leakFrac;      ///< leakage share of core power
+    double uncoreStatic;  ///< W, always-on non-compute blocks
+    double uncoreDynMax;  ///< W, memory controllers + PHY at full traffic
+    double unknown;       ///< W, unattributed residual
+};
+
+UncoreParams
+uncoreParams(DeviceId id)
+{
+    switch (id) {
+      case DeviceId::CoreI7:
+        return {0.15, 12.0, 8.0, 10.0};
+      case DeviceId::Gtx285:
+        return {0.20, 30.0, 35.0, 20.0};
+      case DeviceId::Gtx480:
+        return {0.25, 40.0, 45.0, 25.0};
+      case DeviceId::Lx760:
+        return {0.35, 6.0, 5.0, 4.0};
+      case DeviceId::Asic:
+        return {0.10, 0.5, 1.0, 0.3};
+      case DeviceId::R5870:
+        break;
+    }
+    hcm_panic("no FFT power model for device");
+}
+
+} // namespace
+
+FftPowerModel::FftPowerModel(DeviceId id) : _id(id), _bw(id)
+{
+    UncoreParams p = uncoreParams(id);
+    _leakFrac = p.leakFrac;
+    _uncoreStatic = Power(p.uncoreStatic);
+    _uncoreDynamicMax = Power(p.uncoreDynMax);
+    _unknown = Power(p.unknown);
+
+    const MeasurementDb &db = MeasurementDb::instance();
+    double w64 = db.get(id, wl::Workload::fft(64)).power40.value();
+    double w1k = db.get(id, wl::Workload::fft(1024)).power40.value();
+    double w16k = db.get(id, wl::Workload::fft(16384)).power40.value();
+    // Activity grows slightly at the large end (out-of-core data motion
+    // keeps more of the datapath busy); flat at the small end.
+    _log2n = {4.0, 6.0, 10.0, 14.0, 20.0};
+    _watts40 = {w64, w64, w1k, w16k, w16k * 1.05};
+}
+
+Power
+FftPowerModel::corePower40At(std::size_t n) const
+{
+    hcm_assert(isPow2(n) && n >= 2, "FFT size must be a power of two");
+    double l = static_cast<double>(ilog2(n));
+    return Power(interpLinear(_log2n, _watts40, l));
+}
+
+PowerBreakdown
+FftPowerModel::breakdownAt(std::size_t n) const
+{
+    double node = deviceInfo(_id).nodeNm;
+    Power core_raw = denormalizePowerFrom40(corePower40At(n), node);
+
+    PowerBreakdown b;
+    b.coreLeakage = core_raw * _leakFrac;
+    b.coreDynamic = core_raw - b.coreLeakage;
+    b.uncoreStatic = _uncoreStatic;
+    b.unknown = _unknown;
+
+    // Memory-controller power scales with achieved off-chip traffic,
+    // saturating at the device's peak bandwidth (or 100 GB/s when the
+    // peak is design-dependent).
+    Bandwidth peak = deviceInfo(_id).memBw;
+    double denom = peak.value() > 0.0 ? peak.value() : 100.0;
+    double frac = clamp(_bw.measuredAt(n).value() / denom, 0.0, 1.0);
+    b.uncoreDynamic = _uncoreDynamicMax * frac;
+    return b;
+}
+
+} // namespace dev
+} // namespace hcm

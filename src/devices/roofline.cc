@@ -1,0 +1,49 @@
+#include "roofline.hh"
+
+#include <algorithm>
+
+#include "devices/measured.hh"
+#include "util/logging.hh"
+
+namespace hcm {
+namespace dev {
+
+Roofline::Roofline(Perf peak_perf, Bandwidth peak_bw)
+    : _peakPerf(peak_perf), _peakBw(peak_bw)
+{
+    hcm_assert(peak_perf.value() > 0.0, "peak perf must be positive");
+    hcm_assert(peak_bw.value() > 0.0, "peak bandwidth must be positive");
+}
+
+Roofline
+Roofline::forDevice(DeviceId id, const wl::Workload &w)
+{
+    const Device &dev = deviceInfo(id);
+    hcm_assert(dev.memBw.value() > 0.0, deviceName(id),
+               " has no published memory bandwidth");
+    const Measurement &m = MeasurementDb::instance().get(id, w);
+    return Roofline(m.perf, dev.memBw);
+}
+
+Perf
+Roofline::attainable(double intensity) const
+{
+    hcm_assert(intensity > 0.0, "intensity must be positive");
+    return Perf(std::min(_peakPerf.value(),
+                         _peakBw.value() * intensity));
+}
+
+double
+Roofline::ridgeIntensity() const
+{
+    return _peakPerf.value() / _peakBw.value();
+}
+
+bool
+Roofline::computeBound(double intensity) const
+{
+    return intensity >= ridgeIntensity();
+}
+
+} // namespace dev
+} // namespace hcm

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Roofline analysis: attainable performance = min(peak compute,
+ * peak bandwidth x arithmetic intensity). Section 5 verifies each
+ * measurement is compute-bound before calibrating from it (Figure 4's
+ * GTX285 check); this module packages that test as a first-class tool
+ * and generates the classic roofline curves per device.
+ */
+
+#ifndef HCM_DEVICES_ROOFLINE_HH
+#define HCM_DEVICES_ROOFLINE_HH
+
+#include <string>
+#include <vector>
+
+#include "devices/device.hh"
+#include "util/units.hh"
+#include "workloads/workload.hh"
+
+namespace hcm {
+namespace dev {
+
+/** A device's roofline: compute ceiling + memory slope. */
+class Roofline
+{
+  public:
+    /**
+     * @param peak_perf compute ceiling (Gops/s in the workload's op).
+     * @param peak_bw memory ceiling (GB/s).
+     */
+    Roofline(Perf peak_perf, Bandwidth peak_bw);
+
+    /**
+     * Roofline for @p id on @p w: compute ceiling from the measurement
+     * database (the device's best sustained rate stands in for peak —
+     * conservative, and exactly what the model's linearity assumes),
+     * memory ceiling from Table 2. Panics when the device has no
+     * measurement for w or no published bandwidth.
+     */
+    static Roofline forDevice(DeviceId id, const wl::Workload &w);
+
+    Perf peakPerf() const { return _peakPerf; }
+    Bandwidth peakBandwidth() const { return _peakBw; }
+
+    /** Attainable throughput at @p intensity ops/byte. */
+    Perf attainable(double intensity) const;
+
+    /** Attainable throughput for a workload's compulsory intensity. */
+    Perf attainable(const wl::Workload &w) const
+    { return attainable(w.intensity()); }
+
+    /**
+     * The ridge point: the intensity (ops/byte) above which the device
+     * is compute-bound.
+     */
+    double ridgeIntensity() const;
+
+    /** True when @p intensity lands on the compute ceiling. */
+    bool computeBound(double intensity) const;
+
+    /** True for a workload's compulsory intensity. */
+    bool computeBound(const wl::Workload &w) const
+    { return computeBound(w.intensity()); }
+
+  private:
+    Perf _peakPerf;
+    Bandwidth _peakBw;
+};
+
+} // namespace dev
+} // namespace hcm
+
+#endif // HCM_DEVICES_ROOFLINE_HH

@@ -1,0 +1,47 @@
+#include "tech_node.hh"
+
+#include "util/logging.hh"
+
+namespace hcm {
+namespace dev {
+
+double
+idealAreaScale(double from_nm, double to_nm)
+{
+    hcm_assert(from_nm > 0.0 && to_nm > 0.0, "node sizes must be positive");
+    double lin = to_nm / from_nm;
+    return lin * lin;
+}
+
+double
+areaScaleTo40(double from_nm)
+{
+    hcm_assert(from_nm > 0.0, "node size must be positive");
+    if (from_nm <= 45.0)
+        return 1.0;
+    return idealAreaScale(from_nm, kReferenceNodeNm);
+}
+
+Area
+normalizeAreaTo40(Area area, double from_nm)
+{
+    return area * areaScaleTo40(from_nm);
+}
+
+double
+powerScaleTo40(double from_nm)
+{
+    hcm_assert(from_nm > 0.0, "node size must be positive");
+    if (from_nm <= 45.0)
+        return 1.0;
+    return kReferenceNodeNm / from_nm;
+}
+
+Power
+denormalizePowerFrom40(Power normalized, double from_nm)
+{
+    return normalized / powerScaleTo40(from_nm);
+}
+
+} // namespace dev
+} // namespace hcm

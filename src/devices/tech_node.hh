@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Process-technology node handling and the paper's normalization
+ * convention. Section 5 normalizes all per-device results "to die area in
+ * 40nm/45nm": devices already at 40 or 45nm are taken as-is, while older
+ * nodes (55nm GPUs, 65nm ASIC library) are scaled by the ideal-shrink area
+ * factor (40/node)^2. The same convention reproduces the paper's Table 4
+ * area-normalized columns exactly (e.g. GTX285 MMM: 338 mm^2 at 55nm ->
+ * 178.8 mm^2, and 425 GFLOP/s / 178.8 mm^2 = 2.40 GFLOP/s/mm^2).
+ */
+
+#ifndef HCM_DEVICES_TECH_NODE_HH
+#define HCM_DEVICES_TECH_NODE_HH
+
+#include "util/units.hh"
+
+namespace hcm {
+namespace dev {
+
+/** Reference node for all normalized comparisons (nm). */
+constexpr double kReferenceNodeNm = 40.0;
+
+/**
+ * Area scale factor from @p from_nm to @p to_nm under ideal shrink
+ * ((to/from)^2); no 40/45 equivalence applied.
+ */
+double idealAreaScale(double from_nm, double to_nm);
+
+/**
+ * Area scale factor to the paper's 40nm reference, with the paper's
+ * convention that 40nm and 45nm are treated as the same generation
+ * (factor 1 for nodes <= 45nm).
+ */
+double areaScaleTo40(double from_nm);
+
+/** Normalize @p area from @p from_nm to the 40nm reference. */
+Area normalizeAreaTo40(Area area, double from_nm);
+
+/**
+ * Power scale factor to 40nm: roughly linear in feature size (capacitance
+ * per unit function shrinks ~linearly while Vdd moves slowly at these
+ * nodes), with the same <= 45nm equivalence. Used only when converting the
+ * normalized powers stored in the measurement DB back to the raw,
+ * non-normalized watts plotted in Figure 3.
+ */
+double powerScaleTo40(double from_nm);
+
+/** Convert a 40nm-normalized power to the raw power at @p from_nm. */
+Power denormalizePowerFrom40(Power normalized, double from_nm);
+
+} // namespace dev
+} // namespace hcm
+
+#endif // HCM_DEVICES_TECH_NODE_HH

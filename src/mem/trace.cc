@@ -1,0 +1,109 @@
+#include "trace.hh"
+
+#include "util/logging.hh"
+#include "util/math.hh"
+
+namespace hcm {
+namespace mem {
+
+namespace {
+
+constexpr std::size_t kComplexBytes = 8; // single-precision complex
+constexpr std::size_t kFloatBytes = 4;
+
+} // namespace
+
+void
+fftTrace(std::size_t n, const AccessSink &sink)
+{
+    hcm_assert(isPow2(n) && n >= 2, "FFT size must be a power of two");
+    // Buffer X at 0, buffer Y after it.
+    Addr base_x = 0;
+    Addr base_y = static_cast<Addr>(n) * kComplexBytes;
+
+    std::size_t l = n;
+    std::size_t m = 1;
+    bool x_is_src = true;
+    while (l > 1) {
+        std::size_t lh = l / 2;
+        Addr src = x_is_src ? base_x : base_y;
+        Addr dst = x_is_src ? base_y : base_x;
+        for (std::size_t j = 0; j < lh; ++j) {
+            for (std::size_t k = 0; k < m; ++k) {
+                Addr a = src + (j * m + k) * kComplexBytes;
+                Addr b = src + ((j + lh) * m + k) * kComplexBytes;
+                Addr ya = dst + ((2 * j) * m + k) * kComplexBytes;
+                Addr yb = dst + ((2 * j + 1) * m + k) * kComplexBytes;
+                sink({a, kComplexBytes, false});
+                sink({b, kComplexBytes, false});
+                sink({ya, kComplexBytes, true});
+                sink({yb, kComplexBytes, true});
+            }
+        }
+        x_is_src = !x_is_src;
+        l = lh;
+        m <<= 1;
+    }
+}
+
+void
+mmmTrace(std::size_t n, std::size_t block, const AccessSink &sink)
+{
+    hcm_assert(n >= 1 && block >= 1, "bad MMM trace parameters");
+    Addr matrix_bytes = static_cast<Addr>(n) * n * kFloatBytes;
+    Addr base_a = 0;
+    Addr base_b = matrix_bytes;
+    Addr base_c = 2 * matrix_bytes;
+
+    auto elem = [&](Addr base, std::size_t row, std::size_t col) {
+        return base + (static_cast<Addr>(row) * n + col) * kFloatBytes;
+    };
+
+    for (std::size_t i0 = 0; i0 < n; i0 += block) {
+        std::size_t i1 = std::min(n, i0 + block);
+        for (std::size_t p0 = 0; p0 < n; p0 += block) {
+            std::size_t p1 = std::min(n, p0 + block);
+            for (std::size_t j0 = 0; j0 < n; j0 += block) {
+                std::size_t j1 = std::min(n, j0 + block);
+                for (std::size_t i = i0; i < i1; ++i) {
+                    for (std::size_t p = p0; p < p1; ++p) {
+                        sink({elem(base_a, i, p), kFloatBytes, false});
+                        for (std::size_t j = j0; j < j1; ++j) {
+                            sink({elem(base_b, p, j), kFloatBytes,
+                                  false});
+                            sink({elem(base_c, i, j), kFloatBytes,
+                                  false});
+                            sink({elem(base_c, i, j), kFloatBytes,
+                                  true});
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+bsTrace(std::size_t count, const AccessSink &sink)
+{
+    constexpr std::size_t kRecordBytes = 20; // 5 floats per option
+    Addr base_in = 0;
+    Addr base_out = static_cast<Addr>(count) * kRecordBytes;
+    for (std::size_t i = 0; i < count; ++i) {
+        sink({base_in + i * kRecordBytes, kRecordBytes, false});
+        sink({base_out + i * kFloatBytes, kFloatBytes, true});
+    }
+}
+
+std::uint64_t
+replay(Cache &cache,
+       const std::function<void(const AccessSink &)> &trace)
+{
+    trace([&cache](const Access &a) {
+        cache.access(a.addr, a.bytes, a.write);
+    });
+    return cache.stats().trafficBytes(cache.config().lineBytes);
+}
+
+} // namespace mem
+} // namespace hcm

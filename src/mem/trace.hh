@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Address-trace generators mirroring the three kernels' memory access
+ * patterns. Traces are streamed into a callback (no giant in-memory
+ * vectors) so multi-megabyte working sets stay cheap to replay.
+ *
+ * Layouts (byte addresses in a flat space):
+ *   FFT:  two ping-pong complex buffers of 8 N bytes each (Stockham).
+ *   MMM:  row-major A, B, C of 4 N^2 bytes each.
+ *   BS:   a 20-byte option record stream in, 4-byte results out (the
+ *         paper's 10 compulsory bytes/option counts only the
+ *         non-reusable market inputs; the trace carries the full
+ *         record the kernel actually touches).
+ */
+
+#ifndef HCM_MEM_TRACE_HH
+#define HCM_MEM_TRACE_HH
+
+#include <cstddef>
+#include <functional>
+
+#include "mem/cache.hh"
+
+namespace hcm {
+namespace mem {
+
+/** One traced access. */
+struct Access
+{
+    Addr addr = 0;
+    std::size_t bytes = 4;
+    bool write = false;
+};
+
+/** Trace consumer. */
+using AccessSink = std::function<void(const Access &)>;
+
+/**
+ * Stockham radix-2 FFT trace for an N-point single-precision complex
+ * transform: log2 N passes, each reading the source buffer's two
+ * halves and writing the destination interleaved.
+ */
+void fftTrace(std::size_t n, const AccessSink &sink);
+
+/**
+ * Blocked MMM trace (C = A * B, N x N floats, square tiles of
+ * @p block): the ikj micro-kernel's reads of A and B and
+ * read-modify-writes of C.
+ */
+void mmmTrace(std::size_t n, std::size_t block, const AccessSink &sink);
+
+/** Black-Scholes trace: stream @p count option records, write prices. */
+void bsTrace(std::size_t count, const AccessSink &sink);
+
+/** Replay a trace into a cache; returns bytes of off-chip traffic. */
+std::uint64_t replay(Cache &cache,
+                     const std::function<void(const AccessSink &)> &trace);
+
+} // namespace mem
+} // namespace hcm
+
+#endif // HCM_MEM_TRACE_HH

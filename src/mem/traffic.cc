@@ -1,0 +1,73 @@
+#include "traffic.hh"
+
+#include "util/logging.hh"
+#include "workloads/mmm.hh"
+
+namespace hcm {
+namespace mem {
+
+namespace {
+
+constexpr std::size_t kBsBatch = 65536;
+
+} // namespace
+
+double
+workingSetBytes(const wl::Workload &workload)
+{
+    switch (workload.kind()) {
+      case wl::Kind::FFT:
+        // Two ping-pong complex buffers.
+        return 2.0 * 8.0 * static_cast<double>(workload.size());
+      case wl::Kind::MMM: {
+        double n = 4.0 * static_cast<double>(workload.size());
+        return 3.0 * 4.0 * n * n;
+      }
+      case wl::Kind::BlackScholes:
+        return (20.0 + 4.0) * static_cast<double>(kBsBatch);
+    }
+    hcm_panic("bad workload");
+}
+
+TrafficResult
+measureTraffic(const wl::Workload &workload, const CacheConfig &config)
+{
+    Cache cache(config);
+    TrafficResult result;
+
+    switch (workload.kind()) {
+      case wl::Kind::FFT: {
+        std::size_t n = workload.size();
+        result.trafficBytes = replay(cache, [n](const AccessSink &sink) {
+            fftTrace(n, sink);
+        });
+        result.compulsoryBytes = workload.bytesPerInvocation();
+        break;
+      }
+      case wl::Kind::MMM: {
+        std::size_t block = workload.size();
+        std::size_t n = 4 * block;
+        result.trafficBytes = replay(
+            cache, [n, block](const AccessSink &sink) {
+                mmmTrace(n, block, sink);
+            });
+        // Compulsory for the whole N x N multiply at this blocking:
+        // bytes/flop from the footnote times the flops performed.
+        result.compulsoryBytes =
+            workload.bytesPerOp() * wl::gemmFlops(n, n, n);
+        break;
+      }
+      case wl::Kind::BlackScholes:
+        result.trafficBytes = replay(cache, [](const AccessSink &sink) {
+            bsTrace(kBsBatch, sink);
+        });
+        result.compulsoryBytes =
+            workload.bytesPerOp() * static_cast<double>(kBsBatch);
+        break;
+    }
+    result.stats = cache.stats();
+    return result;
+}
+
+} // namespace mem
+} // namespace hcm

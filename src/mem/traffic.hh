@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Traffic analysis tying the cache model back to the paper: for a
+ * kernel and an on-chip capacity, how much off-chip traffic moves
+ * relative to the compulsory minimum? Section 3.2's bounds assume a
+ * multiplier of 1 while the working set fits; Figure 4 shows it rise
+ * once it spills (the GTX285's out-of-core FFTs). These helpers measure
+ * the real multiplier from trace replay.
+ */
+
+#ifndef HCM_MEM_TRAFFIC_HH
+#define HCM_MEM_TRAFFIC_HH
+
+#include "mem/cache.hh"
+#include "mem/trace.hh"
+#include "workloads/workload.hh"
+
+namespace hcm {
+namespace mem {
+
+/** Result of one traffic measurement. */
+struct TrafficResult
+{
+    std::uint64_t trafficBytes = 0;   ///< measured off-chip bytes
+    double compulsoryBytes = 0.0;     ///< the paper's compulsory bytes
+    CacheStats stats;
+
+    /** Measured / compulsory (>= ~1 up to line-granularity effects). */
+    double
+    multiplier() const
+    {
+        return compulsoryBytes > 0.0
+                   ? static_cast<double>(trafficBytes) / compulsoryBytes
+                   : 0.0;
+    }
+};
+
+/**
+ * Replay @p workload's access trace through a cache of @p config and
+ * compare against the compulsory bytes of the paper's footnotes.
+ * For FFT the workload size selects N; MMM uses its block size with a
+ * fixed N = 4 * block matrix (enough tiles to expose reuse); BS streams
+ * 65536 options.
+ */
+TrafficResult measureTraffic(const wl::Workload &workload,
+                             const CacheConfig &config);
+
+/**
+ * The working set of @p workload in bytes (both FFT ping-pong buffers;
+ * all three MMM matrices; one BS record batch).
+ */
+double workingSetBytes(const wl::Workload &workload);
+
+} // namespace mem
+} // namespace hcm
+
+#endif // HCM_MEM_TRAFFIC_HH

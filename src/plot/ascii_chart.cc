@@ -1,0 +1,208 @@
+#include "ascii_chart.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/format.hh"
+#include "util/logging.hh"
+#include "util/math.hh"
+
+namespace hcm {
+namespace plot {
+
+namespace {
+
+constexpr const char *kGlyphs = "*o+x#@%&$~^=";
+
+/** Transform a coordinate for the axis scale. */
+double
+scaleCoord(double v, bool log)
+{
+    if (!log)
+        return v;
+    hcm_assert(v > 0.0, "log-scale coordinate must be positive, got ", v);
+    return std::log10(v);
+}
+
+} // namespace
+
+char
+seriesGlyph(std::size_t index)
+{
+    return kGlyphs[index % 12];
+}
+
+AsciiChart::AsciiChart(std::string title, Axis x_axis, Axis y_axis,
+                       ChartOptions opts)
+    : _title(std::move(title)), _x(std::move(x_axis)), _y(std::move(y_axis)),
+      _opts(opts)
+{
+    hcm_assert(_opts.width >= 16 && _opts.height >= 4,
+               "chart dimensions too small");
+}
+
+void
+AsciiChart::add(const Series &series)
+{
+    _series.push_back(series);
+}
+
+double
+AsciiChart::toXFrac(double x, double lo, double hi) const
+{
+    double sx = scaleCoord(x, _x.log);
+    double slo = scaleCoord(lo, _x.log);
+    double shi = scaleCoord(hi, _x.log);
+    if (shi == slo)
+        return 0.5;
+    return (sx - slo) / (shi - slo);
+}
+
+double
+AsciiChart::toYFrac(double y, double lo, double hi) const
+{
+    double sy = scaleCoord(y, _y.log);
+    double slo = scaleCoord(lo, _y.log);
+    double shi = scaleCoord(hi, _y.log);
+    if (shi == slo)
+        return 0.5;
+    return (sy - slo) / (shi - slo);
+}
+
+std::string
+AsciiChart::render() const
+{
+    // Data bounds.
+    bool any = false;
+    double xlo = 0, xhi = 1, ylo = 0, yhi = 1;
+    for (const Series &s : _series) {
+        for (const Point &p : s.points) {
+            if (_y.log && p.y <= 0.0)
+                continue;
+            if (!any) {
+                xlo = xhi = p.x;
+                ylo = yhi = p.y;
+                any = true;
+            } else {
+                xlo = std::min(xlo, p.x);
+                xhi = std::max(xhi, p.x);
+                ylo = std::min(ylo, p.y);
+                yhi = std::max(yhi, p.y);
+            }
+        }
+    }
+    if (!any)
+        return _title + "\n  (no data)\n";
+    if (!_y.log && _opts.yFromZero)
+        ylo = std::min(ylo, 0.0);
+    if (yhi == ylo)
+        yhi = ylo + 1.0;
+    if (xhi == xlo)
+        xhi = xlo + 1.0;
+
+    int w = _opts.width;
+    int h = _opts.height;
+    std::vector<std::string> grid(h, std::string(w, ' '));
+
+    auto plotCell = [&](double fx, double fy, char g) {
+        int cx = static_cast<int>(std::lround(fx * (w - 1)));
+        int cy = static_cast<int>(std::lround(fy * (h - 1)));
+        if (cx < 0 || cx >= w || cy < 0 || cy >= h)
+            return;
+        grid[h - 1 - cy][cx] = g;
+    };
+
+    for (std::size_t si = 0; si < _series.size(); ++si) {
+        const Series &s = _series[si];
+        char g = seriesGlyph(si);
+        // Draw segments with linear interpolation in screen space.
+        for (std::size_t i = 0; i + 1 < s.points.size(); ++i) {
+            const Point &a = s.points[i];
+            const Point &b = s.points[i + 1];
+            if (_y.log && (a.y <= 0.0 || b.y <= 0.0))
+                continue;
+            double fx0 = toXFrac(a.x, xlo, xhi);
+            double fy0 = toYFrac(a.y, ylo, yhi);
+            double fx1 = toXFrac(b.x, xlo, xhi);
+            double fy1 = toYFrac(b.y, ylo, yhi);
+            int steps = std::max(2, static_cast<int>(
+                std::fabs(fx1 - fx0) * w + std::fabs(fy1 - fy0) * h) + 1);
+            for (int k = 0; k <= steps; ++k) {
+                if (a.style == LineStyle::Dashed && (k % 4) >= 2)
+                    continue;
+                if (a.style == LineStyle::Points && k != 0 && k != steps)
+                    continue;
+                double t = static_cast<double>(k) / steps;
+                plotCell(fx0 + t * (fx1 - fx0), fy0 + t * (fy1 - fy0), g);
+            }
+        }
+        // Always mark the data points themselves.
+        for (const Point &p : s.points) {
+            if (_y.log && p.y <= 0.0)
+                continue;
+            plotCell(toXFrac(p.x, xlo, xhi), toYFrac(p.y, ylo, yhi), g);
+        }
+    }
+
+    // Assemble with y-axis labels.
+    std::ostringstream oss;
+    if (!_title.empty())
+        oss << _title << "\n";
+    int gutter = 10;
+    for (int row = 0; row < h; ++row) {
+        std::string label;
+        if (row == 0 || row == h - 1 || row == h / 2) {
+            double fy = static_cast<double>(h - 1 - row) / (h - 1);
+            double v;
+            if (_y.log) {
+                double slo = std::log10(ylo), shi = std::log10(yhi);
+                v = std::pow(10.0, slo + fy * (shi - slo));
+            } else {
+                v = ylo + fy * (yhi - ylo);
+            }
+            label = fmtSig(v, 3);
+        }
+        oss << padLeft(label, gutter) << " |" << grid[row] << "\n";
+    }
+    oss << padLeft("", gutter) << " +" << repeat("-", w) << "\n";
+
+    // X tick labels: ends and middle, or categorical labels.
+    std::string xrow(w, ' ');
+    auto place = [&](double frac, const std::string &text) {
+        int pos = static_cast<int>(frac * (w - 1)) -
+                  static_cast<int>(text.size()) / 2;
+        pos = std::max(0, std::min(pos, w - static_cast<int>(text.size())));
+        for (std::size_t i = 0; i < text.size(); ++i)
+            xrow[pos + i] = text[i];
+    };
+    if (!_x.categories.empty()) {
+        std::size_t ncat = _x.categories.size();
+        for (std::size_t i = 0; i < ncat; ++i) {
+            double frac = toXFrac(static_cast<double>(i), xlo, xhi);
+            if (frac >= -1e-9 && frac <= 1.0 + 1e-9)
+                place(clamp(frac, 0.0, 1.0), _x.categories[i]);
+        }
+    } else {
+        place(0.0, fmtSig(xlo, 3));
+        place(0.5, _x.log ? fmtSig(std::sqrt(xlo * xhi), 3)
+                          : fmtSig(0.5 * (xlo + xhi), 3));
+        place(1.0, fmtSig(xhi, 3));
+    }
+    oss << padLeft("", gutter) << "  " << xrow << "\n";
+    if (!_x.label.empty() || !_y.label.empty()) {
+        oss << padLeft("", gutter) << "  x: " << _x.label
+            << (_x.log ? " (log)" : "") << "   y: " << _y.label
+            << (_y.log ? " (log)" : "") << "\n";
+    }
+    if (_opts.legend) {
+        oss << padLeft("", gutter) << "  legend:";
+        for (std::size_t si = 0; si < _series.size(); ++si)
+            oss << "  " << seriesGlyph(si) << "=" << _series[si].name;
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace plot
+} // namespace hcm

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Terminal line-chart renderer. The paper's figures are regenerated as
+ * ASCII charts in the bench binaries (plus CSV/gnuplot files for real
+ * plotting); this keeps the reproduction self-contained on a headless box.
+ */
+
+#ifndef HCM_PLOT_ASCII_CHART_HH
+#define HCM_PLOT_ASCII_CHART_HH
+
+#include <string>
+#include <vector>
+
+#include "plot/series.hh"
+
+namespace hcm {
+namespace plot {
+
+/** Rendering options for AsciiChart. */
+struct ChartOptions
+{
+    /** Plot-area width in character cells (excluding axis gutter). */
+    int width = 72;
+    /** Plot-area height in character rows. */
+    int height = 20;
+    /** Include a legend mapping glyphs to series names. */
+    bool legend = true;
+    /** Force y axis to start at zero on linear scales. */
+    bool yFromZero = true;
+};
+
+/**
+ * Renders one or more series into a character grid with labeled axes.
+ * Series are drawn with distinct glyphs; per-segment dashed styling is
+ * approximated by drawing every other interpolated cell.
+ */
+class AsciiChart
+{
+  public:
+    AsciiChart(std::string title, Axis x_axis, Axis y_axis,
+               ChartOptions opts = {});
+
+    /** Add a series to the chart. */
+    void add(const Series &series);
+
+    /** Render to a multi-line string. */
+    std::string render() const;
+
+  private:
+    double toXFrac(double x, double lo, double hi) const;
+    double toYFrac(double y, double lo, double hi) const;
+
+    std::string _title;
+    Axis _x;
+    Axis _y;
+    ChartOptions _opts;
+    std::vector<Series> _series;
+};
+
+/** Glyph assigned to the @p index-th series of a chart. */
+char seriesGlyph(std::size_t index);
+
+} // namespace plot
+} // namespace hcm
+
+#endif // HCM_PLOT_ASCII_CHART_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Gnuplot script + data-file emitter. Each figure bench writes a .dat file
+ * (one block per series) and a .gp script so the paper's figures can be
+ * regenerated as real plots off-box.
+ */
+
+#ifndef HCM_PLOT_GNUPLOT_HH
+#define HCM_PLOT_GNUPLOT_HH
+
+#include <string>
+#include <vector>
+
+#include "plot/series.hh"
+
+namespace hcm {
+namespace plot {
+
+/** Options for a gnuplot chart. */
+struct GnuplotOptions
+{
+    std::string terminal = "pngcairo size 900,600";
+    /** Output image filename referenced from the script. */
+    std::string output;
+};
+
+/**
+ * Writes a single chart as <stem>.dat + <stem>.gp under an output
+ * directory.
+ */
+class GnuplotWriter
+{
+  public:
+    /**
+     * @param out_dir directory for emitted files (created by caller or
+     *        pre-existing; fatal() when unwritable).
+     * @param stem filename stem for the .dat/.gp/.png trio.
+     */
+    GnuplotWriter(std::string out_dir, std::string stem);
+
+    /**
+     * Emit files for @p series against the given axes.
+     * @return the path of the generated script.
+     */
+    std::string write(const std::string &title, const Axis &x, const Axis &y,
+                      const std::vector<Series> &series,
+                      GnuplotOptions opts = {});
+
+  private:
+    std::string _dir;
+    std::string _stem;
+};
+
+/** Create directory @p path (and parents); fatal() on failure. */
+void ensureDirectory(const std::string &path);
+
+} // namespace plot
+} // namespace hcm
+
+#endif // HCM_PLOT_GNUPLOT_HH

@@ -1,0 +1,51 @@
+#include "series.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace hcm {
+namespace plot {
+
+std::vector<double>
+Series::xs() const
+{
+    std::vector<double> out;
+    out.reserve(points.size());
+    for (const Point &p : points)
+        out.push_back(p.x);
+    return out;
+}
+
+std::vector<double>
+Series::ys() const
+{
+    std::vector<double> out;
+    out.reserve(points.size());
+    for (const Point &p : points)
+        out.push_back(p.y);
+    return out;
+}
+
+double
+Series::minY() const
+{
+    hcm_assert(!points.empty(), "minY of empty series '", name, "'");
+    double m = points.front().y;
+    for (const Point &p : points)
+        m = std::min(m, p.y);
+    return m;
+}
+
+double
+Series::maxY() const
+{
+    hcm_assert(!points.empty(), "maxY of empty series '", name, "'");
+    double m = points.front().y;
+    for (const Point &p : points)
+        m = std::max(m, p.y);
+    return m;
+}
+
+} // namespace plot
+} // namespace hcm

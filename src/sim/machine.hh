@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Machine descriptions for the chip simulator: a sequential core plus a
+ * pool of identical parallel tiles, with an off-chip bandwidth capacity
+ * in the analytical model's units (one BCE of delivered performance
+ * consumes one unit of traffic; a tile at relative performance mu
+ * consumes mu).
+ */
+
+#ifndef HCM_SIM_MACHINE_HH
+#define HCM_SIM_MACHINE_HH
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "core/optimizer.hh"
+
+namespace hcm {
+namespace sim {
+
+/** A simulated chip. */
+struct Machine
+{
+    std::string name = "machine";
+    /** Sequential-core performance (BCE units, sqrt(r) under Pollack). */
+    double serialPerf = 1.0;
+    /** Sequential-core active power (BCE units, r^(alpha/2)). */
+    double serialPower = 1.0;
+    /** Number of parallel tiles. */
+    std::size_t tiles = 1;
+    /** Per-tile performance (mu for U-cores, 1 for BCEs,
+     *  sqrt(r) for symmetric cores). */
+    double tilePerf = 1.0;
+    /** Per-tile active power (phi for U-cores). */
+    double tilePower = 1.0;
+    /** Off-chip bandwidth capacity in BCE-traffic units. */
+    double bandwidth = std::numeric_limits<double>::infinity();
+
+    /** Validate the configuration; panics on nonsense. */
+    void check() const;
+
+    /** Aggregate unthrottled parallel throughput (tiles * tilePerf). */
+    double peakParallelPerf() const
+    { return static_cast<double>(tiles) * tilePerf; }
+
+    /** Parallel throughput after the bandwidth cap. */
+    double
+    effectiveParallelPerf() const
+    {
+        return std::min(peakParallelPerf(), bandwidth);
+    }
+
+    /**
+     * Build the simulated machine corresponding to an analytical design
+     * point of @p org under @p budget: tile counts are the design's
+     * parallel resources rounded down to whole tiles (the analytical
+     * model treats them as continuous — the rounding error is part of
+     * what the simulator quantifies).
+     */
+    static Machine fromDesign(const core::Organization &org,
+                              const core::DesignPoint &design,
+                              const core::Budget &budget,
+                              double alpha = model::kDefaultAlpha);
+};
+
+} // namespace sim
+} // namespace hcm
+
+#endif // HCM_SIM_MACHINE_HH

@@ -1,0 +1,106 @@
+#include "csv.hh"
+
+#include <sstream>
+
+#include "format.hh"
+#include "logging.hh"
+
+namespace hcm {
+
+CsvWriter::CsvWriter(const std::string &path) : _out(path)
+{
+    if (!_out)
+        hcm_fatal("cannot open '", path, "' for writing");
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            _out << ",";
+        _out << escape(cells[i]);
+    }
+    _out << "\n";
+    ++_rows;
+}
+
+void
+CsvWriter::writeNumericRow(const std::vector<double> &cells)
+{
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (double v : cells) {
+        std::ostringstream oss;
+        oss.precision(17);
+        oss << v;
+        text.push_back(oss.str());
+    }
+    writeRow(text);
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    bool needs_quote = cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quote)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+std::vector<std::string>
+parseCsvLine(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cur;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    cur += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cur += c;
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            cells.push_back(cur);
+            cur.clear();
+        } else if (c == '\r') {
+            // Tolerate CRLF input.
+        } else {
+            cur += c;
+        }
+    }
+    cells.push_back(cur);
+    return cells;
+}
+
+std::vector<std::vector<std::string>>
+readCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        hcm_fatal("cannot open '", path, "' for reading");
+    std::vector<std::vector<std::string>> rows;
+    std::string line;
+    while (std::getline(in, line))
+        rows.push_back(parseCsvLine(line));
+    return rows;
+}
+
+} // namespace hcm

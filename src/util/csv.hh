@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal CSV reading/writing (RFC-4180-style quoting) used by the bench
+ * harness to dump figure data for external plotting.
+ */
+
+#ifndef HCM_UTIL_CSV_HH
+#define HCM_UTIL_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hcm {
+
+/**
+ * Streaming CSV writer. Cells containing commas, quotes, or newlines are
+ * quoted; embedded quotes are doubled.
+ */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write a row of string cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Write a row of numeric cells with full precision. */
+    void writeNumericRow(const std::vector<double> &cells);
+
+    /** Number of rows written so far. */
+    std::size_t rowCount() const { return _rows; }
+
+    /** Escape a single cell per CSV quoting rules. */
+    static std::string escape(const std::string &cell);
+
+  private:
+    std::ofstream _out;
+    std::size_t _rows = 0;
+};
+
+/** Parse one CSV line into unescaped cells. */
+std::vector<std::string> parseCsvLine(const std::string &line);
+
+/** Read a whole CSV file into rows of cells; fatal() on open failure. */
+std::vector<std::vector<std::string>> readCsv(const std::string &path);
+
+} // namespace hcm
+
+#endif // HCM_UTIL_CSV_HH

@@ -1,0 +1,181 @@
+#include "json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace hcm {
+
+JsonWriter::JsonWriter(std::ostream &out) : _out(out)
+{
+}
+
+JsonWriter::~JsonWriter()
+{
+    hcm_assert(_stack.empty(), "JSON writer destroyed with ",
+               _stack.size(), " open scope(s)");
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (_stack.empty()) {
+        hcm_assert(!_rootWritten, "JSON document has a single root");
+        _rootWritten = true;
+        return;
+    }
+    if (_stack.back() == Scope::Object) {
+        hcm_assert(_keyPending, "object members need a key first");
+        _keyPending = false;
+        return;
+    }
+    if (_hasElement.back())
+        _out << ",";
+    _hasElement.back() = true;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    hcm_assert(!_stack.empty() && _stack.back() == Scope::Object,
+               "key() outside an object");
+    hcm_assert(!_keyPending, "two keys in a row");
+    if (_hasElement.back())
+        _out << ",";
+    _hasElement.back() = true;
+    _out << '"' << escape(name) << "\":";
+    _keyPending = true;
+    return *this;
+}
+
+void
+JsonWriter::open(Scope scope, char c)
+{
+    beforeValue();
+    _stack.push_back(scope);
+    _hasElement.push_back(false);
+    _out << c;
+}
+
+void
+JsonWriter::close(Scope scope, char c)
+{
+    hcm_assert(!_stack.empty() && _stack.back() == scope,
+               "mismatched JSON scope close");
+    hcm_assert(!_keyPending, "dangling key at scope close");
+    _stack.pop_back();
+    _hasElement.pop_back();
+    _out << c;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    open(Scope::Object, '{');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    close(Scope::Object, '}');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    open(Scope::Array, '[');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    close(Scope::Array, ']');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    if (std::isfinite(v)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.12g", v);
+        _out << buf;
+    } else {
+        _out << "null"; // JSON has no inf/nan
+    }
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(long long v)
+{
+    beforeValue();
+    _out << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    _out << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    beforeValue();
+    _out << '"' << escape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    _out << "null";
+    return *this;
+}
+
+} // namespace hcm

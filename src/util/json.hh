@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Minimal streaming JSON writer, used to export projection results for
+ * notebooks and external tooling. Emits compact, valid JSON with
+ * correct string escaping; structural misuse (value without a key
+ * inside an object, unbalanced scopes) panics rather than producing
+ * silent garbage.
+ */
+
+#ifndef HCM_UTIL_JSON_HH
+#define HCM_UTIL_JSON_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hcm {
+
+/** Streaming JSON emitter. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &out);
+
+    /** All scopes must be closed before destruction (checked). */
+    ~JsonWriter();
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; the next emission is its value. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(double v);
+    JsonWriter &value(long long v);
+    JsonWriter &value(int v) { return value(static_cast<long long>(v)); }
+    JsonWriter &value(std::size_t v)
+    { return value(static_cast<long long>(v)); }
+    JsonWriter &value(bool v);
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v) { return value(std::string(v)); }
+    JsonWriter &null();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    kv(const std::string &name, const T &v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** Escape a string per JSON rules (quotes not included). */
+    static std::string escape(const std::string &s);
+
+  private:
+    enum class Scope {
+        Object,
+        Array,
+    };
+
+    void beforeValue();
+    void open(Scope scope, char c);
+    void close(Scope scope, char c);
+
+    std::ostream &_out;
+    std::vector<Scope> _stack;
+    /** Whether the current scope already holds an element. */
+    std::vector<bool> _hasElement;
+    bool _keyPending = false;
+    bool _rootWritten = false;
+};
+
+} // namespace hcm
+
+#endif // HCM_UTIL_JSON_HH

@@ -1,0 +1,50 @@
+#include "logging.hh"
+
+#include <cstdlib>
+#include <exception>
+
+namespace hcm {
+namespace detail {
+
+void
+logMessage(LogLevel level, const std::string &msg, const char *file,
+           int line)
+{
+    const char *tag = "info";
+    switch (level) {
+      case LogLevel::Inform:
+        tag = "info";
+        break;
+      case LogLevel::Warn:
+        tag = "warn";
+        break;
+      case LogLevel::Fatal:
+        tag = "fatal";
+        break;
+      case LogLevel::Panic:
+        tag = "panic";
+        break;
+    }
+    std::cerr << tag << ": " << msg;
+    if (level == LogLevel::Fatal || level == LogLevel::Panic)
+        std::cerr << " @ " << file << ":" << line;
+    std::cerr << std::endl;
+}
+
+} // namespace detail
+
+void
+panicImpl(const std::string &msg, const char *file, int line)
+{
+    detail::logMessage(LogLevel::Panic, msg, file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg, const char *file, int line)
+{
+    detail::logMessage(LogLevel::Fatal, msg, file, line);
+    std::exit(1);
+}
+
+} // namespace hcm

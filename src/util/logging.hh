@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers in the spirit of gem5's
+ * base/logging.hh: panic() for internal invariant violations, fatal() for
+ * user errors, warn()/inform() for non-fatal status.
+ */
+
+#ifndef HCM_UTIL_LOGGING_HH
+#define HCM_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hcm {
+
+/** Severity of a log message. */
+enum class LogLevel {
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+namespace detail {
+
+/** Emit a formatted log line to stderr. */
+void logMessage(LogLevel level, const std::string &msg, const char *file,
+                int line);
+
+/** Concatenate a parameter pack into a string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    if constexpr (sizeof...(Args) > 0)
+        (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Abort due to an internal logic error (a bug in HCM itself).
+ * Mirrors gem5's panic(): never returns.
+ */
+[[noreturn]] void panicImpl(const std::string &msg, const char *file,
+                            int line);
+
+/**
+ * Exit due to a user error (bad configuration, invalid arguments).
+ * Mirrors gem5's fatal(): never returns.
+ */
+[[noreturn]] void fatalImpl(const std::string &msg, const char *file,
+                            int line);
+
+} // namespace hcm
+
+/** Report an internal invariant violation and abort. */
+#define hcm_panic(...) \
+    ::hcm::panicImpl(::hcm::detail::concat(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Report an unrecoverable user error and exit(1). */
+#define hcm_fatal(...) \
+    ::hcm::fatalImpl(::hcm::detail::concat(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Report a suspicious but survivable condition. */
+#define hcm_warn(...) \
+    ::hcm::detail::logMessage(::hcm::LogLevel::Warn, \
+                              ::hcm::detail::concat(__VA_ARGS__), __FILE__, \
+                              __LINE__)
+
+/** Report normal operating status. */
+#define hcm_inform(...) \
+    ::hcm::detail::logMessage(::hcm::LogLevel::Inform, \
+                              ::hcm::detail::concat(__VA_ARGS__), __FILE__, \
+                              __LINE__)
+
+/** Panic unless a model invariant holds. */
+#define hcm_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::hcm::panicImpl(::hcm::detail::concat("assertion '" #cond \
+                                                   "' failed: ", \
+                                                   ##__VA_ARGS__), \
+                             __FILE__, __LINE__); \
+        } \
+    } while (0)
+
+#endif // HCM_UTIL_LOGGING_HH

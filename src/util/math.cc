@@ -1,0 +1,145 @@
+#include "math.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace hcm {
+
+std::vector<double>
+linspace(double lo, double hi, std::size_t count)
+{
+    hcm_assert(count >= 2, "linspace needs at least two points");
+    std::vector<double> out(count);
+    double step = (hi - lo) / static_cast<double>(count - 1);
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = lo + step * static_cast<double>(i);
+    out.back() = hi;
+    return out;
+}
+
+std::vector<double>
+logspace(double lo, double hi, std::size_t count)
+{
+    hcm_assert(lo > 0.0 && hi > 0.0, "logspace needs positive bounds");
+    std::vector<double> exps = linspace(std::log(lo), std::log(hi), count);
+    std::vector<double> out(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = std::exp(exps[i]);
+    out.front() = lo;
+    out.back() = hi;
+    return out;
+}
+
+double
+lerp(double x0, double y0, double x1, double y1, double x)
+{
+    if (x1 == x0)
+        return 0.5 * (y0 + y1);
+    double t = (x - x0) / (x1 - x0);
+    return y0 + t * (y1 - y0);
+}
+
+namespace {
+
+/**
+ * Index of the knot segment [i, i+1] containing x (clamped to the first
+ * or last segment for out-of-range x).
+ */
+std::size_t
+segmentIndex(const std::vector<double> &xs, double x)
+{
+    hcm_assert(xs.size() >= 2, "interpolation needs at least two knots");
+    auto it = std::upper_bound(xs.begin(), xs.end(), x);
+    if (it == xs.begin())
+        return 0;
+    std::size_t i = static_cast<std::size_t>(it - xs.begin()) - 1;
+    return std::min(i, xs.size() - 2);
+}
+
+} // namespace
+
+double
+interpLinear(const std::vector<double> &xs, const std::vector<double> &ys,
+             double x)
+{
+    hcm_assert(xs.size() == ys.size(), "knot vectors must match");
+    std::size_t i = segmentIndex(xs, x);
+    return lerp(xs[i], ys[i], xs[i + 1], ys[i + 1], x);
+}
+
+double
+interpLogLog(const std::vector<double> &xs, const std::vector<double> &ys,
+             double x)
+{
+    hcm_assert(xs.size() == ys.size(), "knot vectors must match");
+    hcm_assert(x > 0.0, "interpLogLog needs positive x");
+    std::size_t i = segmentIndex(xs, x);
+    hcm_assert(xs[i] > 0.0 && xs[i + 1] > 0.0 && ys[i] > 0.0 &&
+               ys[i + 1] > 0.0, "interpLogLog needs positive knots");
+    double ly = lerp(std::log(xs[i]), std::log(ys[i]), std::log(xs[i + 1]),
+                     std::log(ys[i + 1]), std::log(x));
+    return std::exp(ly);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    hcm_assert(!values.empty(), "geomean of empty set");
+    double acc = 0.0;
+    for (double v : values) {
+        hcm_assert(v > 0.0, "geomean needs positive values");
+        acc += std::log(v);
+    }
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    hcm_assert(!values.empty(), "mean of empty set");
+    double acc = 0.0;
+    for (double v : values)
+        acc += v;
+    return acc / static_cast<double>(values.size());
+}
+
+double
+relError(double a, double b)
+{
+    double scale = std::max({std::fabs(a), std::fabs(b), 1e-300});
+    return std::fabs(a - b) / scale;
+}
+
+bool
+approxEqual(double a, double b, double tol)
+{
+    return relError(a, b) <= tol;
+}
+
+double
+clamp(double x, double lo, double hi)
+{
+    return std::min(std::max(x, lo), hi);
+}
+
+unsigned
+ilog2(std::size_t n)
+{
+    hcm_assert(isPow2(n), "ilog2 of non-power-of-two ", n);
+    unsigned log = 0;
+    while (n > 1) {
+        n >>= 1;
+        ++log;
+    }
+    return log;
+}
+
+bool
+isPow2(std::size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+} // namespace hcm

@@ -1,0 +1,122 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "format.hh"
+#include "logging.hh"
+
+namespace hcm {
+
+TextTable::TextTable(std::string title) : _title(std::move(title))
+{
+}
+
+void
+TextTable::setHeaders(std::vector<std::string> headers)
+{
+    _headers = std::move(headers);
+    if (_align.empty() && !_headers.empty()) {
+        _align.assign(_headers.size(), Align::Right);
+        _align[0] = Align::Left;
+    }
+}
+
+void
+TextTable::setAlign(std::vector<Align> align)
+{
+    _align = std::move(align);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    hcm_assert(_headers.empty() || row.size() == _headers.size(),
+               "row width ", row.size(), " != header width ",
+               _headers.size());
+    _rows.push_back(Row{false, std::move(row)});
+    ++_dataRows;
+}
+
+void
+TextTable::addRule()
+{
+    _rows.push_back(Row{true, {}});
+}
+
+std::string
+TextTable::render() const
+{
+    std::size_t cols = _headers.size();
+    for (const Row &r : _rows)
+        if (!r.rule)
+            cols = std::max(cols, r.cells.size());
+    if (cols == 0)
+        return _title.empty() ? "" : _title + "\n";
+
+    std::vector<std::size_t> width(cols, 0);
+    auto grow = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    grow(_headers);
+    for (const Row &r : _rows)
+        if (!r.rule)
+            grow(r.cells);
+
+    auto pad = [&](const std::string &s, std::size_t i) {
+        Align a = i < _align.size() ? _align[i] : Align::Right;
+        switch (a) {
+          case Align::Left:
+            return padRight(s, width[i]);
+          case Align::Center:
+            return padCenter(s, width[i]);
+          case Align::Right:
+          default:
+            return padLeft(s, width[i]);
+        }
+    };
+
+    std::size_t total = cols * 3 + 1;
+    for (std::size_t w : width)
+        total += w;
+
+    std::ostringstream oss;
+    std::string rule = "+";
+    for (std::size_t i = 0; i < cols; ++i)
+        rule += repeat("-", width[i] + 2) + "+";
+
+    if (!_title.empty())
+        oss << padCenter(_title, total) << "\n";
+    oss << rule << "\n";
+    if (!_headers.empty()) {
+        oss << "|";
+        for (std::size_t i = 0; i < cols; ++i) {
+            std::string h = i < _headers.size() ? _headers[i] : "";
+            oss << " " << padCenter(h, width[i]) << " |";
+        }
+        oss << "\n" << rule << "\n";
+    }
+    for (const Row &r : _rows) {
+        if (r.rule) {
+            oss << rule << "\n";
+            continue;
+        }
+        oss << "|";
+        for (std::size_t i = 0; i < cols; ++i) {
+            std::string c = i < r.cells.size() ? r.cells[i] : "";
+            oss << " " << pad(c, i) << " |";
+        }
+        oss << "\n";
+    }
+    oss << rule << "\n";
+    return oss.str();
+}
+
+std::ostream &
+operator<<(std::ostream &os, const TextTable &t)
+{
+    return os << t.render();
+}
+
+} // namespace hcm

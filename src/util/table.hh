@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Plain-text table rendering used by the bench binaries to print the
+ * paper's tables.
+ */
+
+#ifndef HCM_UTIL_TABLE_HH
+#define HCM_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hcm {
+
+/** Per-column horizontal alignment. */
+enum class Align {
+    Left,
+    Right,
+    Center,
+};
+
+/**
+ * A simple text table: set headers, add rows of strings (see util/format.hh
+ * for number formatting), render with box-drawing rules.
+ */
+class TextTable
+{
+  public:
+    /** Optional table title rendered above the header rule. */
+    explicit TextTable(std::string title = "");
+
+    /** Set the column headers; defines the column count. */
+    void setHeaders(std::vector<std::string> headers);
+
+    /** Set per-column alignment (default: first column left, rest right). */
+    void setAlign(std::vector<Align> align);
+
+    /** Append a data row; must match the header count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator rule between row groups. */
+    void addRule();
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return _dataRows; }
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render the table to @p os. */
+    friend std::ostream &operator<<(std::ostream &os, const TextTable &t);
+
+  private:
+    struct Row
+    {
+        bool rule = false;
+        std::vector<std::string> cells;
+    };
+
+    std::string _title;
+    std::vector<std::string> _headers;
+    std::vector<Align> _align;
+    std::vector<Row> _rows;
+    std::size_t _dataRows = 0;
+};
+
+} // namespace hcm
+
+#endif // HCM_UTIL_TABLE_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Strong-typed physical quantities. The model mixes physical units
+ * (mm^2, W, GB/s, GFLOP/s) with the paper's dimensionless BCE-relative
+ * units; tagging the physical ones prevents the classic
+ * "which double was that?" calibration bugs.
+ *
+ * A Quantity<Tag> supports the operations that are dimensionally
+ * meaningful: addition/subtraction of like quantities, scaling by
+ * dimensionless doubles, and ratios of like quantities yielding plain
+ * doubles. Cross-unit products that the model needs (e.g. perf * intensity
+ * = bandwidth) are provided as named free functions next to the tags.
+ */
+
+#ifndef HCM_UTIL_UNITS_HH
+#define HCM_UTIL_UNITS_HH
+
+#include <compare>
+#include <ostream>
+
+namespace hcm {
+
+/** Generic tagged scalar; see file comment. */
+template <typename Tag>
+class Quantity
+{
+  public:
+    constexpr Quantity() : _value(0.0) {}
+    constexpr explicit Quantity(double v) : _value(v) {}
+
+    /** Underlying numeric value in the tag's canonical unit. */
+    constexpr double value() const { return _value; }
+
+    constexpr Quantity operator+(Quantity o) const
+    { return Quantity(_value + o._value); }
+    constexpr Quantity operator-(Quantity o) const
+    { return Quantity(_value - o._value); }
+    constexpr Quantity operator*(double k) const
+    { return Quantity(_value * k); }
+    constexpr Quantity operator/(double k) const
+    { return Quantity(_value / k); }
+    /** Ratio of like quantities is dimensionless. */
+    constexpr double operator/(Quantity o) const
+    { return _value / o._value; }
+    constexpr Quantity operator-() const { return Quantity(-_value); }
+
+    Quantity &operator+=(Quantity o) { _value += o._value; return *this; }
+    Quantity &operator-=(Quantity o) { _value -= o._value; return *this; }
+    Quantity &operator*=(double k) { _value *= k; return *this; }
+    Quantity &operator/=(double k) { _value /= k; return *this; }
+
+    constexpr auto operator<=>(const Quantity &) const = default;
+
+  private:
+    double _value;
+};
+
+template <typename Tag>
+constexpr Quantity<Tag>
+operator*(double k, Quantity<Tag> q)
+{
+    return q * k;
+}
+
+template <typename Tag>
+std::ostream &
+operator<<(std::ostream &os, Quantity<Tag> q)
+{
+    return os << q.value() << Tag::suffix();
+}
+
+// Unit tags. canonical units noted in suffix().
+struct AreaTag { static const char *suffix() { return " mm^2"; } };
+struct PowerTag { static const char *suffix() { return " W"; } };
+struct BandwidthTag { static const char *suffix() { return " GB/s"; } };
+struct PerfTag { static const char *suffix() { return " Gops/s"; } };
+struct EnergyEffTag { static const char *suffix() { return " Gops/J"; } };
+struct FreqTag { static const char *suffix() { return " GHz"; } };
+struct TimeTag { static const char *suffix() { return " s"; } };
+
+/** Silicon area in mm^2. */
+using Area = Quantity<AreaTag>;
+/** Power in watts. */
+using Power = Quantity<PowerTag>;
+/** Off-chip bandwidth in GB/s. */
+using Bandwidth = Quantity<BandwidthTag>;
+/**
+ * Throughput in Gops/s. "op" is workload-defined: a pseudo-FLOP for FFT
+ * (5 N log2 N per transform), a FLOP for MMM, an option for Black-Scholes
+ * (the paper's Mopts/s, stored here as 1e-3 Gops/s).
+ */
+using Perf = Quantity<PerfTag>;
+/** Energy efficiency in Gops/J (equivalently Gops/s per W). */
+using EnergyEff = Quantity<EnergyEffTag>;
+/** Clock frequency in GHz. */
+using Freq = Quantity<FreqTag>;
+/** Wall-clock time in seconds. */
+using Time = Quantity<TimeTag>;
+
+/** Gops/s divided by watts is Gops/J. */
+constexpr EnergyEff
+operator/(Perf p, Power w)
+{
+    return EnergyEff(p.value() / w.value());
+}
+
+/** Gops/s divided by Gops/J is watts. */
+constexpr Power
+operator/(Perf p, EnergyEff e)
+{
+    return Power(p.value() / e.value());
+}
+
+/** Area-normalized performance in Gops/s per mm^2 (a plain double). */
+constexpr double
+perfPerArea(Perf p, Area a)
+{
+    return p.value() / a.value();
+}
+
+/**
+ * Off-chip traffic implied by sustained throughput @p p at
+ * @p bytes_per_op compulsory bytes per op (GB/s since ops are in Gops/s).
+ */
+constexpr Bandwidth
+trafficFor(Perf p, double bytes_per_op)
+{
+    return Bandwidth(p.value() * bytes_per_op);
+}
+
+} // namespace hcm
+
+#endif // HCM_UTIL_UNITS_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Host measurement harness: times a kernel under repetition until a
+ * minimum measurement window is reached and reports sustained throughput.
+ * This is the software analogue of the paper's "measure tuned workloads
+ * in steady state" methodology (Section 4), and feeds the same
+ * calibration code paths as the embedded device database.
+ */
+
+#ifndef HCM_WORKLOADS_HARNESS_HH
+#define HCM_WORKLOADS_HARNESS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "util/units.hh"
+
+namespace hcm {
+namespace wl {
+
+/** Monotonic wall-clock stopwatch. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { reset(); }
+
+    /** Restart timing from now. */
+    void reset() { _start = Clock::now(); }
+
+    /** Seconds elapsed since construction or last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - _start).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point _start;
+};
+
+/** Outcome of one measured kernel. */
+struct MeasureResult
+{
+    std::string name;
+    double seconds = 0.0;     ///< total measured wall time
+    std::uint64_t calls = 0;  ///< kernel invocations timed
+    double opsPerCall = 0.0;  ///< workload ops per invocation
+
+    /** Sustained throughput in Gops/s. */
+    Perf
+    perf() const
+    {
+        return Perf(opsPerCall * static_cast<double>(calls) / seconds /
+                    1e9);
+    }
+};
+
+/**
+ * Run @p fn repeatedly until at least @p min_seconds of wall time has been
+ * sampled (after one untimed warm-up call), doubling the batch size each
+ * round so timer overhead stays negligible.
+ */
+template <typename Fn>
+MeasureResult
+measureKernel(const std::string &name, double ops_per_call, Fn &&fn,
+              double min_seconds = 0.05)
+{
+    MeasureResult res;
+    res.name = name;
+    res.opsPerCall = ops_per_call;
+
+    fn(); // warm-up (page faults, caches, plan setup)
+
+    std::uint64_t batch = 1;
+    for (;;) {
+        Stopwatch sw;
+        for (std::uint64_t i = 0; i < batch; ++i)
+            fn();
+        double elapsed = sw.seconds();
+        if (elapsed >= min_seconds) {
+            res.seconds = elapsed;
+            res.calls = batch;
+            return res;
+        }
+        // Aim one doubling past the target to converge quickly.
+        batch *= 2;
+    }
+}
+
+} // namespace wl
+} // namespace hcm
+
+#endif // HCM_WORKLOADS_HARNESS_HH

@@ -1,0 +1,86 @@
+#include "parallel_harness.hh"
+
+#include <thread>
+
+#include "util/logging.hh"
+
+namespace hcm {
+namespace wl {
+
+namespace {
+
+/** One whole-kernel invocation: chunks statically partitioned. */
+void
+runOnce(const ChunkedKernel &kernel, std::size_t chunks,
+        std::size_t threads)
+{
+    if (threads <= 1) {
+        for (std::size_t c = 0; c < chunks; ++c)
+            kernel(c, chunks);
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+        std::size_t begin = chunks * t / threads;
+        std::size_t end = chunks * (t + 1) / threads;
+        pool.emplace_back([&kernel, begin, end, chunks] {
+            for (std::size_t c = begin; c < end; ++c)
+                kernel(c, chunks);
+        });
+    }
+    for (std::thread &th : pool)
+        th.join();
+}
+
+} // namespace
+
+double
+fitAmdahlFraction(const std::vector<ScalingPoint> &points)
+{
+    // 1/S = 1 + f * (1/t - 1): least squares for f through the origin
+    // of (x, y - 1) with x = 1/t - 1, y = 1/S.
+    double sxx = 0.0, sxy = 0.0;
+    for (const ScalingPoint &p : points) {
+        if (p.threads <= 1 || p.speedup <= 0.0)
+            continue;
+        double x = 1.0 / static_cast<double>(p.threads) - 1.0;
+        double y = 1.0 / p.speedup - 1.0;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    if (sxx <= 0.0)
+        return 0.0;
+    double f = sxy / sxx;
+    // Clamp to the meaningful range (measurement noise can stray).
+    return std::min(1.0, std::max(0.0, f));
+}
+
+ScalingCurve
+measureScaling(const ChunkedKernel &kernel, std::size_t chunks,
+               std::size_t max_threads, double min_seconds)
+{
+    hcm_assert(chunks >= 1 && max_threads >= 1, "bad scaling request");
+
+    ScalingCurve curve;
+    double base_time = 0.0;
+    for (std::size_t t = 1; t <= max_threads; ++t) {
+        MeasureResult res = measureKernel(
+            "scaling-" + std::to_string(t), 1.0,
+            [&] { runOnce(kernel, chunks, t); }, min_seconds);
+        ScalingPoint pt;
+        pt.threads = t;
+        pt.seconds = res.seconds;
+        pt.reps = res.calls;
+        double per_rep = res.seconds / static_cast<double>(res.calls);
+        if (t == 1)
+            base_time = per_rep;
+        pt.speedup = base_time / per_rep;
+        curve.points.push_back(pt);
+    }
+    curve.fittedF = fitAmdahlFraction(curve.points);
+    return curve;
+}
+
+} // namespace wl
+} // namespace hcm

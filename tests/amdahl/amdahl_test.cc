@@ -1,0 +1,90 @@
+/** @file Tests for Amdahl's law and relatives. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "amdahl/amdahl.hh"
+
+namespace hcm {
+namespace model {
+namespace {
+
+TEST(AmdahlTest, TextbookValues)
+{
+    // 50% accelerated 2x -> 1.333x overall.
+    EXPECT_NEAR(amdahlSpeedup(0.5, 2.0), 4.0 / 3.0, 1e-12);
+    // 90% accelerated 10x -> 5.26x.
+    EXPECT_NEAR(amdahlSpeedup(0.9, 10.0), 1.0 / 0.19, 1e-9);
+}
+
+TEST(AmdahlTest, NoAccelerationNoSpeedup)
+{
+    EXPECT_DOUBLE_EQ(amdahlSpeedup(0.7, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(amdahlSpeedup(0.0, 100.0), 1.0);
+}
+
+TEST(AmdahlTest, FullyParallelScalesLinearly)
+{
+    EXPECT_DOUBLE_EQ(amdahlSpeedup(1.0, 64.0), 64.0);
+}
+
+TEST(AmdahlTest, LimitIsInverseSerialFraction)
+{
+    EXPECT_NEAR(amdahlLimit(0.9), 10.0, 1e-9);
+    EXPECT_NEAR(amdahlLimit(0.99), 100.0, 1e-9);
+    EXPECT_TRUE(std::isinf(amdahlLimit(1.0)));
+    EXPECT_DOUBLE_EQ(amdahlLimit(0.0), 1.0);
+}
+
+TEST(AmdahlTest, SpeedupApproachesLimit)
+{
+    double s = amdahlSpeedup(0.99, 1e9);
+    EXPECT_NEAR(s, amdahlLimit(0.99), 1e-4);
+    EXPECT_LT(s, amdahlLimit(0.99));
+}
+
+TEST(AmdahlTest, GustafsonScaledSpeedup)
+{
+    EXPECT_DOUBLE_EQ(gustafsonSpeedup(0.5, 64.0), 32.5);
+    EXPECT_DOUBLE_EQ(gustafsonSpeedup(1.0, 64.0), 64.0);
+    EXPECT_DOUBLE_EQ(gustafsonSpeedup(0.0, 64.0), 1.0);
+}
+
+TEST(AmdahlTest, GustafsonExceedsAmdahlForLargeN)
+{
+    EXPECT_GT(gustafsonSpeedup(0.9, 1000.0), amdahlSpeedup(0.9, 1000.0));
+}
+
+TEST(AmdahlDeathTest, RejectsBadInputs)
+{
+    EXPECT_DEATH(amdahlSpeedup(-0.1, 2.0), "outside");
+    EXPECT_DEATH(amdahlSpeedup(1.1, 2.0), "outside");
+    EXPECT_DEATH(amdahlSpeedup(0.5, 0.0), "positive");
+    EXPECT_DEATH(gustafsonSpeedup(0.5, 0.5), ">= 1");
+}
+
+/** Property: speedup is monotone in both f and s. */
+class AmdahlMonotone : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(AmdahlMonotone, InAccelerationFactor)
+{
+    double f = GetParam();
+    double prev = 0.0;
+    for (double s = 1.0; s <= 4096.0; s *= 2.0) {
+        double v = amdahlSpeedup(f, s);
+        EXPECT_GE(v, prev);
+        EXPECT_LE(v, amdahlLimit(f) + 1e-12);
+        prev = v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, AmdahlMonotone,
+                         ::testing::Values(0.0, 0.5, 0.9, 0.99, 0.999,
+                                           1.0));
+
+} // namespace
+} // namespace model
+} // namespace hcm

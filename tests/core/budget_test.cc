@@ -1,0 +1,85 @@
+/** @file Tests for physical-to-BCE budget conversion. */
+
+#include <gtest/gtest.h>
+
+#include "core/budget.hh"
+
+namespace hcm {
+namespace core {
+namespace {
+
+const BceCalibration &calib = BceCalibration::standard();
+
+TEST(BudgetTest, AreaIsTable6Verbatim)
+{
+    for (const itrs::NodeParams &node : itrs::nodeTable()) {
+        Budget b = makeBudget(node, wl::Workload::fft(1024));
+        EXPECT_DOUBLE_EQ(b.area, node.maxAreaBce);
+    }
+}
+
+TEST(BudgetTest, PowerScalesInverselyWithRelPower)
+{
+    auto w = wl::Workload::mmm();
+    Budget b40 = makeBudget(itrs::nodeParams(40.0), w);
+    Budget b11 = makeBudget(itrs::nodeParams(11.0), w);
+    EXPECT_NEAR(b11.power / b40.power, 1.0 / 0.25, 1e-9);
+    EXPECT_NEAR(b40.power, 100.0 / calib.bcePower().value(), 1e-9);
+    // ~8-9 BCE at 40nm: the paper's designs are power-starved early.
+    EXPECT_GT(b40.power, 6.0);
+    EXPECT_LT(b40.power, 11.0);
+}
+
+TEST(BudgetTest, BandwidthDependsOnWorkloadIntensity)
+{
+    const itrs::NodeParams &node = itrs::nodeParams(40.0);
+    Budget fft = makeBudget(node, wl::Workload::fft(1024));
+    Budget mmm = makeBudget(node, wl::Workload::mmm());
+    Budget bs = makeBudget(node, wl::Workload::blackScholes());
+    // MMM's tiny bytes/flop makes its B far larger than FFT's.
+    EXPECT_GT(mmm.bandwidth, 4.0 * fft.bandwidth);
+    EXPECT_GT(bs.bandwidth, fft.bandwidth);
+    // FFT-1024: 180 GB/s over ~3.1 GB/s per BCE.
+    EXPECT_NEAR(fft.bandwidth,
+                180.0 / calib.bceBandwidth(wl::Workload::fft(1024)).value(),
+                1e-9);
+}
+
+TEST(BudgetTest, BandwidthScalesWithRelBandwidth)
+{
+    auto w = wl::Workload::fft(1024);
+    Budget b40 = makeBudget(itrs::nodeParams(40.0), w);
+    Budget b11 = makeBudget(itrs::nodeParams(11.0), w);
+    EXPECT_NEAR(b11.bandwidth / b40.bandwidth, 1.4, 1e-9);
+}
+
+TEST(BudgetTest, ScenariosPerturbTheRightKnob)
+{
+    const itrs::NodeParams &node = itrs::nodeParams(40.0);
+    auto w = wl::Workload::fft(1024);
+    Budget base = makeBudget(node, w);
+
+    Budget bw1tb = makeBudget(node, w, scenarioByName("bandwidth-1tb"));
+    EXPECT_NEAR(bw1tb.bandwidth / base.bandwidth, 1000.0 / 180.0, 1e-9);
+    EXPECT_DOUBLE_EQ(bw1tb.power, base.power);
+    EXPECT_DOUBLE_EQ(bw1tb.area, base.area);
+
+    Budget half = makeBudget(node, w, scenarioByName("half-area"));
+    EXPECT_DOUBLE_EQ(half.area, base.area * 0.5);
+
+    Budget mobile = makeBudget(node, w, scenarioByName("power-10w"));
+    EXPECT_NEAR(mobile.power / base.power, 0.1, 1e-9);
+
+    Budget cooled = makeBudget(node, w, scenarioByName("power-200w"));
+    EXPECT_NEAR(cooled.power / base.power, 2.0, 1e-9);
+}
+
+TEST(BudgetDeathTest, ChecksRejectNonPositive)
+{
+    Budget bad{0.0, 1.0, 1.0};
+    EXPECT_DEATH(bad.check(), "area");
+}
+
+} // namespace
+} // namespace core
+} // namespace hcm

@@ -1,0 +1,110 @@
+/** @file Tests for the crossover (required-parallelism) analysis. */
+
+#include <gtest/gtest.h>
+
+#include "core/crossover.hh"
+
+namespace hcm {
+namespace core {
+namespace {
+
+const itrs::NodeParams &node22 = itrs::nodeParams(22.0);
+
+Organization
+het(double mu, double phi)
+{
+    Organization o;
+    o.kind = OrgKind::Heterogeneous;
+    o.name = "test-ucore";
+    o.ucore = UCoreParams{mu, phi};
+    return o;
+}
+
+TEST(CrossoverTest, RatioBasics)
+{
+    Budget b{64.0, 12.0, 80.0};
+    Organization fast = het(10.0, 0.8);
+    // At f = 0: both reduce to sqrt(r) with the same serial bounds.
+    EXPECT_NEAR(speedupRatio(fast, asymmetricCmp(), 0.0, b), 1.0, 1e-9);
+    // At high f the U-core dominates.
+    EXPECT_GT(speedupRatio(fast, asymmetricCmp(), 0.99, b), 3.0);
+}
+
+TEST(CrossoverTest, RatioHandlesInfeasibility)
+{
+    Budget tiny{64.0, 0.5, 80.0}; // serial bounds kill everyone
+    EXPECT_DOUBLE_EQ(
+        speedupRatio(het(4.0, 1.0), asymmetricCmp(), 0.9, tiny), 0.0);
+}
+
+TEST(CrossoverTest, FractionBracketsTheTarget)
+{
+    Budget b{64.0, 12.0, 80.0};
+    Organization o = het(10.0, 0.8);
+    auto f_star = crossoverFraction(o, asymmetricCmp(), 1.5, b);
+    ASSERT_TRUE(f_star);
+    EXPECT_GT(*f_star, 0.0);
+    EXPECT_LT(*f_star, 1.0);
+    // Just below: under target; just above: over.
+    EXPECT_LT(speedupRatio(o, asymmetricCmp(), *f_star - 0.01, b), 1.5);
+    EXPECT_GE(speedupRatio(o, asymmetricCmp(), *f_star + 0.01, b), 1.5);
+}
+
+TEST(CrossoverTest, UnreachableTargetIsNullopt)
+{
+    Budget b{64.0, 12.0, 80.0};
+    // A U-core barely better than a BCE can't ever 10x the CMP.
+    EXPECT_FALSE(crossoverFraction(het(1.1, 1.0), asymmetricCmp(), 10.0,
+                                   b));
+}
+
+TEST(CrossoverTest, TrivialTargetReturnsLowBound)
+{
+    Budget b{64.0, 12.0, 80.0};
+    auto f_star = crossoverFraction(het(10.0, 0.8), asymmetricCmp(),
+                                    0.5, b);
+    ASSERT_TRUE(f_star);
+    EXPECT_DOUBLE_EQ(*f_star, 0.0);
+}
+
+TEST(CrossoverTest, PaperConclusionOneQuantified)
+{
+    // "Pronounced differences emerge when f >= 0.90": a 1.5x edge over
+    // the best CMP requires high parallelism for every fabric with
+    // data, on every workload.
+    for (const wl::Workload &w :
+         {wl::Workload::fft(1024), wl::Workload::blackScholes(),
+          wl::Workload::mmm()}) {
+        for (dev::DeviceId id : {dev::DeviceId::Gtx285,
+                                 dev::DeviceId::Asic}) {
+            auto f_star = requiredParallelism(id, w, 1.5, node22);
+            ASSERT_TRUE(f_star) << w.name();
+            EXPECT_GT(*f_star, 0.5)
+                << dev::deviceName(id) << " " << w.name();
+            EXPECT_LT(*f_star, 0.99)
+                << dev::deviceName(id) << " " << w.name();
+        }
+    }
+}
+
+TEST(CrossoverTest, BetterFabricsNeedLessParallelism)
+{
+    auto w = wl::Workload::mmm();
+    auto f_asic = requiredParallelism(dev::DeviceId::Asic, w, 2.0,
+                                      node22);
+    auto f_gpu = requiredParallelism(dev::DeviceId::Gtx480, w, 2.0,
+                                     node22);
+    ASSERT_TRUE(f_asic && f_gpu);
+    EXPECT_LT(*f_asic, *f_gpu);
+}
+
+TEST(CrossoverTest, MissingCalibrationIsNullopt)
+{
+    EXPECT_FALSE(requiredParallelism(dev::DeviceId::R5870,
+                                     wl::Workload::blackScholes(), 1.5,
+                                     node22));
+}
+
+} // namespace
+} // namespace core
+} // namespace hcm

@@ -1,0 +1,151 @@
+/** @file Tests for the Figure 10 energy model. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/energy.hh"
+
+namespace hcm {
+namespace core {
+namespace {
+
+constexpr double kAlpha = 1.75;
+
+Organization
+het(double mu, double phi)
+{
+    Organization o;
+    o.kind = OrgKind::Heterogeneous;
+    o.name = "test-ucore";
+    o.ucore = UCoreParams{mu, phi};
+    return o;
+}
+
+TEST(EnergyTest, SingleBceBaselineIsOne)
+{
+    // One BCE (r = n = 1, symmetric) running any program: energy 1.
+    for (double f : {0.0, 0.5, 1.0}) {
+        EnergyBreakdown e = designEnergy(symmetricCmp(), f, 1.0, 1.0,
+                                         kAlpha);
+        EXPECT_NEAR(e.total(), 1.0, 1e-12) << "f=" << f;
+    }
+}
+
+TEST(EnergyTest, SymmetricClosedForm)
+{
+    // E = r^((alpha-1)/2) independent of n and f (power x time cancels).
+    for (double r : {1.0, 4.0, 9.0})
+        for (double n : {r, 4.0 * r})
+            for (double f : {0.25, 0.75}) {
+                EnergyBreakdown e =
+                    designEnergy(symmetricCmp(), f, r, n, kAlpha);
+                EXPECT_NEAR(e.total(), std::pow(r, (kAlpha - 1.0) / 2.0),
+                            1e-12)
+                    << "r=" << r << " n=" << n << " f=" << f;
+            }
+}
+
+TEST(EnergyTest, OffloadParallelEnergyEqualsF)
+{
+    EnergyBreakdown e = designEnergy(asymmetricCmp(), 0.8, 4.0, 20.0,
+                                     kAlpha);
+    EXPECT_NEAR(e.parallel, 0.8, 1e-12);
+    EXPECT_NEAR(e.serial, 0.2 * std::pow(4.0, (kAlpha - 1.0) / 2.0),
+                1e-12);
+}
+
+TEST(EnergyTest, HetParallelEnergyIsFPhiOverMu)
+{
+    // The ASIC's phi/mu ~ 0.03 on MMM is exactly why Figure 10 favors
+    // custom logic for energy.
+    EnergyBreakdown e = designEnergy(het(27.4, 0.79), 0.9, 2.0, 10.0,
+                                     kAlpha);
+    EXPECT_NEAR(e.parallel, 0.9 * 0.79 / 27.4, 1e-12);
+}
+
+TEST(EnergyTest, ParallelEnergyIndependentOfN)
+{
+    Organization o = het(5.0, 0.5);
+    double e10 = designEnergy(o, 0.9, 2.0, 10.0, kAlpha).parallel;
+    double e100 = designEnergy(o, 0.9, 2.0, 100.0, kAlpha).parallel;
+    EXPECT_DOUBLE_EQ(e10, e100);
+}
+
+TEST(EnergyTest, SerialPhaseVanishesAtFullParallelism)
+{
+    EnergyBreakdown e = designEnergy(het(5.0, 0.5), 1.0, 4.0, 10.0,
+                                     kAlpha);
+    EXPECT_DOUBLE_EQ(e.serial, 0.0);
+    EXPECT_NEAR(e.parallel, 0.1, 1e-12);
+}
+
+TEST(EnergyTest, PureSerialHasNoParallelEnergy)
+{
+    EnergyBreakdown e = designEnergy(asymmetricCmp(), 0.0, 9.0, 20.0,
+                                     kAlpha);
+    EXPECT_DOUBLE_EQ(e.parallel, 0.0);
+    EXPECT_NEAR(e.serial, std::pow(9.0, (kAlpha - 1.0) / 2.0), 1e-12);
+}
+
+TEST(EnergyTest, BiggerSerialCoresBurnMoreEnergy)
+{
+    // "At low parallelism the opportunity to reduce energy is limited by
+    // the sequential core" (Section 6.3).
+    double prev = 0.0;
+    for (double r = 1.0; r <= 16.0; r *= 2.0) {
+        double e = designEnergy(het(27.4, 0.79), 0.5, r, 20.0, kAlpha)
+                       .total();
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(EnergyTest, NodeScalingMultiplies)
+{
+    EnergyBreakdown e{0.6, 0.2};
+    EXPECT_NEAR(normalizedEnergy(e, 0.25), 0.2, 1e-12);
+    EXPECT_NEAR(normalizedEnergy(e, 1.0), 0.8, 1e-12);
+}
+
+TEST(EnergyTest, DynamicUsesAllResourcesSerially)
+{
+    Organization dyn = dynamicCmp();
+    EnergyBreakdown e = designEnergy(dyn, 0.5, 16.0, 16.0, kAlpha);
+    EXPECT_NEAR(e.serial,
+                0.5 / 4.0 * std::pow(4.0, kAlpha), 1e-12);
+    EXPECT_NEAR(e.parallel, 0.5, 1e-12);
+}
+
+TEST(EnergyDeathTest, RejectsInvalidDesigns)
+{
+    EXPECT_DEATH(designEnergy(symmetricCmp(), 0.5, 4.0, 2.0, kAlpha),
+                 "invalid design");
+    EXPECT_DEATH(normalizedEnergy(EnergyBreakdown{}, 0.0), "positive");
+}
+
+/** Property: among the paper's organizations at equal (f, r), the ASIC
+ *  HET has the lowest energy whenever its phi/mu is the smallest. */
+class EnergyOrdering : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(EnergyOrdering, MoreEfficientFabricsUseLessEnergy)
+{
+    double f = GetParam();
+    double asic = designEnergy(het(27.4, 0.79), f, 2.0, 19.0, kAlpha)
+                      .total();
+    double gpu = designEnergy(het(3.41, 0.74), f, 2.0, 19.0, kAlpha)
+                     .total();
+    double cmp = designEnergy(asymmetricCmp(), f, 2.0, 19.0, kAlpha)
+                     .total();
+    EXPECT_LT(asic, gpu);
+    EXPECT_LT(gpu, cmp);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, EnergyOrdering,
+                         ::testing::Values(0.5, 0.9, 0.99, 0.999));
+
+} // namespace
+} // namespace core
+} // namespace hcm

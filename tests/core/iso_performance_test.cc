@@ -1,0 +1,113 @@
+/** @file Tests for the Section 6.3 iso-performance power-reduction
+ *  extension. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "amdahl/pollack.hh"
+#include "core/iso_performance.hh"
+
+namespace hcm {
+namespace core {
+namespace {
+
+Budget
+budget(double a, double p, double b)
+{
+    return Budget{a, p, b};
+}
+
+Organization
+het(double mu, double phi)
+{
+    Organization o;
+    o.kind = OrgKind::Heterogeneous;
+    o.name = "test-ucore";
+    o.ucore = UCoreParams{mu, phi};
+    return o;
+}
+
+TEST(IsoPerfTest, MatchingPointHitsTheTargetExactly)
+{
+    Budget b = budget(64.0, 12.0, 80.0);
+    double f = 0.9;
+    DesignPoint baseline = optimize(asymmetricCmp(), f, b);
+    Organization o = het(10.0, 0.8);
+    IsoPerformanceResult res = matchBaselinePerformance(o, baseline, f, b);
+    ASSERT_TRUE(res.achievable);
+
+    // Reconstruct the speedup at the matching point.
+    DesignPoint hdes = optimize(o, f, b);
+    double fabric = 10.0 * (hdes.n - hdes.r);
+    double s = 1.0 / ((1.0 - f) / res.serialPerf + f / fabric);
+    EXPECT_NEAR(s / baseline.speedup, 1.0, 1e-9);
+}
+
+TEST(IsoPerfTest, SlowedCoreSavesSerialPower)
+{
+    Budget b = budget(64.0, 12.0, 80.0);
+    double f = 0.9;
+    DesignPoint baseline = optimize(asymmetricCmp(), f, b);
+    IsoPerformanceResult res =
+        matchBaselinePerformance(het(27.4, 0.79), baseline, f, b);
+    ASSERT_TRUE(res.achievable);
+    EXPECT_LT(res.serialPerf, model::perfSeq(baseline.r));
+    EXPECT_GT(res.serialPowerSaving(), 0.3); // substantial saving
+    EXPECT_LT(res.serialPowerSaving(), 1.0);
+    EXPECT_LT(res.energy, res.baselineEnergy);
+}
+
+TEST(IsoPerfTest, FasterFabricsAllowSlowerCores)
+{
+    Budget b = budget(64.0, 12.0, 80.0);
+    double f = 0.9;
+    DesignPoint baseline = optimize(asymmetricCmp(), f, b);
+    IsoPerformanceResult gpu =
+        matchBaselinePerformance(het(3.41, 0.74), baseline, f, b);
+    IsoPerformanceResult asic =
+        matchBaselinePerformance(het(27.4, 0.79), baseline, f, b);
+    ASSERT_TRUE(gpu.achievable && asic.achievable);
+    EXPECT_LT(asic.serialPerf, gpu.serialPerf);
+    EXPECT_GT(asic.serialPowerSaving(), gpu.serialPowerSaving());
+}
+
+TEST(IsoPerfTest, UnreachableTargetReportsUnachievable)
+{
+    // A slow fabric cannot match a baseline dominated by parallel work.
+    Budget b = budget(64.0, 12.0, 80.0);
+    double f = 0.99;
+    DesignPoint baseline = optimize(asymmetricCmp(), f, b);
+    IsoPerformanceResult res =
+        matchBaselinePerformance(het(0.2, 0.5), baseline, f, b);
+    EXPECT_FALSE(res.achievable);
+}
+
+TEST(IsoPerfTest, PowerLawConsistency)
+{
+    Budget b = budget(64.0, 12.0, 80.0);
+    double f = 0.9;
+    DesignPoint baseline = optimize(asymmetricCmp(), f, b);
+    IsoPerformanceResult res =
+        matchBaselinePerformance(het(10.0, 0.8), baseline, f, b);
+    ASSERT_TRUE(res.achievable);
+    EXPECT_NEAR(res.serialPower, std::pow(res.serialPerf, 1.75), 1e-12);
+    EXPECT_NEAR(res.baselineSerialPower,
+                std::pow(baseline.r, 1.75 / 2.0), 1e-12);
+}
+
+TEST(IsoPerfDeathTest, GuardsInputs)
+{
+    Budget b = budget(64.0, 12.0, 80.0);
+    DesignPoint baseline = optimize(asymmetricCmp(), 0.9, b);
+    EXPECT_DEATH(matchBaselinePerformance(asymmetricCmp(), baseline, 0.9,
+                                          b),
+                 "heterogeneous");
+    EXPECT_DEATH(matchBaselinePerformance(het(2.0, 1.0), baseline, 1.0,
+                                          b),
+                 "both phases");
+}
+
+} // namespace
+} // namespace core
+} // namespace hcm

@@ -1,0 +1,188 @@
+/** @file Tests for the design-point optimizer. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "amdahl/multicore.hh"
+#include "amdahl/pollack.hh"
+#include "core/optimizer.hh"
+
+namespace hcm {
+namespace core {
+namespace {
+
+Budget
+budget(double a, double p, double b)
+{
+    return Budget{a, p, b};
+}
+
+Organization
+het(double mu, double phi, bool exempt = false)
+{
+    Organization o;
+    o.kind = OrgKind::Heterogeneous;
+    o.name = "test-ucore";
+    o.ucore = UCoreParams{mu, phi};
+    o.bandwidthExempt = exempt;
+    return o;
+}
+
+TEST(OptimizerTest, SerialWorkloadMaximizesTheCore)
+{
+    // f = 0: speedup = sqrt(r); pick the largest r the budgets allow.
+    Budget b = budget(100.0, 1e9, 1e9);
+    DesignPoint dp = optimize(symmetricCmp(), 0.0, b);
+    ASSERT_TRUE(dp.feasible);
+    EXPECT_DOUBLE_EQ(dp.r, 16.0); // rMax default
+    EXPECT_NEAR(dp.speedup, 4.0, 1e-12);
+}
+
+TEST(OptimizerTest, SerialPowerBoundCapsTheCore)
+{
+    // P = 8: r <= 8^(2/1.75) ~ 10.76.
+    Budget b = budget(100.0, 8.0, 1e9);
+    DesignPoint dp = optimize(asymmetricCmp(), 0.0, b);
+    ASSERT_TRUE(dp.feasible);
+    EXPECT_NEAR(dp.r, std::pow(8.0, 2.0 / 1.75), 1e-9);
+    EXPECT_NEAR(model::powerSeq(dp.r), 8.0, 1e-6);
+}
+
+TEST(OptimizerTest, SerialBandwidthBoundCapsTheCore)
+{
+    Budget b = budget(100.0, 1e9, 3.0);
+    DesignPoint dp = optimize(asymmetricCmp(), 0.0, b);
+    EXPECT_NEAR(dp.r, 9.0, 1e-9);
+}
+
+TEST(OptimizerTest, InfeasibleWhenSerialBoundsBelowOneBce)
+{
+    Budget b = budget(100.0, 0.5, 1e9); // r^0.875 <= 0.5 has no r >= 1
+    DesignPoint dp = optimize(symmetricCmp(), 0.9, b);
+    EXPECT_FALSE(dp.feasible);
+    EXPECT_DOUBLE_EQ(dp.speedup, 0.0);
+}
+
+TEST(OptimizerTest, FullyParallelHetPrefersSmallCore)
+{
+    // f ~ 1: every BCE spent on the core is stolen from the U-cores.
+    Budget b = budget(20.0, 1e9, 1e9);
+    DesignPoint dp = optimize(het(10.0, 1.0), 0.9999, b);
+    ASSERT_TRUE(dp.feasible);
+    EXPECT_DOUBLE_EQ(dp.r, 1.0);
+    EXPECT_EQ(dp.limiter, Limiter::Area);
+    EXPECT_DOUBLE_EQ(dp.n, 20.0);
+}
+
+TEST(OptimizerTest, ModerateParallelismBalancesTheCore)
+{
+    Budget b = budget(64.0, 1e9, 1e9);
+    DesignPoint dp = optimize(het(4.0, 1.0), 0.9, b);
+    ASSERT_TRUE(dp.feasible);
+    EXPECT_GT(dp.r, 1.0);
+    EXPECT_LT(dp.r, 16.0 + 1e-9);
+    // The optimum beats both extremes of the sweep.
+    EXPECT_GE(dp.speedup, evaluateSpeedup(het(4.0, 1.0), 0.9, 1.0, 64.0));
+    EXPECT_GE(dp.speedup,
+              evaluateSpeedup(het(4.0, 1.0), 0.9, 16.0, 64.0));
+}
+
+TEST(OptimizerTest, BandwidthLimitedHetSpeedupIsCapped)
+{
+    // Bandwidth-bound parallel perf = mu (n - r) = B regardless of mu.
+    Budget b = budget(1000.0, 1e9, 50.0);
+    DesignPoint fast = optimize(het(100.0, 1.0), 0.99, b);
+    DesignPoint faster = optimize(het(1000.0, 1.0), 0.99, b);
+    ASSERT_TRUE(fast.feasible && faster.feasible);
+    EXPECT_EQ(fast.limiter, Limiter::Bandwidth);
+    EXPECT_EQ(faster.limiter, Limiter::Bandwidth);
+    EXPECT_NEAR(fast.speedup, faster.speedup, fast.speedup * 0.01);
+}
+
+TEST(OptimizerTest, BandwidthExemptionUnlocksTheCap)
+{
+    Budget b = budget(1000.0, 1e9, 50.0);
+    DesignPoint bound = optimize(het(100.0, 1.0), 0.99, b);
+    DesignPoint exempt = optimize(het(100.0, 1.0, true), 0.99, b);
+    EXPECT_GT(exempt.speedup, 5.0 * bound.speedup);
+}
+
+TEST(OptimizerTest, ContinuousRefinementNeverLoses)
+{
+    Budget b = budget(64.0, 9.0, 40.0);
+    for (double f : {0.5, 0.9, 0.99}) {
+        OptimizerOptions discrete;
+        OptimizerOptions continuous;
+        continuous.continuousR = true;
+        double s_d = optimize(het(3.0, 0.6), f, b, discrete).speedup;
+        double s_c = optimize(het(3.0, 0.6), f, b, continuous).speedup;
+        EXPECT_GE(s_c, s_d - 1e-9) << "f=" << f;
+    }
+}
+
+TEST(OptimizerTest, MinEnergyObjectivePicksTheSmallCore)
+{
+    // Serial energy grows as r^((alpha-1)/2); energy-optimal r is 1.
+    Budget b = budget(64.0, 1e9, 1e9);
+    OptimizerOptions opts;
+    opts.objective = Objective::MinEnergy;
+    DesignPoint dp = optimize(het(10.0, 0.8), 0.9, b, opts);
+    ASSERT_TRUE(dp.feasible);
+    EXPECT_DOUBLE_EQ(dp.r, 1.0);
+    DesignPoint perf = optimize(het(10.0, 0.8), 0.9, b);
+    EXPECT_LE(dp.energy.total(), perf.energy.total());
+    EXPECT_LE(dp.speedup, perf.speedup);
+}
+
+TEST(OptimizerTest, DynamicTakesTheTightestBudget)
+{
+    Organization dyn = dynamicCmp();
+    DesignPoint dp = optimize(dyn, 0.9, budget(30.0, 12.0, 50.0));
+    ASSERT_TRUE(dp.feasible);
+    EXPECT_DOUBLE_EQ(dp.n, 12.0);
+    EXPECT_EQ(dp.limiter, Limiter::Power);
+    EXPECT_NEAR(dp.speedup, model::speedupDynamic(0.9, 12.0), 1e-12);
+}
+
+TEST(OptimizerTest, RMaxIsRespected)
+{
+    Budget b = budget(1000.0, 1e9, 1e9);
+    OptimizerOptions opts;
+    opts.rMax = 4.0;
+    DesignPoint dp = optimize(symmetricCmp(), 0.0, b, opts);
+    EXPECT_DOUBLE_EQ(dp.r, 4.0);
+}
+
+TEST(OptimizerDeathTest, RejectsBadFraction)
+{
+    EXPECT_DEATH(optimize(symmetricCmp(), 1.5, budget(1, 1, 1)),
+                 "outside");
+}
+
+/** Property sweep: speedup never decreases when any budget grows. */
+class BudgetMonotonicity : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BudgetMonotonicity, LargerBudgetsNeverHurt)
+{
+    double f = GetParam();
+    Organization o = het(8.0, 0.7);
+    double prev = 0.0;
+    for (double scale = 1.0; scale <= 16.0; scale *= 2.0) {
+        Budget b = budget(10.0 * scale, 5.0 * scale, 8.0 * scale);
+        DesignPoint dp = optimize(o, f, b);
+        ASSERT_TRUE(dp.feasible);
+        EXPECT_GE(dp.speedup, prev - 1e-9) << "scale=" << scale;
+        prev = dp.speedup;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, BudgetMonotonicity,
+                         ::testing::Values(0.0, 0.5, 0.9, 0.99, 0.999,
+                                           1.0));
+
+} // namespace
+} // namespace core
+} // namespace hcm

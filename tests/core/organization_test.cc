@@ -1,0 +1,83 @@
+/** @file Tests for the chip-organization catalog. */
+
+#include <gtest/gtest.h>
+
+#include "core/organization.hh"
+
+namespace hcm {
+namespace core {
+namespace {
+
+TEST(OrganizationTest, CmpFactories)
+{
+    EXPECT_EQ(symmetricCmp().kind, OrgKind::SymmetricCmp);
+    EXPECT_EQ(symmetricCmp().paperIndex, 0);
+    EXPECT_EQ(asymmetricCmp().kind, OrgKind::AsymmetricCmp);
+    EXPECT_EQ(asymmetricCmp().paperIndex, 1);
+    EXPECT_FALSE(symmetricCmp().isHet());
+    EXPECT_EQ(dynamicCmp().kind, OrgKind::DynamicCmp);
+}
+
+TEST(OrganizationTest, HetCarriesDerivedParameters)
+{
+    auto o = heterogeneous(dev::DeviceId::Asic, wl::Workload::mmm());
+    ASSERT_TRUE(o);
+    EXPECT_TRUE(o->isHet());
+    EXPECT_EQ(o->paperIndex, 6);
+    EXPECT_NEAR(o->ucore.mu, 27.4, 0.6);
+    EXPECT_NEAR(o->ucore.phi, 0.79, 0.02);
+}
+
+TEST(OrganizationTest, AsicMmmIsBandwidthExempt)
+{
+    // Section 6: the ASIC MMM core blocks at N >= 2048 and is excluded
+    // from the bandwidth constraint — and only it.
+    EXPECT_TRUE(heterogeneous(dev::DeviceId::Asic, wl::Workload::mmm())
+                    ->bandwidthExempt);
+    EXPECT_FALSE(heterogeneous(dev::DeviceId::Asic,
+                               wl::Workload::fft(1024))->bandwidthExempt);
+    EXPECT_FALSE(heterogeneous(dev::DeviceId::Gtx285, wl::Workload::mmm())
+                     ->bandwidthExempt);
+}
+
+TEST(OrganizationTest, MissingDataYieldsNullopt)
+{
+    EXPECT_FALSE(heterogeneous(dev::DeviceId::R5870,
+                               wl::Workload::fft(1024)));
+    EXPECT_FALSE(heterogeneous(dev::DeviceId::Gtx480,
+                               wl::Workload::blackScholes()));
+}
+
+TEST(OrganizationTest, PaperLineupPerWorkload)
+{
+    // MMM plots all seven lines; FFT six (no R5870); BS five
+    // (no R5870, no GTX480).
+    EXPECT_EQ(paperOrganizations(wl::Workload::mmm()).size(), 7u);
+    EXPECT_EQ(paperOrganizations(wl::Workload::fft(1024)).size(), 6u);
+    EXPECT_EQ(paperOrganizations(wl::Workload::blackScholes()).size(), 5u);
+}
+
+TEST(OrganizationTest, LegendOrderMatchesPaper)
+{
+    auto orgs = paperOrganizations(wl::Workload::mmm());
+    int prev = -1;
+    for (const Organization &o : orgs) {
+        EXPECT_GT(o.paperIndex, prev);
+        prev = o.paperIndex;
+    }
+    EXPECT_EQ(orgs.front().name, "SymCMP");
+    EXPECT_EQ(orgs.back().name, "ASIC");
+}
+
+TEST(UCoreTest, EfficiencyGainAndValidation)
+{
+    UCoreParams p{10.0, 0.5};
+    EXPECT_DOUBLE_EQ(p.efficiencyGain(), 20.0);
+    p.check();
+    UCoreParams bad{0.0, 1.0};
+    EXPECT_DEATH(bad.check(), "mu");
+}
+
+} // namespace
+} // namespace core
+} // namespace hcm

@@ -1,0 +1,115 @@
+/** @file Tests for the speedup/energy Pareto explorer. */
+
+#include <gtest/gtest.h>
+
+#include "core/pareto.hh"
+
+namespace hcm {
+namespace core {
+namespace {
+
+const itrs::NodeParams &node22 = itrs::nodeParams(22.0);
+
+ParetoPoint
+point(double speedup, double energy)
+{
+    ParetoPoint p;
+    p.design.speedup = speedup;
+    p.design.feasible = true;
+    p.energyNormalized = energy;
+    return p;
+}
+
+TEST(ParetoTest, DominationSemantics)
+{
+    ParetoPoint fast_cheap = point(10.0, 0.5);
+    ParetoPoint slow_costly = point(5.0, 1.0);
+    ParetoPoint fast_costly = point(10.0, 1.0);
+    EXPECT_TRUE(fast_cheap.dominates(slow_costly));
+    EXPECT_TRUE(fast_cheap.dominates(fast_costly));
+    EXPECT_FALSE(slow_costly.dominates(fast_cheap));
+    // Equal points do not dominate each other.
+    EXPECT_FALSE(fast_cheap.dominates(point(10.0, 0.5)));
+    // Trade-off pairs do not dominate each other.
+    ParetoPoint slow_cheap = point(5.0, 0.2);
+    EXPECT_FALSE(slow_cheap.dominates(fast_cheap));
+    EXPECT_FALSE(fast_cheap.dominates(slow_cheap));
+}
+
+TEST(ParetoTest, FrontierFiltersDominatedAndSorts)
+{
+    std::vector<ParetoPoint> pts = {
+        point(10.0, 0.5), point(5.0, 1.0), point(5.0, 0.2),
+        point(8.0, 0.3), point(2.0, 0.25),
+    };
+    auto frontier = paretoFrontier(pts);
+    ASSERT_EQ(frontier.size(), 3u);
+    EXPECT_DOUBLE_EQ(frontier[0].design.speedup, 5.0);  // 0.2 energy
+    EXPECT_DOUBLE_EQ(frontier[1].design.speedup, 8.0);
+    EXPECT_DOUBLE_EQ(frontier[2].design.speedup, 10.0);
+}
+
+TEST(ParetoTest, DuplicatesCollapse)
+{
+    auto frontier =
+        paretoFrontier({point(3.0, 0.4), point(3.0, 0.4)});
+    EXPECT_EQ(frontier.size(), 1u);
+}
+
+TEST(ParetoTest, EnumerationCoversAllOrganizationsAndRs)
+{
+    auto pts = enumerateDesigns(wl::Workload::mmm(), 0.99, node22);
+    // 7 organizations; most contribute one point per integer r plus
+    // the fractional serial cap; DynCMP is absent from the paper set.
+    EXPECT_GT(pts.size(), 50u);
+    bool has_sym = false, has_asic = false;
+    for (const ParetoPoint &p : pts) {
+        EXPECT_TRUE(p.design.feasible);
+        EXPECT_GT(p.design.speedup, 0.0);
+        EXPECT_GT(p.energyNormalized, 0.0);
+        if (p.orgName == "SymCMP")
+            has_sym = true;
+        if (p.orgName == "ASIC")
+            has_asic = true;
+    }
+    EXPECT_TRUE(has_sym);
+    EXPECT_TRUE(has_asic);
+}
+
+TEST(ParetoTest, FrontierIsMonotoneTradeoff)
+{
+    auto frontier = paretoFrontier(wl::Workload::mmm(), 0.99, node22);
+    ASSERT_GE(frontier.size(), 2u);
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+        EXPECT_GT(frontier[i].design.speedup,
+                  frontier[i - 1].design.speedup);
+        // On a frontier, more speed must cost more energy.
+        EXPECT_GE(frontier[i].energyNormalized,
+                  frontier[i - 1].energyNormalized - 1e-12);
+    }
+}
+
+TEST(ParetoTest, AsicOwnsTheMmmFrontierEnd)
+{
+    // For MMM the ASIC dominates the high-speedup end (conclusion 2/4).
+    auto frontier = paretoFrontier(wl::Workload::mmm(), 0.99, node22);
+    EXPECT_EQ(frontier.back().orgName, "ASIC");
+    // And the lowest-energy point is also a U-core, not a CMP.
+    EXPECT_NE(frontier.front().orgName, "SymCMP");
+    EXPECT_NE(frontier.front().orgName, "AsymCMP");
+}
+
+TEST(ParetoTest, NoFrontierPointIsDominated)
+{
+    auto pts = enumerateDesigns(wl::Workload::fft(1024), 0.9, node22);
+    auto frontier = paretoFrontier(pts);
+    for (const ParetoPoint &f : frontier)
+        for (const ParetoPoint &p : pts)
+            EXPECT_FALSE(p.dominates(f))
+                << p.orgName << " dominates frontier point "
+                << f.orgName;
+}
+
+} // namespace
+} // namespace core
+} // namespace hcm

@@ -1,0 +1,69 @@
+/** @file Tests for the Section 6.2 scenario definitions. */
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.hh"
+
+namespace hcm {
+namespace core {
+namespace {
+
+TEST(ScenarioTest, BaselineMatchesTable6Assumptions)
+{
+    Scenario s = baselineScenario();
+    EXPECT_EQ(s.name, "baseline");
+    EXPECT_DOUBLE_EQ(s.baseBwGBs, 180.0);
+    EXPECT_DOUBLE_EQ(s.powerBudgetW, 100.0);
+    EXPECT_DOUBLE_EQ(s.areaScale, 1.0);
+    EXPECT_DOUBLE_EQ(s.alpha, 1.75);
+}
+
+TEST(ScenarioTest, SixAlternativesInPaperOrder)
+{
+    const auto &alts = alternativeScenarios();
+    ASSERT_EQ(alts.size(), 6u);
+    EXPECT_EQ(alts[0].name, "bandwidth-90");
+    EXPECT_DOUBLE_EQ(alts[0].baseBwGBs, 90.0);
+    EXPECT_EQ(alts[1].name, "bandwidth-1tb");
+    EXPECT_DOUBLE_EQ(alts[1].baseBwGBs, 1000.0);
+    EXPECT_EQ(alts[2].name, "half-area");
+    EXPECT_DOUBLE_EQ(alts[2].areaScale, 0.5);
+    EXPECT_EQ(alts[3].name, "power-200w");
+    EXPECT_DOUBLE_EQ(alts[3].powerBudgetW, 200.0);
+    EXPECT_EQ(alts[4].name, "power-10w");
+    EXPECT_DOUBLE_EQ(alts[4].powerBudgetW, 10.0);
+    EXPECT_EQ(alts[5].name, "alpha-2.25");
+    EXPECT_DOUBLE_EQ(alts[5].alpha, 2.25);
+}
+
+TEST(ScenarioTest, EachAlternativePerturbsExactlyOneKnob)
+{
+    Scenario base = baselineScenario();
+    for (const Scenario &s : alternativeScenarios()) {
+        int changed = 0;
+        if (s.baseBwGBs != base.baseBwGBs)
+            ++changed;
+        if (s.powerBudgetW != base.powerBudgetW)
+            ++changed;
+        if (s.areaScale != base.areaScale)
+            ++changed;
+        if (s.alpha != base.alpha)
+            ++changed;
+        EXPECT_EQ(changed, 1) << s.name;
+    }
+}
+
+TEST(ScenarioTest, LookupByName)
+{
+    EXPECT_DOUBLE_EQ(scenarioByName("power-10w").powerBudgetW, 10.0);
+    EXPECT_EQ(scenarioByName("baseline").name, "baseline");
+}
+
+TEST(ScenarioDeathTest, UnknownNamePanics)
+{
+    EXPECT_DEATH(scenarioByName("warp-drive"), "unknown scenario");
+}
+
+} // namespace
+} // namespace core
+} // namespace hcm

@@ -1,0 +1,105 @@
+/** @file Tests for budget-elasticity analysis. */
+
+#include <gtest/gtest.h>
+
+#include "core/sensitivity.hh"
+
+namespace hcm {
+namespace core {
+namespace {
+
+Organization
+het(double mu, double phi, bool exempt = false)
+{
+    Organization o;
+    o.kind = OrgKind::Heterogeneous;
+    o.name = "test-ucore";
+    o.ucore = UCoreParams{mu, phi};
+    o.bandwidthExempt = exempt;
+    return o;
+}
+
+TEST(SensitivityTest, BandwidthBoundDesignReturnsOnBandwidth)
+{
+    // Tight pipe, loose everything else.
+    Budget b{1000.0, 1000.0, 20.0};
+    BudgetSensitivity s = budgetSensitivity(het(50.0, 1.0), 0.99, b);
+    EXPECT_GT(s.bandwidth, 0.5);
+    EXPECT_LT(s.area, 0.1);
+    EXPECT_LT(s.power, 0.1);
+    EXPECT_EQ(s.dominant(), Limiter::Bandwidth);
+}
+
+TEST(SensitivityTest, PowerBoundDesignReturnsOnPower)
+{
+    Budget b{1000.0, 10.0, 1000.0};
+    BudgetSensitivity s = budgetSensitivity(het(5.0, 1.0), 0.99, b);
+    EXPECT_GT(s.power, 0.5);
+    EXPECT_LT(s.bandwidth, 0.1);
+    EXPECT_EQ(s.dominant(), Limiter::Power);
+}
+
+TEST(SensitivityTest, AreaBoundDesignReturnsOnArea)
+{
+    Budget b{20.0, 1000.0, 1000.0};
+    BudgetSensitivity s = budgetSensitivity(het(5.0, 1.0), 0.99, b);
+    EXPECT_GT(s.area, 0.5);
+    EXPECT_EQ(s.dominant(), Limiter::Area);
+}
+
+TEST(SensitivityTest, ElasticitiesAreBoundedByAmdahl)
+{
+    // With f < 1 the serial term caps how much any budget can return.
+    Budget b{50.0, 15.0, 40.0};
+    for (double f : {0.5, 0.9, 0.99}) {
+        BudgetSensitivity s = budgetSensitivity(het(8.0, 0.7), f, b);
+        EXPECT_GE(s.total(), -0.05) << "f=" << f;
+        EXPECT_LE(s.total(), 1.05) << "f=" << f;
+        // Lower f -> the serial phase dominates -> smaller returns.
+        if (f == 0.5) {
+            EXPECT_LT(s.total(), 0.6);
+        }
+    }
+}
+
+TEST(SensitivityTest, DominantAgreesWithOptimizerLimiter)
+{
+    // For clearly-limited designs the elasticity ranking matches the
+    // limiter classification.
+    struct Case
+    {
+        Budget b;
+        Limiter expect;
+    };
+    const Case cases[] = {
+        {{1000.0, 1000.0, 10.0}, Limiter::Bandwidth},
+        {{1000.0, 8.0, 1000.0}, Limiter::Power},
+        {{15.0, 1000.0, 1000.0}, Limiter::Area},
+    };
+    for (const Case &c : cases) {
+        Organization o = het(10.0, 0.8);
+        DesignPoint dp = optimize(o, 0.99, c.b);
+        ASSERT_TRUE(dp.feasible);
+        EXPECT_EQ(dp.limiter, c.expect);
+        EXPECT_EQ(budgetSensitivity(o, 0.99, c.b).dominant(), c.expect);
+    }
+}
+
+TEST(SensitivityTest, ExemptDesignIgnoresBandwidth)
+{
+    Budget b{1000.0, 1000.0, 5.0};
+    BudgetSensitivity s =
+        budgetSensitivity(het(50.0, 1.0, true), 0.99, b);
+    EXPECT_NEAR(s.bandwidth, 0.0, 1e-9);
+}
+
+TEST(SensitivityDeathTest, RejectsBadStep)
+{
+    Budget b{10.0, 10.0, 10.0};
+    EXPECT_DEATH(budgetSensitivity(het(2.0, 1.0), 0.9, b, {}, 0.9),
+                 "step");
+}
+
+} // namespace
+} // namespace core
+} // namespace hcm

@@ -1,0 +1,85 @@
+/** @file Tests for the Table 2 device catalog. */
+
+#include <gtest/gtest.h>
+
+#include "devices/device.hh"
+
+namespace hcm {
+namespace dev {
+namespace {
+
+TEST(DeviceTest, CatalogHasAllSixDevices)
+{
+    EXPECT_EQ(allDevices().size(), 6u);
+}
+
+TEST(DeviceTest, CoreI7Row)
+{
+    const Device &d = deviceInfo(DeviceId::CoreI7);
+    EXPECT_EQ(d.name, "Core i7-960");
+    EXPECT_EQ(d.cls, DeviceClass::CPU);
+    EXPECT_EQ(d.year, 2009);
+    EXPECT_DOUBLE_EQ(d.nodeNm, 45.0);
+    EXPECT_DOUBLE_EQ(d.dieArea.value(), 263.0);
+    EXPECT_DOUBLE_EQ(d.coreArea.value(), 193.0);
+    EXPECT_DOUBLE_EQ(d.clock.value(), 3.2);
+    EXPECT_DOUBLE_EQ(d.memBw.value(), 32.0);
+    EXPECT_EQ(d.coreCount, 4);
+}
+
+TEST(DeviceTest, GpuRows)
+{
+    const Device &g285 = deviceInfo(DeviceId::Gtx285);
+    EXPECT_DOUBLE_EQ(g285.nodeNm, 55.0);
+    EXPECT_DOUBLE_EQ(g285.coreArea.value(), 338.0);
+    EXPECT_DOUBLE_EQ(g285.memBw.value(), 159.0);
+
+    const Device &g480 = deviceInfo(DeviceId::Gtx480);
+    EXPECT_DOUBLE_EQ(g480.nodeNm, 40.0);
+    EXPECT_DOUBLE_EQ(g480.coreArea.value(), 422.0);
+    EXPECT_DOUBLE_EQ(g480.memBw.value(), 177.4);
+    EXPECT_EQ(g480.year, 2010);
+}
+
+TEST(DeviceTest, R5870AssumesQuarterNonCompute)
+{
+    const Device &d = deviceInfo(DeviceId::R5870);
+    EXPECT_DOUBLE_EQ(d.dieArea.value(), 334.0);
+    EXPECT_NEAR(d.coreArea.value(), 334.0 * 0.75, 1e-9);
+}
+
+TEST(DeviceTest, FpgaAndAsicHavePerDesignAreas)
+{
+    EXPECT_DOUBLE_EQ(deviceInfo(DeviceId::Lx760).coreArea.value(), 0.0);
+    EXPECT_DOUBLE_EQ(deviceInfo(DeviceId::Asic).coreArea.value(), 0.0);
+    EXPECT_EQ(deviceInfo(DeviceId::Asic).year, 2007);
+    EXPECT_DOUBLE_EQ(deviceInfo(DeviceId::Asic).nodeNm, 65.0);
+}
+
+TEST(DeviceTest, Lx760EffectiveAreaConsistentWithTable4)
+{
+    // 204 GFLOP/s at 0.53 GFLOP/s/mm^2 and 7800 Mopts/s at 20.26 both
+    // give ~385 mm^2.
+    EXPECT_NEAR(lx760EffectiveArea().value(), 204.0 / 0.53, 1.0);
+    EXPECT_NEAR(lx760EffectiveArea().value(), 7800.0 / 20.26, 1.0);
+}
+
+TEST(DeviceTest, Lx760AreaImpliesPlausibleLutCount)
+{
+    double luts = lx760EffectiveArea().value() / kAreaPerLutMm2;
+    EXPECT_GT(luts, 100e3);
+    EXPECT_LT(luts, 500e3); // the LX760 has ~474k 6-LUTs
+}
+
+TEST(DeviceTest, ClassNames)
+{
+    EXPECT_EQ(className(DeviceClass::CPU), "CPU");
+    EXPECT_EQ(className(DeviceClass::GPU), "GPU");
+    EXPECT_EQ(className(DeviceClass::FPGA), "FPGA");
+    EXPECT_EQ(className(DeviceClass::ASIC), "ASIC");
+    EXPECT_EQ(deviceName(DeviceId::Lx760), "V6-LX760");
+}
+
+} // namespace
+} // namespace dev
+} // namespace hcm

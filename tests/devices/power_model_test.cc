@@ -1,0 +1,113 @@
+/** @file Tests for the Figure 3 power-breakdown model. */
+
+#include <gtest/gtest.h>
+
+#include "devices/measured.hh"
+#include "devices/power_model.hh"
+#include "devices/tech_node.hh"
+
+namespace hcm {
+namespace dev {
+namespace {
+
+TEST(PowerModelTest, BreakdownComponentsSumToTotal)
+{
+    PowerBreakdown b;
+    b.coreDynamic = Power(10.0);
+    b.coreLeakage = Power(2.0);
+    b.uncoreStatic = Power(3.0);
+    b.uncoreDynamic = Power(4.0);
+    b.unknown = Power(1.0);
+    EXPECT_DOUBLE_EQ(b.total().value(), 20.0);
+    EXPECT_DOUBLE_EQ(b.core().value(), 12.0);
+}
+
+TEST(PowerModelTest, CorePowerPassesThroughAnchors)
+{
+    for (DeviceId id : FftPerfModel::figureDevices()) {
+        FftPowerModel model(id);
+        for (std::size_t n : table5FftSizes()) {
+            double expect = MeasurementDb::instance()
+                                .get(id, wl::Workload::fft(n))
+                                .power40.value();
+            EXPECT_NEAR(model.corePower40At(n).value() / expect, 1.0, 1e-9)
+                << deviceName(id) << " N=" << n;
+        }
+    }
+}
+
+TEST(PowerModelTest, BreakdownCoreMatchesDenormalizedCurve)
+{
+    for (DeviceId id : FftPerfModel::figureDevices()) {
+        FftPowerModel model(id);
+        double node = deviceInfo(id).nodeNm;
+        for (std::size_t n : {64u, 4096u}) {
+            PowerBreakdown b = model.breakdownAt(n);
+            Power expect =
+                denormalizePowerFrom40(model.corePower40At(n), node);
+            EXPECT_NEAR(b.core().value(), expect.value(), 1e-9)
+                << deviceName(id) << " N=" << n;
+        }
+    }
+}
+
+TEST(PowerModelTest, AllComponentsNonNegative)
+{
+    for (DeviceId id : FftPerfModel::figureDevices()) {
+        FftPowerModel model(id);
+        for (std::size_t n : FftPerfModel::figureSizes()) {
+            PowerBreakdown b = model.breakdownAt(n);
+            EXPECT_GE(b.coreDynamic.value(), 0.0);
+            EXPECT_GE(b.coreLeakage.value(), 0.0);
+            EXPECT_GE(b.uncoreStatic.value(), 0.0);
+            EXPECT_GE(b.uncoreDynamic.value(), 0.0);
+            EXPECT_GE(b.unknown.value(), 0.0);
+        }
+    }
+}
+
+TEST(PowerModelTest, LeakageFractionsFollowDeviceClass)
+{
+    // FPGAs leak more than CPUs/GPUs; ASICs least (Figure 3's shapes).
+    EXPECT_GT(FftPowerModel(DeviceId::Lx760).leakageFraction(),
+              FftPowerModel(DeviceId::CoreI7).leakageFraction());
+    EXPECT_LT(FftPowerModel(DeviceId::Asic).leakageFraction(),
+              FftPowerModel(DeviceId::CoreI7).leakageFraction());
+}
+
+TEST(PowerModelTest, TotalsMatchFigure3Magnitudes)
+{
+    // Figure 3's y axis tops out around 250 W; every modeled total stays
+    // within it, and GPUs burn far more than the ASIC cores.
+    for (DeviceId id : FftPerfModel::figureDevices()) {
+        FftPowerModel model(id);
+        for (std::size_t n : FftPerfModel::figureSizes()) {
+            double total = model.breakdownAt(n).total().value();
+            EXPECT_GT(total, 0.0);
+            EXPECT_LT(total, 260.0) << deviceName(id) << " N=" << n;
+        }
+    }
+    double gpu = FftPowerModel(DeviceId::Gtx480)
+                     .breakdownAt(16384).total().value();
+    double asic = FftPowerModel(DeviceId::Asic)
+                      .breakdownAt(16384).total().value();
+    EXPECT_GT(gpu, 5.0 * asic);
+}
+
+TEST(PowerModelTest, UncoreDynamicGrowsWithTraffic)
+{
+    FftPowerModel model(DeviceId::Gtx285);
+    double small = model.breakdownAt(64).uncoreDynamic.value();
+    double large = model.breakdownAt(1u << 16).uncoreDynamic.value();
+    EXPECT_GT(large, small);
+}
+
+TEST(PowerModelDeathTest, R5870Unsupported)
+{
+    // The bandwidth-model member trips first; either message is fine.
+    EXPECT_DEATH(FftPowerModel(DeviceId::R5870), "model");
+}
+
+} // namespace
+} // namespace dev
+} // namespace hcm

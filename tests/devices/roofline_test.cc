@@ -1,0 +1,80 @@
+/** @file Tests for the roofline analysis tool. */
+
+#include <gtest/gtest.h>
+
+#include "devices/roofline.hh"
+
+namespace hcm {
+namespace dev {
+namespace {
+
+TEST(RooflineTest, BasicGeometry)
+{
+    // 100 Gops/s ceiling against a 50 GB/s pipe: ridge at 2 ops/byte.
+    Roofline r(Perf(100.0), Bandwidth(50.0));
+    EXPECT_DOUBLE_EQ(r.ridgeIntensity(), 2.0);
+    EXPECT_DOUBLE_EQ(r.attainable(1.0).value(), 50.0);  // memory side
+    EXPECT_DOUBLE_EQ(r.attainable(2.0).value(), 100.0); // the ridge
+    EXPECT_DOUBLE_EQ(r.attainable(8.0).value(), 100.0); // compute side
+    EXPECT_FALSE(r.computeBound(1.0));
+    EXPECT_TRUE(r.computeBound(2.0));
+}
+
+TEST(RooflineTest, AttainableIsMonotoneAndCapped)
+{
+    Roofline r(Perf(425.0), Bandwidth(159.0));
+    double prev = 0.0;
+    for (double i = 0.01; i < 100.0; i *= 2.0) {
+        double v = r.attainable(i).value();
+        EXPECT_GE(v, prev);
+        EXPECT_LE(v, 425.0);
+        prev = v;
+    }
+}
+
+TEST(RooflineTest, Gtx285MmmIsComputeBound)
+{
+    // Section 5's compute-bound verification: MMM's N/4 intensity sits
+    // far above the GTX285's ridge.
+    Roofline r = Roofline::forDevice(DeviceId::Gtx285,
+                                     wl::Workload::mmm());
+    EXPECT_NEAR(r.peakPerf().value(), 425.0, 1e-9);
+    EXPECT_NEAR(r.peakBandwidth().value(), 159.0, 1e-9);
+    EXPECT_TRUE(r.computeBound(wl::Workload::mmm()));
+}
+
+TEST(RooflineTest, SmallFftsSitNearTheGpuRidge)
+{
+    // FFT intensity 0.3125 log2 N: at the measured GTX285 rates the
+    // ridge falls around log2 N ~ 4-5, so even FFT-64 is (barely)
+    // compute-bound — the paper's Figure 4 finding.
+    Roofline r64 = Roofline::forDevice(DeviceId::Gtx285,
+                                       wl::Workload::fft(64));
+    EXPECT_TRUE(r64.computeBound(wl::Workload::fft(64)));
+    // A hypothetical 10x-faster core at the same pipe would not be.
+    Roofline fast(r64.peakPerf() * 10.0, r64.peakBandwidth());
+    EXPECT_FALSE(fast.computeBound(wl::Workload::fft(64)));
+}
+
+TEST(RooflineTest, AttainableForWorkloadUsesCompulsoryIntensity)
+{
+    Roofline r(Perf(1000.0), Bandwidth(100.0));
+    auto bs = wl::Workload::blackScholes();
+    // BS: 0.1 ops/byte -> memory-bound at 10 Gops/s.
+    EXPECT_NEAR(r.attainable(bs).value(), 100.0 * bs.intensity(), 1e-9);
+}
+
+TEST(RooflineDeathTest, Guards)
+{
+    EXPECT_DEATH(Roofline(Perf(0.0), Bandwidth(1.0)), "peak perf");
+    EXPECT_DEATH(Roofline(Perf(1.0), Bandwidth(1.0)).attainable(0.0),
+                 "intensity");
+    // The LX760 has no published memory bandwidth.
+    EXPECT_DEATH(Roofline::forDevice(DeviceId::Lx760,
+                                     wl::Workload::mmm()),
+                 "bandwidth");
+}
+
+} // namespace
+} // namespace dev
+} // namespace hcm

@@ -1,0 +1,65 @@
+/** @file Tests for the 40/45nm normalization convention (Section 5). */
+
+#include <gtest/gtest.h>
+
+#include "devices/tech_node.hh"
+
+namespace hcm {
+namespace dev {
+namespace {
+
+TEST(TechNodeTest, IdealShrinkIsQuadratic)
+{
+    EXPECT_NEAR(idealAreaScale(80.0, 40.0), 0.25, 1e-12);
+    EXPECT_NEAR(idealAreaScale(40.0, 80.0), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(idealAreaScale(40.0, 40.0), 1.0);
+}
+
+TEST(TechNodeTest, FortyFiveTreatedAsForty)
+{
+    // The paper normalizes "to die area in 40nm/45nm": both count as the
+    // reference generation.
+    EXPECT_DOUBLE_EQ(areaScaleTo40(40.0), 1.0);
+    EXPECT_DOUBLE_EQ(areaScaleTo40(45.0), 1.0);
+    EXPECT_DOUBLE_EQ(areaScaleTo40(32.0), 1.0);
+}
+
+TEST(TechNodeTest, OlderNodesShrink)
+{
+    EXPECT_NEAR(areaScaleTo40(55.0), (40.0 / 55.0) * (40.0 / 55.0), 1e-12);
+    EXPECT_NEAR(areaScaleTo40(65.0), (40.0 / 65.0) * (40.0 / 65.0), 1e-12);
+}
+
+TEST(TechNodeTest, Gtx285CoreAreaMatchesTable4)
+{
+    // 338 mm^2 at 55nm -> ~178.8 mm^2; Table 4: 425 / 2.40 = 177 mm^2.
+    Area norm = normalizeAreaTo40(Area(338.0), 55.0);
+    EXPECT_NEAR(norm.value(), 425.0 / 2.40, 3.0);
+}
+
+TEST(TechNodeTest, AsicAreaScalesFrom65)
+{
+    // A 95 mm^2 65nm MMM core becomes ~36 mm^2 (Table 4: 694/19.28).
+    Area norm = normalizeAreaTo40(Area(694.0 / 19.28 / areaScaleTo40(65.0)),
+                                  65.0);
+    EXPECT_NEAR(norm.value(), 694.0 / 19.28, 1e-9);
+}
+
+TEST(TechNodeTest, PowerScaleConvention)
+{
+    EXPECT_DOUBLE_EQ(powerScaleTo40(45.0), 1.0);
+    EXPECT_NEAR(powerScaleTo40(55.0), 40.0 / 55.0, 1e-12);
+    // Raw 65nm power is larger than its 40nm-normalized value.
+    Power raw = denormalizePowerFrom40(Power(10.0), 65.0);
+    EXPECT_NEAR(raw.value(), 10.0 * 65.0 / 40.0, 1e-9);
+}
+
+TEST(TechNodeDeathTest, RejectsNonPositiveNodes)
+{
+    EXPECT_DEATH(areaScaleTo40(0.0), "positive");
+    EXPECT_DEATH(idealAreaScale(-1.0, 40.0), "positive");
+}
+
+} // namespace
+} // namespace dev
+} // namespace hcm

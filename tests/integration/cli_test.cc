@@ -1,0 +1,187 @@
+/** @file End-to-end tests of the `hcm` CLI binary (path injected by
+ *  CMake as HCM_CLI_PATH). */
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+#ifndef HCM_CLI_PATH
+#define HCM_CLI_PATH "hcm"
+#endif
+
+/** Run the CLI with @p args; returns (exit status, stdout+stderr). */
+std::pair<int, std::string>
+runCli(const std::string &args)
+{
+    std::string cmd = std::string(HCM_CLI_PATH) + " " + args + " 2>&1";
+    FILE *pipe = popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::string out;
+    std::array<char, 4096> buf;
+    while (fgets(buf.data(), buf.size(), pipe))
+        out += buf.data();
+    int status = pclose(pipe);
+    return {WEXITSTATUS(status), out};
+}
+
+TEST(CliTest, HelpPrintsUsage)
+{
+    auto [code, out] = runCli("help");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("usage: hcm"), std::string::npos);
+}
+
+TEST(CliTest, NoArgsShowsHelp)
+{
+    auto [code, out] = runCli("");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("commands:"), std::string::npos);
+}
+
+TEST(CliTest, TableFivePrintsParameters)
+{
+    auto [code, out] = runCli("table 5");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("U-core parameters"), std::string::npos);
+    EXPECT_NE(out.find("GTX285"), std::string::npos);
+    EXPECT_NE(out.find("FFT-16384"), std::string::npos);
+}
+
+TEST(CliTest, ProjectMmmHighParallelism)
+{
+    auto [code, out] = runCli("project --workload mmm --f 0.999");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("MMM"), std::string::npos);
+    EXPECT_NE(out.find("ASIC"), std::string::npos);
+    EXPECT_NE(out.find("(p)"), std::string::npos);
+}
+
+TEST(CliTest, OptimizeWithScenario)
+{
+    auto [code, out] = runCli(
+        "optimize --workload fft:1024 --f 0.9 --node 11 "
+        "--scenario power-10w");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("Best designs"), std::string::npos);
+    EXPECT_NE(out.find("bandwidth"), std::string::npos); // the ASIC row
+}
+
+TEST(CliTest, FigureWritesFiles)
+{
+    auto [code, out] = runCli("figure 8 --out /tmp/hcm_cli_test_out");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("fig8"), std::string::npos);
+    FILE *f = fopen("/tmp/hcm_cli_test_out/fig8.csv", "r");
+    ASSERT_NE(f, nullptr);
+    fclose(f);
+}
+
+TEST(CliTest, ListShowsVocabulary)
+{
+    auto [code, out] = runCli("list");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("bandwidth-1tb"), std::string::npos);
+    EXPECT_NE(out.find("V6-LX760"), std::string::npos);
+}
+
+TEST(CliTest, BadInputsFailCleanly)
+{
+    EXPECT_EQ(runCli("table 9").first, 1);
+    EXPECT_EQ(runCli("project --workload quantum").first, 1);
+    EXPECT_EQ(runCli("frobnicate").first, 1);
+    EXPECT_NE(runCli("frobnicate").second.find("unknown command"),
+              std::string::npos);
+}
+
+TEST(CliTest, ParetoFrontier)
+{
+    auto [code, out] = runCli("pareto --workload mmm --f 0.99 --node 22");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("Pareto frontier"), std::string::npos);
+    EXPECT_NE(out.find("ASIC"), std::string::npos);
+}
+
+TEST(CliTest, SimulateCrossChecksAnalytic)
+{
+    auto [code, out] = runCli("simulate --workload mmm --f 0.99 "
+                              "--node 22 --device gtx285 --chunks 2000");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("analytic speedup"), std::string::npos);
+    EXPECT_NE(out.find("simulated speedup"), std::string::npos);
+    EXPECT_NE(out.find("tile utilization"), std::string::npos);
+}
+
+TEST(CliTest, SimulateRequiresDevice)
+{
+    auto [code, out] = runCli("simulate --workload mmm --f 0.99");
+    EXPECT_EQ(code, 1);
+    EXPECT_NE(out.find("--device"), std::string::npos);
+}
+
+TEST(CliTest, EnergyFlagSwitchesMetric)
+{
+    auto [code, out] = runCli("project --workload mmm --f 0.9 --energy");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("Energy"), std::string::npos);
+}
+
+TEST(CliTest, JsonProjection)
+{
+    auto [code, out] = runCli("project --workload fft:1024 --f 0.99 "
+                              "--json");
+    EXPECT_EQ(code, 0);
+    EXPECT_EQ(out.front(), '{');
+    EXPECT_NE(out.find("\"workload\":\"FFT-1024\""), std::string::npos);
+    EXPECT_NE(out.find("\"speedup\":"), std::string::npos);
+}
+
+TEST(CliTest, MixedFabricChip)
+{
+    auto [code, out] = runCli(
+        "mixed --slot asic:mmm:0.5 --slot gtx285:fft:1024:0.45");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("Mixed-fabric chip (partitioned)"),
+              std::string::npos);
+    EXPECT_NE(out.find("ASIC:MMM"), std::string::npos);
+    EXPECT_NE(out.find("GTX285:FFT-1024"), std::string::npos);
+    EXPECT_NE(out.find("11nm"), std::string::npos);
+}
+
+TEST(CliTest, MixedRequiresSlots)
+{
+    auto [code, out] = runCli("mixed");
+    EXPECT_EQ(code, 1);
+    EXPECT_NE(out.find("--slot"), std::string::npos);
+}
+
+TEST(CliTest, CrossoverTable)
+{
+    auto [code, out] = runCli(
+        "crossover --workload fft:1024 --target 1.5");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("Minimum f"), std::string::npos);
+    EXPECT_NE(out.find("ASIC"), std::string::npos);
+    EXPECT_NE(out.find("0."), std::string::npos);
+}
+
+TEST(CliTest, RooflineTable)
+{
+    auto [code, out] = runCli("roofline --workload mmm");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("ridge"), std::string::npos);
+    EXPECT_NE(out.find("yes"), std::string::npos);
+}
+
+TEST(CliTest, TrafficMeasurement)
+{
+    auto [code, out] = runCli("traffic --workload fft:1024 --cache 64");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("compulsory"), std::string::npos);
+    EXPECT_NE(out.find("working set"), std::string::npos);
+}
+
+} // namespace

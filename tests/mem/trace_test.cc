@@ -1,0 +1,87 @@
+/** @file Tests for the kernel address-trace generators. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mem/trace.hh"
+
+namespace hcm {
+namespace mem {
+namespace {
+
+struct Counter
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t readBytes = 0;
+    std::uint64_t writeBytes = 0;
+    Addr maxAddr = 0;
+
+    void
+    operator()(const Access &a)
+    {
+        ++accesses;
+        if (a.write)
+            writeBytes += a.bytes;
+        else
+            readBytes += a.bytes;
+        maxAddr = std::max(maxAddr, a.addr + a.bytes);
+    }
+};
+
+TEST(TraceTest, FftTraceVolume)
+{
+    // Each of log2 N passes reads N and writes N complex points.
+    constexpr std::size_t n = 256;
+    Counter c;
+    fftTrace(n, std::ref(c));
+    EXPECT_EQ(c.readBytes, 8u * n * 8);  // log2(256)=8 passes
+    EXPECT_EQ(c.writeBytes, 8u * n * 8);
+    EXPECT_LE(c.maxAddr, 2u * n * 8);    // two ping-pong buffers
+}
+
+TEST(TraceTest, MmmTraceVolume)
+{
+    constexpr std::size_t n = 16, block = 8;
+    Counter c;
+    mmmTrace(n, block, std::ref(c));
+    // Inner kernel: per (i, p): one A read; per (i, p, j): B read +
+    // C read + C write -> n^2 A reads x (n/block tiles of j)... easier:
+    // total B reads = n^3 elements of 4 bytes.
+    EXPECT_EQ(c.writeBytes, 4u * n * n * n);       // C writes
+    EXPECT_GE(c.readBytes, 2u * 4u * n * n * n);   // B + C reads, plus A
+    EXPECT_LE(c.maxAddr, 3u * 4u * n * n);
+}
+
+TEST(TraceTest, BsTraceIsStreaming)
+{
+    Counter c;
+    bsTrace(1000, std::ref(c));
+    EXPECT_EQ(c.accesses, 2000u);
+    EXPECT_EQ(c.readBytes, 20000u);
+    EXPECT_EQ(c.writeBytes, 4000u);
+}
+
+TEST(TraceTest, ReplayCountsTraffic)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 1024;
+    cfg.lineBytes = 64;
+    cfg.ways = 2;
+    Cache cache(cfg);
+    std::uint64_t traffic = replay(cache, [](const AccessSink &sink) {
+        bsTrace(100, sink);
+    });
+    EXPECT_GT(traffic, 0u);
+    EXPECT_EQ(traffic, cache.stats().trafficBytes(64));
+}
+
+TEST(TraceDeathTest, FftRejectsNonPow2)
+{
+    Counter c;
+    EXPECT_DEATH(fftTrace(100, std::ref(c)), "power of two");
+}
+
+} // namespace
+} // namespace mem
+} // namespace hcm

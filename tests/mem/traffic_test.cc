@@ -1,0 +1,110 @@
+/** @file Integration tests: measured cache traffic vs the paper's
+ *  compulsory-bandwidth assumption (Section 3.2, Figure 4). */
+
+#include <gtest/gtest.h>
+
+#include "mem/traffic.hh"
+
+namespace hcm {
+namespace mem {
+namespace {
+
+CacheConfig
+cacheOf(std::size_t kib)
+{
+    CacheConfig c;
+    c.sizeBytes = kib * 1024;
+    c.lineBytes = 64;
+    c.ways = 8;
+    return c;
+}
+
+TEST(TrafficTest, WorkingSetFormulas)
+{
+    EXPECT_DOUBLE_EQ(workingSetBytes(wl::Workload::fft(1024)),
+                     2.0 * 8.0 * 1024.0);
+    EXPECT_DOUBLE_EQ(workingSetBytes(wl::Workload::mmm(32)),
+                     3.0 * 4.0 * 128.0 * 128.0);
+    EXPECT_GT(workingSetBytes(wl::Workload::blackScholes()), 1e6);
+}
+
+TEST(TrafficTest, FftFittingWorkingSetIsCompulsory)
+{
+    // FFT-1024's two buffers are 16 KB; a 64 KB cache holds them, so
+    // only cold misses (the compulsory 16 N bytes) reach memory.
+    auto w = wl::Workload::fft(1024);
+    TrafficResult r = measureTraffic(w, cacheOf(64));
+    EXPECT_NEAR(r.multiplier(), 1.0, 0.1);
+}
+
+TEST(TrafficTest, FftSpilledWorkingSetMultipliesTraffic)
+{
+    // FFT-16384 needs 256 KB; through a 32 KB cache every pass spills,
+    // so traffic approaches read-fill + write-allocate fill + writeback
+    // of the data on each of the log2 N = 14 passes (1.5x the pass
+    // count vs the compulsory single pass) — the paper's out-of-core
+    // regime.
+    auto w = wl::Workload::fft(16384);
+    TrafficResult r = measureTraffic(w, cacheOf(32));
+    EXPECT_GT(r.multiplier(), 4.0);
+    EXPECT_LE(r.multiplier(), 1.5 * 14.0 + 0.5);
+}
+
+TEST(TrafficTest, FftMultiplierDropsWithLargerCaches)
+{
+    auto w = wl::Workload::fft(8192);
+    double prev = 1e18;
+    for (std::size_t kib : {16u, 64u, 256u, 1024u}) {
+        TrafficResult r = measureTraffic(w, cacheOf(kib));
+        EXPECT_LE(r.multiplier(), prev + 1e-9) << kib << " KiB";
+        prev = r.multiplier();
+    }
+    // The largest cache holds everything: compulsory only.
+    EXPECT_NEAR(prev, 1.0, 0.1);
+}
+
+TEST(TrafficTest, BlockedMmmWithFittingTilesBeatsCompulsoryBudget)
+{
+    // With 3 tiles of 32x32 floats (12 KB) resident, the blocked MMM's
+    // traffic stays within a small factor of the footnote-3 compulsory
+    // budget (which charges 8 N^2 bytes per block-pass).
+    auto w = wl::Workload::mmm(32);
+    TrafficResult r = measureTraffic(w, cacheOf(64));
+    EXPECT_LT(r.multiplier(), 3.0);
+}
+
+TEST(TrafficTest, TinyCacheThrashesMmm)
+{
+    auto w = wl::Workload::mmm(64); // tiles of 16 KB each
+    TrafficResult small = measureTraffic(w, cacheOf(16));
+    TrafficResult big = measureTraffic(w, cacheOf(1024));
+    EXPECT_GT(small.multiplier(), 3.0 * big.multiplier());
+}
+
+TEST(TrafficTest, BlackScholesIsPureStreaming)
+{
+    // No reuse at all: traffic ~ the streamed bytes regardless of
+    // cache size. The kernel touches 24 bytes/option against the
+    // paper's 10 compulsory bytes, so the multiplier sits near 2.4;
+    // the small cache adds the output stream's writebacks (0.4) that
+    // the big cache still holds dirty at end of run.
+    auto w = wl::Workload::blackScholes();
+    TrafficResult small = measureTraffic(w, cacheOf(16));
+    TrafficResult big = measureTraffic(w, cacheOf(4096));
+    EXPECT_NEAR(big.multiplier(), 2.4, 0.1);
+    EXPECT_NEAR(small.multiplier(), 2.8, 0.1);
+    EXPECT_GE(small.multiplier(), big.multiplier());
+}
+
+TEST(TrafficTest, StatsArePopulated)
+{
+    TrafficResult r = measureTraffic(wl::Workload::fft(1024),
+                                     cacheOf(64));
+    EXPECT_GT(r.stats.accesses(), 0u);
+    EXPECT_GT(r.trafficBytes, 0u);
+    EXPECT_EQ(r.trafficBytes, r.stats.trafficBytes(64));
+}
+
+} // namespace
+} // namespace mem
+} // namespace hcm

@@ -1,0 +1,115 @@
+/** @file Unit tests for plot/ascii_chart. */
+
+#include <gtest/gtest.h>
+
+#include "plot/ascii_chart.hh"
+
+namespace hcm {
+namespace plot {
+namespace {
+
+Series
+ramp(const std::string &name, double k)
+{
+    Series s(name);
+    for (int i = 1; i <= 8; ++i)
+        s.add(i, k * i);
+    return s;
+}
+
+TEST(AsciiChartTest, RendersTitleAxesAndLegend)
+{
+    AsciiChart chart("speedups", Axis{"node", false, {}},
+                     Axis{"speedup", false, {}});
+    chart.add(ramp("asic", 3.0));
+    std::string out = chart.render();
+    EXPECT_NE(out.find("speedups"), std::string::npos);
+    EXPECT_NE(out.find("x: node"), std::string::npos);
+    EXPECT_NE(out.find("y: speedup"), std::string::npos);
+    EXPECT_NE(out.find("legend:"), std::string::npos);
+    EXPECT_NE(out.find("asic"), std::string::npos);
+}
+
+TEST(AsciiChartTest, DistinctGlyphsPerSeries)
+{
+    EXPECT_NE(seriesGlyph(0), seriesGlyph(1));
+    EXPECT_EQ(seriesGlyph(0), seriesGlyph(12)); // wraps at palette size
+}
+
+TEST(AsciiChartTest, EmptyChartSaysNoData)
+{
+    AsciiChart chart("empty", Axis{}, Axis{});
+    EXPECT_NE(chart.render().find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiChartTest, PlotsGlyphsInsideGrid)
+{
+    ChartOptions opts;
+    opts.width = 40;
+    opts.height = 10;
+    AsciiChart chart("t", Axis{}, Axis{}, opts);
+    chart.add(ramp("a", 1.0));
+    std::string out = chart.render();
+    std::size_t stars = 0;
+    for (char c : out)
+        if (c == seriesGlyph(0))
+            ++stars;
+    EXPECT_GE(stars, 8u); // at least one glyph per data point
+}
+
+TEST(AsciiChartTest, LogYAxisHandlesWideRanges)
+{
+    AsciiChart chart("log", Axis{"x", false, {}}, Axis{"y", true, {}});
+    Series s("wide");
+    s.add(1, 1.0);
+    s.add(2, 1000.0);
+    chart.add(s);
+    std::string out = chart.render();
+    EXPECT_NE(out.find("(log)"), std::string::npos);
+}
+
+TEST(AsciiChartTest, LogYSkipsNonPositivePoints)
+{
+    AsciiChart chart("log", Axis{}, Axis{"y", true, {}});
+    Series s("mixed");
+    s.add(1, 0.0); // must not crash the log scale
+    s.add(2, 10.0);
+    s.add(3, 100.0);
+    chart.add(s);
+    EXPECT_NO_THROW({ chart.render(); });
+}
+
+TEST(AsciiChartTest, CategoricalXLabels)
+{
+    Axis x{"node", false, {"40nm", "32nm", "22nm"}};
+    AsciiChart chart("t", x, Axis{});
+    Series s("a");
+    s.add(0, 1.0);
+    s.add(1, 2.0);
+    s.add(2, 3.0);
+    chart.add(s);
+    std::string out = chart.render();
+    EXPECT_NE(out.find("40nm"), std::string::npos);
+    EXPECT_NE(out.find("22nm"), std::string::npos);
+}
+
+TEST(AsciiChartTest, FlatSeriesDoesNotDivideByZero)
+{
+    AsciiChart chart("flat", Axis{}, Axis{});
+    Series s("const");
+    s.add(1, 5.0);
+    s.add(2, 5.0);
+    chart.add(s);
+    EXPECT_NO_THROW({ chart.render(); });
+}
+
+TEST(AsciiChartDeathTest, RejectsTinyDimensions)
+{
+    ChartOptions opts;
+    opts.width = 2;
+    EXPECT_DEATH(AsciiChart("t", Axis{}, Axis{}, opts), "dimensions");
+}
+
+} // namespace
+} // namespace plot
+} // namespace hcm

@@ -1,0 +1,90 @@
+/** @file Unit tests for plot/gnuplot. */
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "plot/gnuplot.hh"
+
+namespace hcm {
+namespace plot {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+class GnuplotTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = (fs::temp_directory_path() / "hcm_gnuplot_test").string();
+        fs::remove_all(dir);
+    }
+
+    void TearDown() override { fs::remove_all(dir); }
+
+    std::string dir;
+};
+
+TEST_F(GnuplotTest, EnsureDirectoryCreatesNested)
+{
+    ensureDirectory(dir + "/a/b/c");
+    EXPECT_TRUE(fs::is_directory(dir + "/a/b/c"));
+    // Idempotent.
+    ensureDirectory(dir + "/a/b/c");
+}
+
+TEST_F(GnuplotTest, WritesDatAndScript)
+{
+    Series s1("asic");
+    s1.add(1, 10);
+    s1.add(2, 20);
+    Series s2("fpga", LineStyle::Dashed);
+    s2.add(1, 5);
+
+    GnuplotWriter writer(dir, "fig6");
+    std::string gp = writer.write("FFT projection", Axis{"node", false, {}},
+                                  Axis{"speedup", true, {}}, {s1, s2});
+    EXPECT_TRUE(fs::exists(dir + "/fig6.dat"));
+    EXPECT_TRUE(fs::exists(gp));
+
+    std::string dat = slurp(dir + "/fig6.dat");
+    EXPECT_NE(dat.find("# series: asic"), std::string::npos);
+    EXPECT_NE(dat.find("1 10"), std::string::npos);
+
+    std::string script = slurp(gp);
+    EXPECT_NE(script.find("set logscale y"), std::string::npos);
+    EXPECT_EQ(script.find("set logscale x"), std::string::npos);
+    EXPECT_NE(script.find("index 1"), std::string::npos);
+    EXPECT_NE(script.find("dashtype 2"), std::string::npos);
+    EXPECT_NE(script.find("title \"fpga\""), std::string::npos);
+}
+
+TEST_F(GnuplotTest, CategoricalTicksEmitted)
+{
+    Series s("a");
+    s.add(0, 1);
+    s.add(1, 2);
+    GnuplotWriter writer(dir, "nodes");
+    Axis x{"node", false, {"40nm", "32nm"}};
+    std::string gp = writer.write("t", x, Axis{}, {s});
+    std::string script = slurp(gp);
+    EXPECT_NE(script.find("\"40nm\" 0"), std::string::npos);
+    EXPECT_NE(script.find("\"32nm\" 1"), std::string::npos);
+}
+
+} // namespace
+} // namespace plot
+} // namespace hcm

@@ -1,0 +1,89 @@
+/** @file Tests for simulated machine construction. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "amdahl/pollack.hh"
+#include "sim/machine.hh"
+
+namespace hcm {
+namespace sim {
+namespace {
+
+TEST(MachineTest, DefaultsAreValid)
+{
+    Machine m;
+    m.check();
+    EXPECT_DOUBLE_EQ(m.peakParallelPerf(), 1.0);
+    EXPECT_DOUBLE_EQ(m.effectiveParallelPerf(), 1.0);
+}
+
+TEST(MachineTest, EffectivePerfRespectsBandwidth)
+{
+    Machine m;
+    m.tiles = 10;
+    m.tilePerf = 5.0;
+    m.bandwidth = 20.0;
+    EXPECT_DOUBLE_EQ(m.peakParallelPerf(), 50.0);
+    EXPECT_DOUBLE_EQ(m.effectiveParallelPerf(), 20.0);
+}
+
+TEST(MachineTest, FromHetDesign)
+{
+    auto w = wl::Workload::mmm();
+    auto org = *core::heterogeneous(dev::DeviceId::Gtx285, w);
+    core::Budget budget = core::makeBudget(itrs::nodeParams(22.0), w);
+    core::DesignPoint design = core::optimize(org, 0.99, budget);
+    ASSERT_TRUE(design.feasible);
+
+    Machine m = Machine::fromDesign(org, design, budget);
+    EXPECT_EQ(m.name, "GTX285");
+    EXPECT_NEAR(m.serialPerf, std::sqrt(design.r), 1e-12);
+    EXPECT_NEAR(m.serialPower, std::pow(design.r, 0.875), 1e-12);
+    EXPECT_EQ(m.tiles, static_cast<std::size_t>(
+                           std::floor(design.n - design.r)));
+    EXPECT_NEAR(m.tilePerf, org.ucore.mu, 1e-12);
+    EXPECT_NEAR(m.tilePower, org.ucore.phi, 1e-12);
+    EXPECT_DOUBLE_EQ(m.bandwidth, budget.bandwidth);
+}
+
+TEST(MachineTest, FromSymmetricDesign)
+{
+    auto w = wl::Workload::mmm();
+    core::Budget budget = core::makeBudget(itrs::nodeParams(22.0), w);
+    core::DesignPoint design =
+        core::optimize(core::symmetricCmp(), 0.99, budget);
+    ASSERT_TRUE(design.feasible);
+    Machine m = Machine::fromDesign(core::symmetricCmp(), design, budget);
+    EXPECT_EQ(m.tiles, static_cast<std::size_t>(
+                           std::floor(design.n / design.r)));
+    EXPECT_NEAR(m.tilePerf, std::sqrt(design.r), 1e-12);
+}
+
+TEST(MachineTest, BandwidthExemptDesignGetsInfinitePipe)
+{
+    auto w = wl::Workload::mmm();
+    auto org = *core::heterogeneous(dev::DeviceId::Asic, w);
+    ASSERT_TRUE(org.bandwidthExempt);
+    core::Budget budget = core::makeBudget(itrs::nodeParams(22.0), w);
+    core::DesignPoint design = core::optimize(org, 0.99, budget);
+    Machine m = Machine::fromDesign(org, design, budget);
+    EXPECT_TRUE(std::isinf(m.bandwidth));
+}
+
+TEST(MachineDeathTest, Guards)
+{
+    Machine m;
+    m.bandwidth = 0.0;
+    EXPECT_DEATH(m.check(), "bandwidth");
+
+    core::DesignPoint infeasible;
+    EXPECT_DEATH(Machine::fromDesign(core::symmetricCmp(), infeasible,
+                                     core::Budget{1, 1, 1}),
+                 "infeasible");
+}
+
+} // namespace
+} // namespace sim
+} // namespace hcm

@@ -1,0 +1,96 @@
+/** @file Unit tests for util/csv. */
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hh"
+
+namespace hcm {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(CsvTest, EscapePlainCellsUnchanged)
+{
+    EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+    EXPECT_EQ(CsvWriter::escape("1.5"), "1.5");
+}
+
+TEST(CsvTest, EscapeQuotesCommasAndNewlines)
+{
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("line1\nline2"), "\"line1\nline2\"");
+}
+
+TEST(CsvTest, ParseSimpleLine)
+{
+    auto cells = parseCsvLine("a,b,c");
+    ASSERT_EQ(cells.size(), 3u);
+    EXPECT_EQ(cells[0], "a");
+    EXPECT_EQ(cells[2], "c");
+}
+
+TEST(CsvTest, ParseQuotedCells)
+{
+    auto cells = parseCsvLine("\"a,b\",\"say \"\"hi\"\"\",plain");
+    ASSERT_EQ(cells.size(), 3u);
+    EXPECT_EQ(cells[0], "a,b");
+    EXPECT_EQ(cells[1], "say \"hi\"");
+    EXPECT_EQ(cells[2], "plain");
+}
+
+TEST(CsvTest, ParseEmptyCells)
+{
+    auto cells = parseCsvLine(",,");
+    ASSERT_EQ(cells.size(), 3u);
+    for (const auto &c : cells)
+        EXPECT_TRUE(c.empty());
+}
+
+TEST(CsvTest, ParseToleratesCarriageReturn)
+{
+    auto cells = parseCsvLine("a,b\r");
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_EQ(cells[1], "b");
+}
+
+TEST(CsvTest, WriteThenReadRoundTrip)
+{
+    std::string path = tempPath("hcm_csv_test.csv");
+    {
+        CsvWriter w(path);
+        w.writeRow({"x", "y,z", "q\"uote"});
+        w.writeNumericRow({1.5, 2.25});
+        EXPECT_EQ(w.rowCount(), 2u);
+    }
+    auto rows = readCsv(path);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0][1], "y,z");
+    EXPECT_EQ(rows[0][2], "q\"uote");
+    EXPECT_EQ(rows[1][0], "1.5");
+    EXPECT_EQ(rows[1][1], "2.25");
+    std::remove(path.c_str());
+}
+
+TEST(CsvTest, NumericRowPreservesPrecision)
+{
+    std::string path = tempPath("hcm_csv_precision.csv");
+    double value = 0.3125;
+    {
+        CsvWriter w(path);
+        w.writeNumericRow({value});
+    }
+    auto rows = readCsv(path);
+    EXPECT_DOUBLE_EQ(std::stod(rows[0][0]), value);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace hcm

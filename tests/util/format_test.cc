@@ -1,0 +1,101 @@
+/** @file Unit tests for util/format. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/format.hh"
+
+namespace hcm {
+namespace {
+
+TEST(FormatTest, FmtFixedBasics)
+{
+    EXPECT_EQ(fmtFixed(1.5, 2), "1.50");
+    EXPECT_EQ(fmtFixed(-2.25, 1), "-2.2"); // banker's-free snprintf rounding
+    EXPECT_EQ(fmtFixed(0.0, 0), "0");
+    EXPECT_EQ(fmtFixed(3.14159, 4), "3.1416");
+}
+
+TEST(FormatTest, FmtSigZeroAndSpecials)
+{
+    EXPECT_EQ(fmtSig(0.0), "0");
+    EXPECT_EQ(fmtSig(std::nan("")), "nan");
+    EXPECT_EQ(fmtSig(1.0 / 0.0), "inf");
+    EXPECT_EQ(fmtSig(-1.0 / 0.0), "-inf");
+}
+
+TEST(FormatTest, FmtSigSignificantDigits)
+{
+    EXPECT_EQ(fmtSig(1.2345, 3), "1.23");
+    EXPECT_EQ(fmtSig(12.345, 3), "12.3");
+    EXPECT_EQ(fmtSig(123.45, 3), "123");
+    // Int digits exceed sig: falls back to %.0f (round-half-even).
+    EXPECT_EQ(fmtSig(1234.5, 3), "1234");
+    EXPECT_EQ(fmtSig(1234.6, 3), "1235");
+    EXPECT_EQ(fmtSig(0.5, 3), "0.5");     // trailing zeros trimmed
+    EXPECT_EQ(fmtSig(2.0, 3), "2");
+}
+
+TEST(FormatTest, FmtSigSwitchesToScientific)
+{
+    EXPECT_EQ(fmtSig(1.5e7, 3), "1.50e+07");
+    EXPECT_EQ(fmtSig(2.5e-4, 3), "2.50e-04");
+}
+
+TEST(FormatTest, FmtSigNegative)
+{
+    EXPECT_EQ(fmtSig(-12.345, 3), "-12.3");
+}
+
+TEST(FormatTest, FmtPercent)
+{
+    EXPECT_EQ(fmtPercent(0.975), "97.5%");
+    EXPECT_EQ(fmtPercent(0.5, 0), "50%");
+}
+
+TEST(FormatTest, Padding)
+{
+    EXPECT_EQ(padLeft("ab", 5), "   ab");
+    EXPECT_EQ(padRight("ab", 5), "ab   ");
+    EXPECT_EQ(padCenter("ab", 6), "  ab  ");
+    EXPECT_EQ(padCenter("ab", 5), " ab  ");
+    EXPECT_EQ(padLeft("abcdef", 3), "abcdef"); // never truncates
+}
+
+TEST(FormatTest, JoinAndRepeat)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ", "), "");
+    EXPECT_EQ(join({"solo"}, "-"), "solo");
+    EXPECT_EQ(repeat("ab", 3), "ababab");
+    EXPECT_EQ(repeat("x", 0), "");
+}
+
+TEST(FormatTest, CaseInsensitiveEquals)
+{
+    EXPECT_TRUE(iequals("FFT", "fft"));
+    EXPECT_TRUE(iequals("", ""));
+    EXPECT_FALSE(iequals("fft", "fft "));
+    EXPECT_FALSE(iequals("abc", "abd"));
+}
+
+TEST(FormatTest, Trim)
+{
+    EXPECT_EQ(trim("  x y  "), "x y");
+    EXPECT_EQ(trim("\t\n a \r"), "a");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(FormatTest, Split)
+{
+    EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b",
+                                                             "c"}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+    EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+    EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+} // namespace
+} // namespace hcm

@@ -1,0 +1,128 @@
+/** @file Unit tests for the streaming JSON writer. */
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/json.hh"
+
+namespace hcm {
+namespace {
+
+std::string
+build(const std::function<void(JsonWriter &)> &fn)
+{
+    std::ostringstream oss;
+    {
+        JsonWriter json(oss);
+        fn(json);
+    }
+    return oss.str();
+}
+
+TEST(JsonTest, EmptyContainers)
+{
+    EXPECT_EQ(build([](JsonWriter &j) { j.beginObject().endObject(); }),
+              "{}");
+    EXPECT_EQ(build([](JsonWriter &j) { j.beginArray().endArray(); }),
+              "[]");
+}
+
+TEST(JsonTest, ObjectWithMixedValues)
+{
+    std::string out = build([](JsonWriter &j) {
+        j.beginObject();
+        j.kv("name", "ASIC");
+        j.kv("mu", 27.4);
+        j.kv("tiles", 42);
+        j.kv("exempt", true);
+        j.key("missing").null();
+        j.endObject();
+    });
+    EXPECT_EQ(out, "{\"name\":\"ASIC\",\"mu\":27.4,\"tiles\":42,"
+                   "\"exempt\":true,\"missing\":null}");
+}
+
+TEST(JsonTest, NestedArraysAndObjects)
+{
+    std::string out = build([](JsonWriter &j) {
+        j.beginObject();
+        j.key("series").beginArray();
+        j.beginObject().kv("f", 0.5).endObject();
+        j.beginObject().kv("f", 0.9).endObject();
+        j.endArray();
+        j.endObject();
+    });
+    EXPECT_EQ(out, "{\"series\":[{\"f\":0.5},{\"f\":0.9}]}");
+}
+
+TEST(JsonTest, ArrayCommaPlacement)
+{
+    std::string out = build([](JsonWriter &j) {
+        j.beginArray().value(1).value(2).value(3).endArray();
+    });
+    EXPECT_EQ(out, "[1,2,3]");
+}
+
+TEST(JsonTest, StringEscaping)
+{
+    EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+    EXPECT_EQ(JsonWriter::escape("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(JsonWriter::escape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonTest, NonFiniteNumbersBecomeNull)
+{
+    std::string out = build([](JsonWriter &j) {
+        j.beginArray();
+        j.value(1.0 / 0.0);
+        j.value(std::nan(""));
+        j.endArray();
+    });
+    EXPECT_EQ(out, "[null,null]");
+}
+
+TEST(JsonTest, ScalarRoot)
+{
+    EXPECT_EQ(build([](JsonWriter &j) { j.value(42); }), "42");
+}
+
+TEST(JsonDeathTest, StructuralMisuse)
+{
+    std::ostringstream oss;
+    EXPECT_DEATH(
+        {
+            JsonWriter j(oss);
+            j.beginObject();
+            j.value(1.0); // value without key
+        },
+        "key");
+    EXPECT_DEATH(
+        {
+            JsonWriter j(oss);
+            j.beginArray();
+            j.key("oops");
+        },
+        "outside an object");
+    EXPECT_DEATH(
+        {
+            JsonWriter j(oss);
+            j.beginObject();
+            j.endArray();
+        },
+        "mismatched");
+    EXPECT_DEATH(
+        {
+            JsonWriter j(oss);
+            j.beginObject();
+            // destroyed with an open scope
+        },
+        "open scope");
+}
+
+} // namespace
+} // namespace hcm

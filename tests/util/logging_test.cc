@@ -1,0 +1,46 @@
+/** @file Unit tests for util/logging. */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace hcm {
+namespace {
+
+TEST(LoggingTest, ConcatJoinsHeterogeneousArguments)
+{
+    EXPECT_EQ(detail::concat("n=", 42, ", f=", 0.5), "n=42, f=0.5");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(hcm_panic("boom ", 1), "boom 1");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithError)
+{
+    EXPECT_EXIT(hcm_fatal("bad config"),
+                ::testing::ExitedWithCode(1), "bad config");
+}
+
+TEST(LoggingDeathTest, AssertFiresOnFalse)
+{
+    EXPECT_DEATH(hcm_assert(1 == 2, "math broke"), "math broke");
+}
+
+TEST(LoggingTest, AssertPassesOnTrue)
+{
+    hcm_assert(2 + 2 == 4, "never shown");
+    SUCCEED();
+}
+
+TEST(LoggingTest, WarnAndInformDoNotTerminate)
+{
+    hcm_warn("this is only a warning");
+    hcm_inform("status message");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace hcm

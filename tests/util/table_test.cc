@@ -1,0 +1,98 @@
+/** @file Unit tests for util/table. */
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+namespace hcm {
+namespace {
+
+TEST(TableTest, RendersHeadersAndRows)
+{
+    TextTable t;
+    t.setHeaders({"name", "value"});
+    t.addRow({"alpha", "1.75"});
+    t.addRow({"r", "2"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("1.75"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TableTest, TitleAppearsAboveTable)
+{
+    TextTable t("Table 6");
+    t.setHeaders({"a"});
+    t.addRow({"1"});
+    std::string out = t.render();
+    EXPECT_LT(out.find("Table 6"), out.find("a"));
+}
+
+TEST(TableTest, ColumnsAlignAcrossRows)
+{
+    TextTable t;
+    t.setHeaders({"k", "v"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    std::string out = t.render();
+    // Every rendered line between rules has the same width.
+    std::size_t first_len = out.find('\n');
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        std::size_t nl = out.find('\n', pos);
+        if (nl == std::string::npos)
+            break;
+        EXPECT_EQ(nl - pos, first_len) << "line at offset " << pos;
+        pos = nl + 1;
+    }
+}
+
+TEST(TableTest, RuleSeparatesGroups)
+{
+    TextTable t;
+    t.setHeaders({"a"});
+    t.addRow({"1"});
+    t.addRule();
+    t.addRow({"2"});
+    std::string out = t.render();
+    // header rule + top + bottom + group rule = 4 '+--' rules
+    std::size_t rules = 0;
+    for (std::size_t pos = out.find("+-"); pos != std::string::npos;
+         pos = out.find("+-", pos + 1))
+        ++rules;
+    EXPECT_GE(rules, 4u);
+    EXPECT_EQ(t.rowCount(), 2u); // rules are not data rows
+}
+
+TEST(TableTest, EmptyTableRendersTitleOnly)
+{
+    TextTable t("just a title");
+    EXPECT_EQ(t.render(), "just a title\n");
+}
+
+TEST(TableTest, AlignmentModes)
+{
+    TextTable t;
+    t.setHeaders({"L", "R", "C"});
+    t.setAlign({Align::Left, Align::Right, Align::Center});
+    t.addRow({"a", "b", "c"});
+    t.addRow({"wide", "wide", "wide"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("| a    |"), std::string::npos);
+    EXPECT_NE(out.find("|    b |"), std::string::npos);
+    EXPECT_NE(out.find("|  c   |"), std::string::npos);
+}
+
+TEST(TableTest, StreamOperator)
+{
+    TextTable t;
+    t.setHeaders({"x"});
+    t.addRow({"1"});
+    std::ostringstream oss;
+    oss << t;
+    EXPECT_EQ(oss.str(), t.render());
+}
+
+} // namespace
+} // namespace hcm

@@ -1,0 +1,85 @@
+/** @file Unit tests for util/units strong types. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/units.hh"
+
+namespace hcm {
+namespace {
+
+TEST(UnitsTest, ArithmeticOnLikeQuantities)
+{
+    Area a(100.0), b(50.0);
+    EXPECT_DOUBLE_EQ((a + b).value(), 150.0);
+    EXPECT_DOUBLE_EQ((a - b).value(), 50.0);
+    EXPECT_DOUBLE_EQ((a * 2.0).value(), 200.0);
+    EXPECT_DOUBLE_EQ((2.0 * a).value(), 200.0);
+    EXPECT_DOUBLE_EQ((a / 4.0).value(), 25.0);
+    EXPECT_DOUBLE_EQ((-a).value(), -100.0);
+}
+
+TEST(UnitsTest, RatioIsDimensionless)
+{
+    Power p(150.0), q(50.0);
+    double ratio = p / q;
+    EXPECT_DOUBLE_EQ(ratio, 3.0);
+}
+
+TEST(UnitsTest, CompoundAssignment)
+{
+    Bandwidth b(10.0);
+    b += Bandwidth(5.0);
+    b -= Bandwidth(1.0);
+    b *= 2.0;
+    b /= 7.0;
+    EXPECT_DOUBLE_EQ(b.value(), 4.0);
+}
+
+TEST(UnitsTest, Comparison)
+{
+    EXPECT_LT(Perf(1.0), Perf(2.0));
+    EXPECT_EQ(Perf(2.0), Perf(2.0));
+    EXPECT_GE(Perf(3.0), Perf(2.0));
+}
+
+TEST(UnitsTest, PerfOverPowerIsEfficiency)
+{
+    EnergyEff e = Perf(100.0) / Power(50.0);
+    EXPECT_DOUBLE_EQ(e.value(), 2.0);
+}
+
+TEST(UnitsTest, PerfOverEfficiencyIsPower)
+{
+    Power w = Perf(100.0) / EnergyEff(4.0);
+    EXPECT_DOUBLE_EQ(w.value(), 25.0);
+}
+
+TEST(UnitsTest, PerfPerArea)
+{
+    EXPECT_DOUBLE_EQ(perfPerArea(Perf(425.0), Area(170.0)), 2.5);
+}
+
+TEST(UnitsTest, TrafficForCouplesPerfAndIntensity)
+{
+    // 10 Gops/s at 0.32 bytes/op is 3.2 GB/s.
+    Bandwidth bw = trafficFor(Perf(10.0), 0.32);
+    EXPECT_DOUBLE_EQ(bw.value(), 3.2);
+}
+
+TEST(UnitsTest, StreamingIncludesSuffix)
+{
+    std::ostringstream oss;
+    oss << Area(42.0);
+    EXPECT_EQ(oss.str(), "42 mm^2");
+}
+
+TEST(UnitsTest, DefaultConstructedIsZero)
+{
+    EXPECT_DOUBLE_EQ(Freq().value(), 0.0);
+    EXPECT_DOUBLE_EQ(Time().value(), 0.0);
+}
+
+} // namespace
+} // namespace hcm

@@ -1,0 +1,62 @@
+/** @file Tests for the host measurement harness. */
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "workloads/harness.hh"
+
+namespace hcm {
+namespace wl {
+namespace {
+
+TEST(StopwatchTest, MeasuresElapsedTime)
+{
+    Stopwatch sw;
+    // Busy-wait a tiny, bounded amount.
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i)
+        sink = sink + i;
+    double t = sw.seconds();
+    EXPECT_GE(t, 0.0);
+    EXPECT_LT(t, 5.0);
+    sw.reset();
+    EXPECT_LT(sw.seconds(), 1.0);
+}
+
+TEST(HarnessTest, RunsWarmupPlusMeasuredCalls)
+{
+    std::atomic<int> calls{0};
+    auto res = measureKernel("count", 100.0,
+                             [&] { calls.fetch_add(1); }, 0.001);
+    // At least warm-up + the final measured batch ran (earlier doubling
+    // rounds also invoke the kernel but are discarded from the result).
+    EXPECT_GE(static_cast<std::uint64_t>(calls.load()), res.calls + 1);
+    EXPECT_GT(res.seconds, 0.0);
+    EXPECT_EQ(res.name, "count");
+    EXPECT_DOUBLE_EQ(res.opsPerCall, 100.0);
+}
+
+TEST(HarnessTest, PerfIsOpsOverTime)
+{
+    MeasureResult res;
+    res.seconds = 2.0;
+    res.calls = 4;
+    res.opsPerCall = 1e9;
+    EXPECT_DOUBLE_EQ(res.perf().value(), 2.0); // 4e9 ops / 2 s = 2 Gops/s
+}
+
+TEST(HarnessTest, MeetsMinimumWindow)
+{
+    volatile double sink = 0.0;
+    auto res = measureKernel("spin", 1.0, [&] {
+        for (int i = 0; i < 1000; ++i)
+            sink = sink + i;
+    }, 0.02);
+    EXPECT_GE(res.seconds, 0.02);
+    EXPECT_GE(res.calls, 1u);
+}
+
+} // namespace
+} // namespace wl
+} // namespace hcm

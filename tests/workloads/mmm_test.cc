@@ -1,0 +1,102 @@
+/** @file Unit and property tests for the MMM kernels. */
+
+#include <gtest/gtest.h>
+
+#include "workloads/generator.hh"
+#include "workloads/mmm.hh"
+
+namespace hcm {
+namespace wl {
+namespace {
+
+TEST(MmmTest, FlopsAccounting)
+{
+    EXPECT_DOUBLE_EQ(gemmFlops(2, 3, 4), 48.0);
+    EXPECT_DOUBLE_EQ(gemmFlops(128, 128, 128), 2.0 * 128 * 128 * 128);
+}
+
+TEST(MmmTest, IdentityTimesMatrixIsMatrix)
+{
+    constexpr std::size_t n = 8;
+    Rng rng(1);
+    std::vector<float> a(n * n, 0.0f);
+    for (std::size_t i = 0; i < n; ++i)
+        a[i * n + i] = 1.0f;
+    std::vector<float> b = randomMatrix(n, rng);
+    EXPECT_EQ(maxAbsDiff(mmmNaive(a, b, n), b), 0.0f);
+    EXPECT_EQ(maxAbsDiff(mmmBlocked(a, b, n, 3), b), 0.0f);
+}
+
+TEST(MmmTest, KnownSmallProduct)
+{
+    // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+    std::vector<float> a = {1, 2, 3, 4};
+    std::vector<float> b = {5, 6, 7, 8};
+    std::vector<float> c = mmmNaive(a, b, 2);
+    EXPECT_FLOAT_EQ(c[0], 19.0f);
+    EXPECT_FLOAT_EQ(c[1], 22.0f);
+    EXPECT_FLOAT_EQ(c[2], 43.0f);
+    EXPECT_FLOAT_EQ(c[3], 50.0f);
+}
+
+TEST(MmmTest, RectangularShapesAgree)
+{
+    constexpr std::size_t m = 5, n = 7, k = 3;
+    Rng rng(2);
+    std::vector<float> a = randomVector(m * k, rng);
+    std::vector<float> b = randomVector(k * n, rng);
+    std::vector<float> c_naive(m * n), c_ikj(m * n), c_blocked(m * n);
+    gemmNaive(a.data(), b.data(), c_naive.data(), m, n, k);
+    gemmIkj(a.data(), b.data(), c_ikj.data(), m, n, k);
+    gemmBlocked(a.data(), b.data(), c_blocked.data(), m, n, k, 2);
+    for (std::size_t i = 0; i < m * n; ++i) {
+        EXPECT_NEAR(c_ikj[i], c_naive[i], 1e-5f);
+        EXPECT_NEAR(c_blocked[i], c_naive[i], 1e-5f);
+    }
+}
+
+TEST(MmmDeathTest, SizeMismatchPanics)
+{
+    std::vector<float> a(4), b(9);
+    EXPECT_DEATH(mmmNaive(a, b, 2), "mismatch");
+}
+
+/** Property sweep: blocked kernel matches naive for many (n, block),
+ *  including blocks that do not divide n. */
+struct BlockCase
+{
+    std::size_t n;
+    std::size_t block;
+};
+
+class MmmBlocked : public ::testing::TestWithParam<BlockCase>
+{
+};
+
+TEST_P(MmmBlocked, MatchesNaive)
+{
+    auto [n, block] = GetParam();
+    Rng rng(n * 131 + block);
+    std::vector<float> a = randomMatrix(n, rng);
+    std::vector<float> b = randomMatrix(n, rng);
+    std::vector<float> ref = mmmNaive(a, b, n);
+    std::vector<float> got = mmmBlocked(a, b, n, block);
+    // fp32 accumulation-order differences only.
+    EXPECT_LT(maxAbsDiff(ref, got),
+              1e-5f * static_cast<float>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MmmBlocked,
+    ::testing::Values(BlockCase{1, 1}, BlockCase{4, 2}, BlockCase{7, 3},
+                      BlockCase{16, 16}, BlockCase{16, 5},
+                      BlockCase{33, 8}, BlockCase{64, 16},
+                      BlockCase{40, 64} /* block > n */),
+    [](const ::testing::TestParamInfo<BlockCase> &info) {
+        return "n" + std::to_string(info.param.n) + "_b" +
+               std::to_string(info.param.block);
+    });
+
+} // namespace
+} // namespace wl
+} // namespace hcm

@@ -1,0 +1,119 @@
+/** @file Tests for the multi-threaded scaling harness and the Amdahl
+ *  fraction fit. */
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "workloads/parallel_harness.hh"
+
+namespace hcm {
+namespace wl {
+namespace {
+
+/** Synthetic scaling points for an exact Amdahl law with fraction f. */
+std::vector<ScalingPoint>
+syntheticCurve(double f, std::size_t max_threads)
+{
+    std::vector<ScalingPoint> points;
+    for (std::size_t t = 1; t <= max_threads; ++t) {
+        ScalingPoint p;
+        p.threads = t;
+        p.speedup =
+            1.0 / ((1.0 - f) + f / static_cast<double>(t));
+        points.push_back(p);
+    }
+    return points;
+}
+
+TEST(AmdahlFitTest, RecoversExactFractions)
+{
+    for (double f : {0.0, 0.3, 0.7, 0.9, 0.99, 1.0}) {
+        double fitted = fitAmdahlFraction(syntheticCurve(f, 8));
+        EXPECT_NEAR(fitted, f, 1e-9) << "f=" << f;
+    }
+}
+
+TEST(AmdahlFitTest, NoisyPointsStayInRange)
+{
+    auto points = syntheticCurve(0.8, 8);
+    for (ScalingPoint &p : points)
+        p.speedup *= (p.threads % 2 == 0) ? 1.03 : 0.97;
+    double fitted = fitAmdahlFraction(points);
+    EXPECT_GT(fitted, 0.7);
+    EXPECT_LT(fitted, 0.9);
+}
+
+TEST(AmdahlFitTest, DegenerateInputsGiveZero)
+{
+    EXPECT_DOUBLE_EQ(fitAmdahlFraction({}), 0.0);
+    // Only the t=1 point: no information.
+    EXPECT_DOUBLE_EQ(fitAmdahlFraction(syntheticCurve(0.9, 1)), 0.0);
+}
+
+TEST(AmdahlFitTest, SuperlinearNoiseClampsToOne)
+{
+    std::vector<ScalingPoint> points = {{1, 0, 0, 1.0}, {4, 0, 0, 8.0}};
+    EXPECT_DOUBLE_EQ(fitAmdahlFraction(points), 1.0);
+}
+
+TEST(ParallelHarnessTest, RunsEveryChunkExactlyOncePerRep)
+{
+    std::atomic<std::uint64_t> count{0};
+    ChunkedKernel kernel = [&count](std::size_t, std::size_t) {
+        count.fetch_add(1, std::memory_order_relaxed);
+        // A little work so threads actually overlap.
+        volatile double sink = 0.0;
+        for (int i = 0; i < 2000; ++i)
+            sink = sink + i;
+    };
+    ScalingCurve curve = measureScaling(kernel, 64, 2, 0.01);
+    ASSERT_EQ(curve.points.size(), 2u);
+    // Every invocation runs all 64 chunks (warm-up and the discarded
+    // batch-doubling rounds included), so the count is a multiple of 64
+    // covering at least warm-up + the timed reps of each point.
+    EXPECT_EQ(count.load() % 64, 0u);
+    std::uint64_t minimum = 0;
+    for (const ScalingPoint &p : curve.points)
+        minimum += 64 * (p.reps + 1);
+    EXPECT_GE(count.load(), minimum);
+}
+
+TEST(ParallelHarnessTest, EmbarrassinglyParallelKernelScales)
+{
+    // CPU-bound independent chunks: 2 threads should beat 1 by a
+    // meaningful margin — but only where a second core exists.
+    if (std::thread::hardware_concurrency() < 2)
+        GTEST_SKIP() << "single-CPU machine: no scaling to observe";
+    ChunkedKernel kernel = [](std::size_t c, std::size_t) {
+        volatile double sink = 0.0;
+        for (int i = 0; i < 300000; ++i)
+            sink = sink + static_cast<double>(i ^ c);
+    };
+    ScalingCurve curve = measureScaling(kernel, 8, 2, 0.05);
+    EXPECT_DOUBLE_EQ(curve.points[0].speedup, 1.0);
+    EXPECT_GT(curve.points[1].speedup, 1.2);
+    EXPECT_GT(curve.fittedF, 0.3);
+}
+
+TEST(ParallelHarnessTest, SingleCoreCurveIsSane)
+{
+    // Whatever the machine, the harness must produce a valid curve
+    // with a fitted fraction in range.
+    ChunkedKernel kernel = [](std::size_t, std::size_t) {
+        volatile double sink = 0.0;
+        for (int i = 0; i < 20000; ++i)
+            sink = sink + i;
+    };
+    ScalingCurve curve = measureScaling(kernel, 16, 2, 0.01);
+    ASSERT_EQ(curve.points.size(), 2u);
+    EXPECT_GT(curve.points[1].speedup, 0.0);
+    EXPECT_GE(curve.fittedF, 0.0);
+    EXPECT_LE(curve.fittedF, 1.0);
+}
+
+} // namespace
+} // namespace wl
+} // namespace hcm

@@ -1,0 +1,573 @@
+/**
+ * @file
+ * `hcm` — command-line front end to the library. Regenerates any paper
+ * table or figure, runs projections and single design points for
+ * arbitrary (workload, f, scenario) combinations, and lists the model's
+ * vocabulary. See `hcm help` for usage.
+ */
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/crossover.hh"
+#include "core/export.hh"
+#include "core/mixed.hh"
+#include "core/paper.hh"
+#include "devices/roofline.hh"
+#include "core/pareto.hh"
+#include "core/projection.hh"
+#include "mem/traffic.hh"
+#include "plot/figure.hh"
+#include "sim/simulator.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace hcm;
+
+const char *kUsage = R"(hcm — heterogeneous computing models (MICRO 2010 reproduction)
+
+usage: hcm <command> [options]
+
+commands:
+  table <1-6>             print a paper table
+  figure <2-10>           print a paper figure (ASCII) and write
+                          CSV/gnuplot files under --out (default bench_out)
+  project                 projection rows across ITRS nodes
+  optimize                one design point at one node
+  pareto                  speedup/energy Pareto frontier at one node
+  simulate                cross-check one design on the event simulator
+  traffic                 cache-trace traffic vs compulsory bytes
+  mixed                   multi-kernel chip with per-slot fabrics
+                          (repeat --slot device:workload:fraction)
+  crossover               minimum f where a HET beats the best CMP
+  roofline                device roofline + workload placement
+  scenarios               Section 6.2 scenario summary
+  list                    devices, workloads, scenarios
+  help                    this text
+
+options (project/optimize/scenarios):
+  --workload <mmm|bs|fft:N>   kernel (default fft:1024)
+  --f <value>                 parallel fraction (default 0.99)
+  --scenario <name>           baseline | bandwidth-90 | bandwidth-1tb |
+                              half-area | power-200w | power-10w |
+                              alpha-2.25 (default baseline)
+  --node <nm>                 40|32|22|16|11 (optimize only; default 22)
+  --device <name>             corei7-baseline CMPs are always shown;
+                              restricts HETs to one device
+                              (gtx285|gtx480|r5870|lx760|asic)
+  --energy                    report normalized energy instead of speedup
+  --json                      project: emit JSON instead of a table
+  --chunks <count>            parallel chunks for simulate (default 20000)
+  --cache <KiB>               on-chip capacity for traffic (default 64)
+  --slot <dev:workload:frac>  mixed: one kernel slot, e.g.
+                              asic:mmm:0.5 or gtx285:fft:1024:0.45
+  --shared                    mixed: one fabric reused by every phase
+  --target <ratio>            crossover: required HET/CMP margin
+                              (default 1.5)
+  --out <dir>                 output directory for figure files
+
+examples:
+  hcm table 5
+  hcm figure 6
+  hcm project --workload mmm --f 0.999
+  hcm optimize --workload fft:1024 --f 0.9 --node 11 --scenario power-10w
+)";
+
+/** Parsed command-line options. */
+struct Options
+{
+    wl::Workload workload = wl::Workload::fft(1024);
+    double f = 0.99;
+    std::string scenario = "baseline";
+    double node = 22.0;
+    std::string device;
+    bool energy = false;
+    bool json = false;
+    std::size_t chunks = 20000;
+    std::size_t cacheKib = 64;
+    std::vector<std::string> slots;
+    bool shared = false;
+    double target = 1.5;
+    std::string out = "bench_out";
+};
+
+wl::Workload
+parseWorkload(const std::string &spec)
+{
+    if (iequals(spec, "mmm"))
+        return wl::Workload::mmm();
+    if (iequals(spec, "bs") || iequals(spec, "blackscholes"))
+        return wl::Workload::blackScholes();
+    if (spec.rfind("fft:", 0) == 0 || spec.rfind("FFT:", 0) == 0)
+        return wl::Workload::fft(std::stoul(spec.substr(4)));
+    if (iequals(spec, "fft"))
+        return wl::Workload::fft(1024);
+    hcm_fatal("unknown workload '", spec,
+              "' (expected mmm, bs, or fft:N)");
+}
+
+dev::DeviceId
+parseDevice(const std::string &name)
+{
+    static const std::map<std::string, dev::DeviceId> devices = {
+        {"gtx285", dev::DeviceId::Gtx285},
+        {"gtx480", dev::DeviceId::Gtx480},
+        {"r5870", dev::DeviceId::R5870},
+        {"lx760", dev::DeviceId::Lx760},
+        {"asic", dev::DeviceId::Asic},
+    };
+    std::string lower;
+    for (char c : name)
+        lower += static_cast<char>(std::tolower(
+            static_cast<unsigned char>(c)));
+    auto it = devices.find(lower);
+    if (it == devices.end())
+        hcm_fatal("unknown device '", name, "'");
+    return it->second;
+}
+
+Options
+parseOptions(const std::vector<std::string> &args, std::size_t start)
+{
+    Options opts;
+    for (std::size_t i = start; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&]() -> const std::string & {
+            if (i + 1 >= args.size())
+                hcm_fatal("missing value after ", a);
+            return args[++i];
+        };
+        if (a == "--workload")
+            opts.workload = parseWorkload(next());
+        else if (a == "--f")
+            opts.f = std::stod(next());
+        else if (a == "--scenario")
+            opts.scenario = next();
+        else if (a == "--node")
+            opts.node = std::stod(next());
+        else if (a == "--device")
+            opts.device = next();
+        else if (a == "--energy")
+            opts.energy = true;
+        else if (a == "--json")
+            opts.json = true;
+        else if (a == "--chunks")
+            opts.chunks = std::stoul(next());
+        else if (a == "--cache")
+            opts.cacheKib = std::stoul(next());
+        else if (a == "--slot")
+            opts.slots.push_back(next());
+        else if (a == "--shared")
+            opts.shared = true;
+        else if (a == "--target")
+            opts.target = std::stod(next());
+        else if (a == "--out")
+            opts.out = next();
+        else
+            hcm_fatal("unknown option '", a, "' (see hcm help)");
+    }
+    return opts;
+}
+
+int
+cmdTable(int which)
+{
+    using namespace core::paper;
+    switch (which) {
+      case 1:
+        std::cout << table1Bounds();
+        return 0;
+      case 2:
+        std::cout << table2Devices();
+        return 0;
+      case 3:
+        std::cout << table3Workloads();
+        return 0;
+      case 4:
+        std::cout << table4Baseline();
+        return 0;
+      case 5:
+        std::cout << table5UCores();
+        return 0;
+      case 6:
+        std::cout << table6Scaling();
+        return 0;
+      default:
+        hcm_fatal("no table ", which, " (1-6)");
+    }
+}
+
+int
+cmdFigure(int which, const Options &opts)
+{
+    using namespace core::paper;
+    plot::Figure fig = [&] {
+        switch (which) {
+          case 2:
+            return fig2FftPerf();
+          case 3:
+            return fig3FftPower();
+          case 4:
+            return fig4FftEnergyBandwidth();
+          case 5:
+            return fig5Itrs();
+          case 6:
+            return fig6FftProjection();
+          case 7:
+            return fig7MmmProjection();
+          case 8:
+            return fig8BsProjection();
+          case 9:
+            return fig9Fft1TbProjection();
+          case 10:
+            return fig10MmmEnergy();
+          default:
+            hcm_fatal("no figure ", which, " (2-10)");
+        }
+    }();
+    fig.renderAscii(std::cout);
+    fig.writeFiles(opts.out);
+    std::cout << "[files] " << opts.out << "/" << fig.id() << ".csv\n";
+    return 0;
+}
+
+int
+cmdProject(const Options &opts)
+{
+    const core::Scenario &scenario = core::scenarioByName(opts.scenario);
+    if (opts.json) {
+        core::exportProjectionJson(std::cout, opts.workload, {opts.f},
+                                   scenario);
+        return 0;
+    }
+    TextTable t((opts.energy ? std::string("Energy (BCE@40nm units)")
+                             : std::string("Speedup (vs 1 BCE)")) +
+                ", " + opts.workload.name() + ", f=" +
+                fmtFixed(opts.f, 4) + ", scenario=" + scenario.name);
+    std::vector<std::string> headers = {"Organization"};
+    for (const auto &node : itrs::nodeTable())
+        headers.push_back(node.label());
+    t.setHeaders(headers);
+    for (const auto &series :
+         core::projectAll(opts.workload, opts.f, scenario)) {
+        if (!opts.device.empty() && series.org.isHet() &&
+            series.org.device != parseDevice(opts.device))
+            continue;
+        std::vector<std::string> row = {series.org.name};
+        for (const core::NodePoint &pt : series.points) {
+            if (!pt.design.feasible) {
+                row.push_back("infeasible");
+                continue;
+            }
+            double v = opts.energy ? pt.energyNormalized()
+                                   : pt.design.speedup;
+            row.push_back(fmtSig(v, 3) + " (" +
+                          core::limiterName(pt.design.limiter)
+                              .substr(0, 1) + ")");
+        }
+        t.addRow(row);
+    }
+    std::cout << t
+              << "limiters: (a) area, (p) power, (b) bandwidth\n";
+    return 0;
+}
+
+int
+cmdOptimize(const Options &opts)
+{
+    const core::Scenario &scenario = core::scenarioByName(opts.scenario);
+    const itrs::NodeParams &node = itrs::nodeParams(opts.node);
+    core::Budget budget = core::makeBudget(node, opts.workload, scenario);
+    core::OptimizerOptions oopts;
+    oopts.alpha = scenario.alpha;
+
+    std::cout << "budgets at " << node.label() << " (BCE units): A="
+              << fmtSig(budget.area, 3) << " P=" << fmtSig(budget.power, 3)
+              << " B=" << fmtSig(budget.bandwidth, 3) << "\n\n";
+
+    TextTable t("Best designs, " + opts.workload.name() + ", f=" +
+                fmtFixed(opts.f, 4));
+    t.setHeaders({"Organization", "r", "n", "speedup", "limiter",
+                  "energy (norm.)"});
+    for (const core::Organization &org :
+         core::paperOrganizations(opts.workload)) {
+        if (!opts.device.empty() && org.isHet() &&
+            org.device != parseDevice(opts.device))
+            continue;
+        core::DesignPoint dp = core::optimize(org, opts.f, budget, oopts);
+        if (!dp.feasible) {
+            t.addRow({org.name, "-", "-", "infeasible", "-", "-"});
+            continue;
+        }
+        t.addRow({org.name, fmtSig(dp.r, 3), fmtSig(dp.n, 3),
+                  fmtSig(dp.speedup, 4), core::limiterName(dp.limiter),
+                  fmtSig(core::normalizedEnergy(
+                             dp.energy, node.relPowerPerTransistor), 3)});
+    }
+    std::cout << t;
+    return 0;
+}
+
+int
+cmdPareto(const Options &opts)
+{
+    const core::Scenario &scenario = core::scenarioByName(opts.scenario);
+    const itrs::NodeParams &node = itrs::nodeParams(opts.node);
+    auto all = core::enumerateDesigns(opts.workload, opts.f, node,
+                                      scenario);
+    auto frontier = core::paretoFrontier(all);
+    TextTable t("Pareto frontier, " + opts.workload.name() + ", f=" +
+                fmtFixed(opts.f, 4) + ", " + node.label() + " (" +
+                std::to_string(frontier.size()) + " of " +
+                std::to_string(all.size()) + " designs)");
+    t.setHeaders({"Organization", "r", "speedup", "energy (norm.)",
+                  "limiter"});
+    for (const core::ParetoPoint &p : frontier)
+        t.addRow({p.orgName, fmtSig(p.design.r, 3),
+                  fmtSig(p.design.speedup, 4),
+                  fmtSig(p.energyNormalized, 3),
+                  core::limiterName(p.design.limiter)});
+    std::cout << t;
+    return 0;
+}
+
+int
+cmdSimulate(const Options &opts)
+{
+    if (opts.device.empty())
+        hcm_fatal("simulate needs --device (the HET fabric to check)");
+    const core::Scenario &scenario = core::scenarioByName(opts.scenario);
+    const itrs::NodeParams &node = itrs::nodeParams(opts.node);
+    auto org = core::heterogeneous(parseDevice(opts.device),
+                                   opts.workload);
+    if (!org)
+        hcm_fatal("no calibration data for that device/workload pair");
+    core::Budget budget = core::makeBudget(node, opts.workload, scenario);
+    core::OptimizerOptions oopts;
+    oopts.alpha = scenario.alpha;
+    core::DesignPoint design = core::optimize(*org, opts.f, budget,
+                                              oopts);
+    if (!design.feasible)
+        hcm_fatal("design infeasible at this node/scenario");
+    if (design.n - design.r < 1.0)
+        hcm_fatal("fabric rounds to zero tiles (n - r = ",
+                  fmtSig(design.n - design.r, 3),
+                  "); the event simulator needs whole tiles");
+
+    sim::Machine m = sim::Machine::fromDesign(*org, design, budget,
+                                              scenario.alpha);
+    sim::SimStats stats = sim::ChipSimulator(m).run(
+        sim::TaskGraph::amdahl(opts.f, opts.chunks));
+    std::cout << "design: r=" << fmtSig(design.r, 3) << ", tiles="
+              << m.tiles << " (n=" << fmtSig(design.n, 4) << "), "
+              << core::limiterName(design.limiter) << "-limited\n";
+    std::cout << "analytic speedup (continuous): "
+              << fmtSig(design.speedup, 4) << "\n";
+    std::cout << "simulated speedup (" << opts.chunks << " chunks):  "
+              << fmtSig(stats.speedup(1.0), 4) << "\n";
+    std::cout << "simulated energy: " << fmtSig(stats.energy, 4)
+              << " BCE units; tile utilization "
+              << fmtPercent(stats.tileUtilization(m.tiles), 1)
+              << "; events " << stats.events << "\n";
+    return 0;
+}
+
+int
+cmdTraffic(const Options &opts)
+{
+    mem::CacheConfig config;
+    config.sizeBytes = opts.cacheKib * 1024;
+    config.lineBytes = 64;
+    config.ways = 8;
+    mem::TrafficResult r = mem::measureTraffic(opts.workload, config);
+    std::cout << opts.workload.name() << " through a " << opts.cacheKib
+              << " KiB cache:\n";
+    std::cout << "  working set:  "
+              << fmtSig(mem::workingSetBytes(opts.workload) / 1024.0, 4)
+              << " KiB\n";
+    std::cout << "  accesses:     " << r.stats.accesses()
+              << "  (miss rate " << fmtPercent(r.stats.missRate(), 2)
+              << ")\n";
+    std::cout << "  traffic:      "
+              << fmtSig(static_cast<double>(r.trafficBytes) / 1024.0, 4)
+              << " KiB vs compulsory "
+              << fmtSig(r.compulsoryBytes / 1024.0, 4) << " KiB  ->  "
+              << fmtSig(r.multiplier(), 3) << "x\n";
+    return 0;
+}
+
+/** Parse "device:workload:fraction" (workload may be "fft:N"). */
+core::KernelSlot
+parseSlot(const std::string &spec)
+{
+    auto parts = split(spec, ':');
+    if (parts.size() < 3 || parts.size() > 4)
+        hcm_fatal("bad --slot '", spec,
+                  "' (expected device:workload:fraction)");
+    dev::DeviceId device = parseDevice(parts[0]);
+    wl::Workload w = parts.size() == 4
+                         ? parseWorkload(parts[1] + ":" + parts[2])
+                         : parseWorkload(parts[1]);
+    double fraction = std::stod(parts.back());
+    return core::makeSlot(device, w, fraction);
+}
+
+int
+cmdMixed(const Options &opts)
+{
+    if (opts.slots.empty())
+        hcm_fatal("mixed needs at least one --slot");
+    std::vector<core::KernelSlot> slots;
+    for (const std::string &spec : opts.slots)
+        slots.push_back(parseSlot(spec));
+    core::FabricMode mode = opts.shared ? core::FabricMode::Shared
+                                        : core::FabricMode::Partitioned;
+    const core::Scenario &scenario = core::scenarioByName(opts.scenario);
+
+    TextTable t(std::string("Mixed-fabric chip (") +
+                (opts.shared ? "shared" : "partitioned") +
+                "), scenario=" + scenario.name);
+    std::vector<std::string> headers = {"Node", "r", "speedup",
+                                        "energy"};
+    for (const core::KernelSlot &s : slots)
+        headers.push_back(s.fabricName + ":" + s.workload.name());
+    t.setHeaders(headers);
+    for (const itrs::NodeParams &node : itrs::nodeTable()) {
+        core::MixedDesign d =
+            core::optimizeMixed(slots, mode, node, scenario);
+        if (!d.feasible) {
+            t.addRow({node.label(), "-", "infeasible", "-"});
+            continue;
+        }
+        std::vector<std::string> row = {
+            node.label(), fmtSig(d.r, 3), fmtSig(d.speedup, 4),
+            fmtSig(d.energy * node.relPowerPerTransistor, 3)};
+        for (std::size_t i = 0; i < slots.size(); ++i)
+            row.push_back(fmtSig(d.areas[i], 3) + " BCE (" +
+                          core::limiterName(d.slotLimiter[i])
+                              .substr(0, 1) + ")");
+        t.addRow(row);
+    }
+    std::cout << t;
+    return 0;
+}
+
+int
+cmdCrossover(const Options &opts)
+{
+    TextTable t("Minimum f for HET >= " + fmtSig(opts.target, 3) +
+                "x the best CMP on " + opts.workload.name() +
+                ", scenario=" + opts.scenario);
+    std::vector<std::string> headers = {"Fabric"};
+    for (const auto &node : itrs::nodeTable())
+        headers.push_back(node.label());
+    t.setHeaders(headers);
+    const core::Scenario &scenario = core::scenarioByName(opts.scenario);
+    for (dev::DeviceId id :
+         {dev::DeviceId::Lx760, dev::DeviceId::Gtx285,
+          dev::DeviceId::Gtx480, dev::DeviceId::R5870,
+          dev::DeviceId::Asic}) {
+        if (!dev::MeasurementDb::instance().find(id, opts.workload))
+            continue;
+        std::vector<std::string> row = {dev::deviceName(id)};
+        for (const auto &node : itrs::nodeTable()) {
+            auto f_star = core::requiredParallelism(
+                id, opts.workload, opts.target, node, scenario);
+            row.push_back(f_star ? fmtFixed(*f_star, 3) : "never");
+        }
+        t.addRow(row);
+    }
+    std::cout << t;
+    return 0;
+}
+
+int
+cmdRoofline(const Options &opts)
+{
+    TextTable t("Rooflines for " + opts.workload.name());
+    t.setHeaders({"Device", "peak Gops/s", "peak GB/s", "ridge ops/B",
+                  "workload ops/B", "attainable", "compute-bound?"});
+    for (dev::DeviceId id : dev::allDevices()) {
+        if (!dev::MeasurementDb::instance().find(id, opts.workload) ||
+            dev::deviceInfo(id).memBw.value() <= 0.0)
+            continue;
+        dev::Roofline r = dev::Roofline::forDevice(id, opts.workload);
+        t.addRow({dev::deviceName(id), fmtSig(r.peakPerf().value(), 3),
+                  fmtSig(r.peakBandwidth().value(), 4),
+                  fmtSig(r.ridgeIntensity(), 3),
+                  fmtSig(opts.workload.intensity(), 3),
+                  fmtSig(r.attainable(opts.workload).value(), 3),
+                  r.computeBound(opts.workload) ? "yes" : "no"});
+    }
+    std::cout << t;
+    return 0;
+}
+
+int
+cmdList()
+{
+    std::cout << "devices:";
+    for (dev::DeviceId id : dev::allDevices())
+        std::cout << " " << dev::deviceName(id);
+    std::cout << "\nworkloads: mmm, bs, fft:N (N a power of two)\n";
+    std::cout << "scenarios: baseline";
+    for (const core::Scenario &s : core::alternativeScenarios())
+        std::cout << ", " << s.name;
+    std::cout << "\nnodes:";
+    for (const auto &node : itrs::nodeTable())
+        std::cout << " " << node.label();
+    std::cout << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty() || args[0] == "help" || args[0] == "--help" ||
+        args[0] == "-h") {
+        std::cout << kUsage;
+        return 0;
+    }
+    const std::string &cmd = args[0];
+    if (cmd == "table") {
+        if (args.size() < 2)
+            hcm_fatal("usage: hcm table <1-6>");
+        return cmdTable(std::stoi(args[1]));
+    }
+    if (cmd == "figure") {
+        if (args.size() < 2)
+            hcm_fatal("usage: hcm figure <2-10>");
+        return cmdFigure(std::stoi(args[1]), parseOptions(args, 2));
+    }
+    if (cmd == "project")
+        return cmdProject(parseOptions(args, 1));
+    if (cmd == "optimize")
+        return cmdOptimize(parseOptions(args, 1));
+    if (cmd == "pareto")
+        return cmdPareto(parseOptions(args, 1));
+    if (cmd == "simulate")
+        return cmdSimulate(parseOptions(args, 1));
+    if (cmd == "traffic")
+        return cmdTraffic(parseOptions(args, 1));
+    if (cmd == "mixed")
+        return cmdMixed(parseOptions(args, 1));
+    if (cmd == "crossover")
+        return cmdCrossover(parseOptions(args, 1));
+    if (cmd == "roofline")
+        return cmdRoofline(parseOptions(args, 1));
+    if (cmd == "scenarios") {
+        Options opts = parseOptions(args, 1);
+        std::cout << core::paper::scenarioSummary(opts.workload, opts.f);
+        return 0;
+    }
+    if (cmd == "list")
+        return cmdList();
+    hcm_fatal("unknown command '", cmd, "' (see hcm help)");
+}
