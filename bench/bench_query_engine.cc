@@ -1,0 +1,118 @@
+/** @file Google-benchmark microbenchmarks of the concurrent query
+ *  engine: batch throughput versus worker-thread count and cache
+ *  state. The acceptance ratio for the subsystem is the warm-cache
+ *  8-thread batch against the cold-cache single-thread batch. */
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "svc/engine.hh"
+
+namespace {
+
+using namespace hcm;
+
+/** A mixed batch covering every query type, ~30 distinct queries. */
+std::vector<svc::Query>
+benchBatch()
+{
+    std::vector<svc::Query> queries;
+    const wl::Workload workloads[] = {
+        wl::Workload::mmm(),
+        wl::Workload::blackScholes(),
+        wl::Workload::fft(1024),
+    };
+    for (const wl::Workload &w : workloads) {
+        for (double f : {0.5, 0.9, 0.95, 0.99}) {
+            svc::Query opt;
+            opt.type = svc::QueryType::Optimize;
+            opt.workload = w;
+            opt.f = f;
+            queries.push_back(opt);
+
+            svc::Query energy = opt;
+            energy.type = svc::QueryType::Energy;
+            queries.push_back(energy);
+        }
+        svc::Query projection;
+        projection.type = svc::QueryType::Projection;
+        projection.workload = w;
+        queries.push_back(projection);
+
+        svc::Query pareto;
+        pareto.type = svc::QueryType::Pareto;
+        pareto.workload = w;
+        queries.push_back(pareto);
+    }
+    return queries;
+}
+
+/** Cache disabled: every iteration pays the full evaluation cost. */
+void
+BM_BatchColdCache(benchmark::State &state)
+{
+    svc::EngineOptions opts;
+    opts.threads = static_cast<std::size_t>(state.range(0));
+    opts.cacheCapacity = 0;
+    svc::QueryEngine engine(opts);
+    std::vector<svc::Query> queries = benchBatch();
+    for (auto _ : state) {
+        auto results = engine.evaluateBatch(queries);
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * queries.size()));
+    state.counters["hitRate"] = 0.0;
+}
+BENCHMARK(BM_BatchColdCache)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/** Cache primed before timing: batches are served by memoization. */
+void
+BM_BatchWarmCache(benchmark::State &state)
+{
+    svc::EngineOptions opts;
+    opts.threads = static_cast<std::size_t>(state.range(0));
+    svc::QueryEngine engine(opts);
+    std::vector<svc::Query> queries = benchBatch();
+    engine.evaluateBatch(queries); // prime
+    for (auto _ : state) {
+        auto results = engine.evaluateBatch(queries);
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * queries.size()));
+    state.counters["hitRate"] = engine.cacheStats().hitRate();
+}
+BENCHMARK(BM_BatchWarmCache)->Arg(1)->Arg(8);
+
+/** Latency of one memoized lookup through the full engine path. */
+void
+BM_SingleQueryWarm(benchmark::State &state)
+{
+    svc::QueryEngine engine;
+    svc::Query q;
+    engine.evaluate(q); // prime
+    for (auto _ : state) {
+        auto result = engine.evaluate(q);
+        benchmark::DoNotOptimize(result.get());
+    }
+}
+BENCHMARK(BM_SingleQueryWarm);
+
+/** Cost of building the canonical memoization key. */
+void
+BM_CanonicalKey(benchmark::State &state)
+{
+    svc::Query q;
+    q.device = dev::DeviceId::Asic;
+    for (auto _ : state) {
+        std::string key = q.canonicalKey();
+        benchmark::DoNotOptimize(key.data());
+    }
+}
+BENCHMARK(BM_CanonicalKey);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+#include "cache.hh"
+
+#include <algorithm>
+#include <functional>
+
+namespace hcm {
+namespace svc {
+
+void
+CacheStats::writeJson(JsonWriter &json) const
+{
+    json.beginObject();
+    json.kv("hits", hits);
+    json.kv("misses", misses);
+    json.kv("evictions", evictions);
+    json.kv("entries", entries);
+    json.kv("capacity", capacity);
+    json.kv("hitRate", hitRate());
+    json.endObject();
+}
+
+QueryCache::QueryCache(std::size_t capacity, std::size_t shards)
+    : _capacity(capacity)
+{
+    std::size_t count = std::max<std::size_t>(1, shards);
+    if (_capacity > 0)
+        count = std::min(count, _capacity);
+    // Per-shard share of the budget, rounded up so the total is never
+    // below the requested capacity.
+    _perShardCapacity =
+        _capacity > 0 ? (_capacity + count - 1) / count : 0;
+    for (std::size_t i = 0; i < count; ++i)
+        _shards.emplace_back();
+}
+
+QueryCache::Shard &
+QueryCache::shardFor(const std::string &key)
+{
+    return _shards[std::hash<std::string>{}(key) % _shards.size()];
+}
+
+std::shared_ptr<const QueryResult>
+QueryCache::get(const std::string &key)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+        ++shard.misses;
+        return nullptr;
+    }
+    ++shard.hits;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->second;
+}
+
+std::shared_ptr<const QueryResult>
+QueryCache::peek(const std::string &key)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end())
+        return nullptr;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->second;
+}
+
+void
+QueryCache::put(const std::string &key,
+                std::shared_ptr<const QueryResult> value)
+{
+    if (_perShardCapacity == 0)
+        return; // storage disabled
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+        it->second->second = std::move(value);
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    if (shard.lru.size() >= _perShardCapacity) {
+        shard.index.erase(shard.lru.back().first);
+        shard.lru.pop_back();
+        ++shard.evictions;
+    }
+    shard.lru.emplace_front(key, std::move(value));
+    shard.index.emplace(key, shard.lru.begin());
+}
+
+void
+QueryCache::clear()
+{
+    for (Shard &shard : _shards) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.lru.clear();
+        shard.index.clear();
+    }
+}
+
+CacheStats
+QueryCache::stats() const
+{
+    CacheStats out;
+    out.capacity = _capacity;
+    for (const Shard &shard : _shards) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        out.hits += shard.hits;
+        out.misses += shard.misses;
+        out.evictions += shard.evictions;
+        out.entries += shard.lru.size();
+    }
+    return out;
+}
+
+} // namespace svc
+} // namespace hcm

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Sharded LRU memoization cache for query results. Keys are the
+ * canonical query strings; values are immutable shared results, so a
+ * hit is a pointer copy and readers never block evaluators for long.
+ * Sharding by key hash splits the lock so concurrent workers rarely
+ * contend; each shard keeps its own LRU list and hit/miss/eviction
+ * counters, aggregated on demand.
+ */
+
+#ifndef HCM_SVC_CACHE_HH
+#define HCM_SVC_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "svc/query.hh"
+#include "util/json.hh"
+
+namespace hcm {
+namespace svc {
+
+/** Aggregated cache counters. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+
+    std::uint64_t lookups() const { return hits + misses; }
+
+    double
+    hitRate() const
+    {
+        return lookups() ? static_cast<double>(hits) / lookups() : 0.0;
+    }
+
+    /** Emit {"hits": ..., "hitRate": ...} (one JSON object). */
+    void writeJson(JsonWriter &json) const;
+};
+
+/** Sharded LRU cache: canonical key -> shared immutable result. */
+class QueryCache
+{
+  public:
+    /**
+     * @p capacity total entries across shards (0 disables storage:
+     * every lookup misses, puts are dropped). @p shards is clamped to
+     * [1, capacity] so each shard holds at least one entry.
+     */
+    explicit QueryCache(std::size_t capacity, std::size_t shards = 8);
+
+    QueryCache(const QueryCache &) = delete;
+    QueryCache &operator=(const QueryCache &) = delete;
+
+    /** Result for @p key, bumping it to most-recent; null on miss. */
+    std::shared_ptr<const QueryResult> get(const std::string &key);
+
+    /**
+     * get() without touching the hit/miss counters — for internal
+     * double-checks that would otherwise count one query twice.
+     */
+    std::shared_ptr<const QueryResult> peek(const std::string &key);
+
+    /**
+     * Insert (or refresh) @p key, evicting the least-recently-used
+     * entry of the shard when it is full.
+     */
+    void put(const std::string &key,
+             std::shared_ptr<const QueryResult> value);
+
+    /** Drop every entry (counters survive). */
+    void clear();
+
+    CacheStats stats() const;
+
+    std::size_t capacity() const { return _capacity; }
+    std::size_t shardCount() const { return _shards.size(); }
+
+  private:
+    struct Shard
+    {
+        using LruList = std::list<
+            std::pair<std::string, std::shared_ptr<const QueryResult>>>;
+
+        mutable std::mutex mu;
+        LruList lru; ///< front = most recently used
+        std::unordered_map<std::string, LruList::iterator> index;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+    };
+
+    Shard &shardFor(const std::string &key);
+
+    std::size_t _capacity;
+    std::size_t _perShardCapacity;
+    /** deque: shards hold a mutex and must never relocate. */
+    std::deque<Shard> _shards;
+};
+
+} // namespace svc
+} // namespace hcm
+
+#endif // HCM_SVC_CACHE_HH

@@ -1,0 +1,135 @@
+#include "engine.hh"
+
+#include <chrono>
+
+namespace hcm {
+namespace svc {
+namespace {
+
+std::uint64_t
+elapsedNs(std::chrono::steady_clock::time_point start)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+}
+
+/** A future already holding @p value. */
+std::shared_future<QueryEngine::ResultPtr>
+readyFuture(QueryEngine::ResultPtr value)
+{
+    std::promise<QueryEngine::ResultPtr> prom;
+    prom.set_value(std::move(value));
+    return prom.get_future().share();
+}
+
+} // namespace
+
+QueryEngine::QueryEngine(EngineOptions opts)
+    : _opts(opts),
+      _cache(opts.cacheCapacity > 0
+                 ? std::make_unique<QueryCache>(opts.cacheCapacity,
+                                                opts.cacheShards)
+                 : nullptr),
+      _pool(opts.threads, opts.queueCapacity)
+{
+}
+
+std::shared_future<QueryEngine::ResultPtr>
+QueryEngine::acquire(const Query &q, const std::string &key)
+{
+    auto start = std::chrono::steady_clock::now();
+    // Fast path: a warm hit never touches the pool.
+    if (_cache) {
+        if (ResultPtr hit = _cache->get(key)) {
+            _metrics.recordQuery(q.type, elapsedNs(start), true);
+            return readyFuture(std::move(hit));
+        }
+    }
+
+    std::shared_ptr<std::promise<ResultPtr>> prom;
+    std::shared_future<ResultPtr> fut;
+    {
+        std::lock_guard<std::mutex> lock(_inflightMu);
+        auto it = _inflight.find(key);
+        if (it != _inflight.end())
+            return it->second; // someone is already computing it
+        prom = std::make_shared<std::promise<ResultPtr>>();
+        fut = prom->get_future().share();
+        _inflight.emplace(key, fut);
+    }
+    // Submit with _inflightMu released: a full queue blocks here, and
+    // finishing workers need that mutex to erase their entries. Later
+    // acquirers of this key rendezvous on the map entry made above and
+    // wait on the future, not the queue.
+    _pool.submit([this, q, key, prom] {
+        auto task_start = std::chrono::steady_clock::now();
+        ResultPtr result;
+        bool hit = false;
+        if (_cache) {
+            // Double-check: a concurrent batch may have filled it
+            // between our miss and this task running. Uncounted — the
+            // acquire-time lookup already charged this query.
+            result = _cache->peek(key);
+            hit = result != nullptr;
+        }
+        if (!result) {
+            result = std::make_shared<QueryResult>(evaluateQuery(q));
+            if (_cache)
+                _cache->put(key, result);
+        }
+        _metrics.recordQuery(q.type, elapsedNs(task_start), hit);
+        prom->set_value(result);
+        {
+            std::lock_guard<std::mutex> inner(_inflightMu);
+            _inflight.erase(key);
+        }
+    });
+    return fut;
+}
+
+QueryEngine::ResultPtr
+QueryEngine::evaluate(const Query &q)
+{
+    return acquire(q, q.canonicalKey()).get();
+}
+
+std::vector<QueryEngine::ResultPtr>
+QueryEngine::evaluateBatch(const std::vector<Query> &queries)
+{
+    std::vector<std::shared_future<ResultPtr>> futures;
+    futures.reserve(queries.size());
+    // Batch-local dedup keeps repeated queries down to one future even
+    // before the engine-wide in-flight map gets involved.
+    std::unordered_map<std::string, std::size_t> first_use;
+    for (const Query &q : queries) {
+        std::string key = q.canonicalKey();
+        auto [it, fresh] = first_use.emplace(key, futures.size());
+        if (fresh)
+            futures.push_back(acquire(q, key));
+        else
+            futures.push_back(futures[it->second]);
+    }
+    std::vector<ResultPtr> results;
+    results.reserve(futures.size());
+    for (auto &fut : futures)
+        results.push_back(fut.get());
+    return results;
+}
+
+CacheStats
+QueryEngine::cacheStats() const
+{
+    return _cache ? _cache->stats() : CacheStats{};
+}
+
+void
+QueryEngine::writeMetricsJson(JsonWriter &json) const
+{
+    CacheStats cache = cacheStats();
+    _metrics.writeJson(json, &cache);
+}
+
+} // namespace svc
+} // namespace hcm

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The query engine: fans batches of queries across the worker pool,
+ * memoizes results in the sharded LRU cache, deduplicates identical
+ * in-flight queries (one evaluation feeds every waiter), and records
+ * per-query-type latency metrics. Results come back in input order,
+ * and because evaluateQuery() is pure, a batch returns bit-identical
+ * answers regardless of thread count or cache state.
+ */
+
+#ifndef HCM_SVC_ENGINE_HH
+#define HCM_SVC_ENGINE_HH
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "svc/cache.hh"
+#include "svc/metrics.hh"
+#include "svc/query.hh"
+#include "svc/thread_pool.hh"
+
+namespace hcm {
+namespace svc {
+
+/** Engine sizing knobs. */
+struct EngineOptions
+{
+    /** Worker threads; 0 selects the hardware concurrency. */
+    std::size_t threads = 0;
+    /** Bound on queued-but-unstarted tasks (submit blocks past it). */
+    std::size_t queueCapacity = ThreadPool::kDefaultQueueCapacity;
+    /** Memoization entries across all shards; 0 disables the cache. */
+    std::size_t cacheCapacity = 4096;
+    std::size_t cacheShards = 8;
+};
+
+/** Thread-pooled, memoizing evaluator of model queries. */
+class QueryEngine
+{
+  public:
+    using ResultPtr = std::shared_ptr<const QueryResult>;
+
+    explicit QueryEngine(EngineOptions opts = {});
+
+    QueryEngine(const QueryEngine &) = delete;
+    QueryEngine &operator=(const QueryEngine &) = delete;
+
+    /** Evaluate one query through the cache + pool; blocks for it. */
+    ResultPtr evaluate(const Query &q);
+
+    /**
+     * Evaluate @p queries concurrently and return results in input
+     * order. Duplicate queries within the batch (and across concurrent
+     * batches) are evaluated once and shared.
+     */
+    std::vector<ResultPtr> evaluateBatch(const std::vector<Query> &queries);
+
+    std::size_t threadCount() const { return _pool.threadCount(); }
+    bool cacheEnabled() const { return _cache != nullptr; }
+
+    /** Zeroed stats when the cache is disabled. */
+    CacheStats cacheStats() const;
+
+    const MetricsRegistry &metrics() const { return _metrics; }
+
+    /** Full metrics document (latency per type + cache counters). */
+    void writeMetricsJson(JsonWriter &json) const;
+
+  private:
+    std::shared_future<ResultPtr> acquire(const Query &q,
+                                          const std::string &key);
+
+    EngineOptions _opts;
+    std::unique_ptr<QueryCache> _cache;
+    MetricsRegistry _metrics;
+    std::mutex _inflightMu;
+    std::unordered_map<std::string, std::shared_future<ResultPtr>>
+        _inflight;
+    ThreadPool _pool; ///< last member: workers die before state they use
+};
+
+} // namespace svc
+} // namespace hcm
+
+#endif // HCM_SVC_ENGINE_HH

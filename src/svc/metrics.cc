@@ -1,0 +1,132 @@
+#include "metrics.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace hcm {
+namespace svc {
+namespace {
+
+/** Index of the bucket containing @p nanos. */
+std::size_t
+bucketOf(std::uint64_t nanos)
+{
+    std::size_t i = 0;
+    while (nanos > 1 && i < 63) {
+        nanos >>= 1;
+        ++i;
+    }
+    return i;
+}
+
+} // namespace
+
+void
+LatencyHistogram::record(std::uint64_t nanos)
+{
+    ++_buckets[bucketOf(nanos)];
+    ++_count;
+    _sumNs += nanos;
+}
+
+double
+LatencyHistogram::meanNs() const
+{
+    return _count ? static_cast<double>(_sumNs) / _count : 0.0;
+}
+
+double
+LatencyHistogram::percentileNs(double p) const
+{
+    hcm_assert(p > 0.0 && p <= 100.0, "percentile ", p,
+               " outside (0, 100]");
+    if (_count == 0)
+        return 0.0;
+    double target = p / 100.0 * static_cast<double>(_count);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        if (_buckets[i] == 0)
+            continue;
+        double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i));
+        double hi = std::ldexp(1.0, static_cast<int>(i) + 1);
+        double before = static_cast<double>(seen);
+        seen += _buckets[i];
+        if (static_cast<double>(seen) >= target) {
+            double within = (target - before) / _buckets[i];
+            return lo + within * (hi - lo);
+        }
+    }
+    return std::ldexp(1.0, 63); // unreachable: counts always cover
+}
+
+void
+MetricsRegistry::recordQuery(QueryType type, std::uint64_t nanos,
+                             bool cacheHit)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    QueryTypeStats &stats = _byType[static_cast<std::size_t>(type)];
+    ++stats.queries;
+    if (cacheHit)
+        ++stats.cacheHits;
+    stats.latency.record(nanos);
+}
+
+QueryTypeStats
+MetricsRegistry::snapshot(QueryType type) const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    return _byType[static_cast<std::size_t>(type)];
+}
+
+std::uint64_t
+MetricsRegistry::totalQueries() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    std::uint64_t total = 0;
+    for (const QueryTypeStats &stats : _byType)
+        total += stats.queries;
+    return total;
+}
+
+void
+MetricsRegistry::writeJson(JsonWriter &json,
+                           const CacheStats *cache) const
+{
+    // Copy under the lock, format outside it.
+    std::array<QueryTypeStats, 4> by_type;
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        by_type = _byType;
+    }
+    std::uint64_t total = 0;
+    for (const QueryTypeStats &stats : by_type)
+        total += stats.queries;
+
+    json.beginObject();
+    json.kv("totalQueries", total);
+    json.key("queryTypes").beginObject();
+    for (QueryType type : allQueryTypes()) {
+        const QueryTypeStats &stats =
+            by_type[static_cast<std::size_t>(type)];
+        json.key(queryTypeName(type)).beginObject();
+        json.kv("count", stats.queries);
+        json.kv("cacheHits", stats.cacheHits);
+        json.key("latencyMs").beginObject();
+        json.kv("mean", stats.latency.meanNs() / 1e6);
+        json.kv("p50", stats.latency.percentileNs(50.0) / 1e6);
+        json.kv("p95", stats.latency.percentileNs(95.0) / 1e6);
+        json.kv("p99", stats.latency.percentileNs(99.0) / 1e6);
+        json.endObject();
+        json.endObject();
+    }
+    json.endObject();
+    if (cache) {
+        json.key("cache");
+        cache->writeJson(json);
+    }
+    json.endObject();
+}
+
+} // namespace svc
+} // namespace hcm

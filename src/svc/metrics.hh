@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Observability for the query engine: per-query-type counters and
+ * log-scale latency histograms with percentile estimation (p50/p95/p99),
+ * exported as JSON through the streaming writer. Histograms use
+ * power-of-two nanosecond buckets — constant memory, lock held only for
+ * a few increments per sample — which resolves percentiles to within a
+ * factor of two, plenty for spotting contention and cache effects.
+ */
+
+#ifndef HCM_SVC_METRICS_HH
+#define HCM_SVC_METRICS_HH
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+
+#include "svc/cache.hh"
+#include "svc/query.hh"
+#include "util/json.hh"
+
+namespace hcm {
+namespace svc {
+
+/** Histogram over log2-spaced nanosecond buckets. Not synchronized —
+ *  MetricsRegistry guards access. */
+class LatencyHistogram
+{
+  public:
+    void record(std::uint64_t nanos);
+
+    std::uint64_t count() const { return _count; }
+
+    /** Mean latency in nanoseconds (0 when empty). */
+    double meanNs() const;
+
+    /**
+     * Latency below which @p p percent of samples fall, interpolated
+     * within the containing bucket. @p p in (0, 100]; 0 when empty.
+     */
+    double percentileNs(double p) const;
+
+  private:
+    /** Bucket i spans [2^i, 2^(i+1)) ns; bucket 0 also catches 0. */
+    static constexpr std::size_t kBuckets = 64;
+
+    std::array<std::uint64_t, kBuckets> _buckets{};
+    std::uint64_t _count = 0;
+    std::uint64_t _sumNs = 0;
+};
+
+/** Counters + latency for one query type. */
+struct QueryTypeStats
+{
+    std::uint64_t queries = 0;
+    std::uint64_t cacheHits = 0;
+    LatencyHistogram latency;
+};
+
+/** Thread-safe registry of per-query-type metrics. */
+class MetricsRegistry
+{
+  public:
+    /** Record one served query of @p type taking @p nanos. */
+    void recordQuery(QueryType type, std::uint64_t nanos, bool cacheHit);
+
+    /** Copy of the stats for @p type. */
+    QueryTypeStats snapshot(QueryType type) const;
+
+    /** Total queries served across types. */
+    std::uint64_t totalQueries() const;
+
+    /**
+     * Emit the metrics document:
+     * {"totalQueries": N,
+     *  "queryTypes": {"optimize": {"count": ..., "cacheHits": ...,
+     *                 "latencyMs": {"mean": ..., "p50": ..., "p95": ...,
+     *                               "p99": ...}}, ...},
+     *  "cache": {...}}          // when @p cache is non-null
+     */
+    void writeJson(JsonWriter &json,
+                   const CacheStats *cache = nullptr) const;
+
+  private:
+    mutable std::mutex _mu;
+    std::array<QueryTypeStats, 4> _byType;
+};
+
+} // namespace svc
+} // namespace hcm
+
+#endif // HCM_SVC_METRICS_HH

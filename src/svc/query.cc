@@ -1,0 +1,233 @@
+#include "query.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/budget.hh"
+#include "core/organization.hh"
+#include "core/pareto.hh"
+#include "core/projection.hh"
+#include "core/scenario.hh"
+#include "itrs/scaling.hh"
+#include "util/logging.hh"
+
+namespace hcm {
+namespace svc {
+namespace {
+
+/** Round-trip-exact double for canonical keys. */
+std::string
+keyDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** Per-organization rows at one node (Optimize / Energy). */
+std::vector<ResultRow>
+evaluateAtNode(const Query &q, core::Objective objective)
+{
+    const core::Scenario &scenario = core::scenarioByName(q.scenario);
+    const itrs::NodeParams &node = itrs::nodeParams(q.node);
+    core::Budget budget = core::makeBudget(node, q.workload, scenario);
+    core::OptimizerOptions opts;
+    opts.alpha = scenario.alpha;
+    opts.objective = objective;
+
+    std::vector<ResultRow> rows;
+    for (const core::Organization &org :
+         core::paperOrganizations(q.workload)) {
+        if (q.device && org.isHet() && org.device != q.device)
+            continue;
+        core::DesignPoint dp = core::optimize(org, q.f, budget, opts);
+        ResultRow row;
+        row.org = org.name;
+        row.node = node.label();
+        row.feasible = dp.feasible;
+        if (dp.feasible) {
+            row.r = dp.r;
+            row.n = dp.n;
+            row.speedup = dp.speedup;
+            row.limiter = core::limiterName(dp.limiter);
+            row.energyNormalized = core::normalizedEnergy(
+                dp.energy, node.relPowerPerTransistor);
+        }
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::vector<ResultRow>
+evaluateProjection(const Query &q)
+{
+    const core::Scenario &scenario = core::scenarioByName(q.scenario);
+    std::vector<ResultRow> rows;
+    for (const core::ProjectionSeries &series :
+         core::projectAll(q.workload, q.f, scenario)) {
+        if (q.device && series.org.isHet() &&
+            series.org.device != q.device)
+            continue;
+        for (const core::NodePoint &pt : series.points) {
+            ResultRow row;
+            row.org = series.org.name;
+            row.node = pt.node.label();
+            row.feasible = pt.design.feasible;
+            if (pt.design.feasible) {
+                row.r = pt.design.r;
+                row.n = pt.design.n;
+                row.speedup = pt.design.speedup;
+                row.limiter = core::limiterName(pt.design.limiter);
+                row.energyNormalized = pt.energyNormalized();
+            }
+            rows.push_back(row);
+        }
+    }
+    return rows;
+}
+
+std::vector<ResultRow>
+evaluatePareto(const Query &q)
+{
+    const core::Scenario &scenario = core::scenarioByName(q.scenario);
+    const itrs::NodeParams &node = itrs::nodeParams(q.node);
+    auto frontier = core::paretoFrontier(
+        core::enumerateDesigns(q.workload, q.f, node, scenario));
+    std::vector<ResultRow> rows;
+    for (const core::ParetoPoint &p : frontier) {
+        ResultRow row;
+        row.org = p.orgName;
+        row.node = node.label();
+        row.feasible = p.design.feasible;
+        row.r = p.design.r;
+        row.n = p.design.n;
+        row.speedup = p.design.speedup;
+        row.limiter = core::limiterName(p.design.limiter);
+        row.energyNormalized = p.energyNormalized;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace
+
+const std::vector<QueryType> &
+allQueryTypes()
+{
+    static const std::vector<QueryType> types = {
+        QueryType::Optimize,
+        QueryType::Projection,
+        QueryType::Energy,
+        QueryType::Pareto,
+    };
+    return types;
+}
+
+std::string
+queryTypeName(QueryType type)
+{
+    switch (type) {
+      case QueryType::Optimize:
+        return "optimize";
+      case QueryType::Projection:
+        return "projection";
+      case QueryType::Energy:
+        return "energy";
+      case QueryType::Pareto:
+        return "pareto";
+    }
+    hcm_panic("bad QueryType ", static_cast<int>(type));
+}
+
+std::optional<QueryType>
+queryTypeByName(const std::string &name)
+{
+    for (QueryType t : allQueryTypes())
+        if (queryTypeName(t) == name)
+            return t;
+    return std::nullopt;
+}
+
+std::string
+Query::canonicalKey() const
+{
+    std::ostringstream key;
+    key << queryTypeName(type) << '|' << workload.name() << "|f="
+        << keyDouble(f) << "|s=" << scenario;
+    // Projection spans every node, so the node is not part of its
+    // identity — leaving it out lets differently-spelled requests share
+    // one cache entry.
+    if (type != QueryType::Projection)
+        key << "|n=" << keyDouble(node);
+    key << "|d=" << (device ? dev::deviceName(*device) : "*");
+    return key.str();
+}
+
+void
+QueryResult::writeJson(JsonWriter &json) const
+{
+    json.beginObject();
+    json.key("query").beginObject();
+    json.kv("type", queryTypeName(query.type));
+    json.kv("workload", query.workload.name());
+    json.kv("f", query.f);
+    json.kv("scenario", query.scenario);
+    if (query.type != QueryType::Projection)
+        json.kv("node", query.node);
+    if (query.device)
+        json.kv("device", dev::deviceName(*query.device));
+    json.endObject();
+    json.key("rows").beginArray();
+    for (const ResultRow &row : rows) {
+        json.beginObject();
+        json.kv("organization", row.org);
+        json.kv("node", row.node);
+        json.kv("feasible", row.feasible);
+        if (row.feasible) {
+            json.kv("r", row.r);
+            json.kv("n", row.n);
+            json.kv("speedup", row.speedup);
+            json.kv("limiter", row.limiter);
+            json.kv("energyNormalized", row.energyNormalized);
+        }
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+std::string
+QueryResult::toJson() const
+{
+    std::ostringstream oss;
+    {
+        JsonWriter json(oss);
+        writeJson(json);
+    }
+    return oss.str();
+}
+
+QueryResult
+evaluateQuery(const Query &q)
+{
+    QueryResult result;
+    result.query = q;
+    switch (q.type) {
+      case QueryType::Optimize:
+        result.rows = evaluateAtNode(q, core::Objective::MaxSpeedup);
+        break;
+      case QueryType::Energy:
+        result.rows = evaluateAtNode(q, core::Objective::MinEnergy);
+        break;
+      case QueryType::Projection:
+        result.rows = evaluateProjection(q);
+        break;
+      case QueryType::Pareto:
+        result.rows = evaluatePareto(q);
+        break;
+    }
+    return result;
+}
+
+} // namespace svc
+} // namespace hcm

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Typed queries over the analytical model — the vocabulary of the
+ * design-space query engine. Each query names one model computation
+ * (a design-point optimization, a projection series, a min-energy
+ * design, or a Pareto frontier) plus its inputs, and serializes to a
+ * canonical key so identical requests dedupe and memoize regardless of
+ * how they were spelled. evaluateQuery() is a pure function of the
+ * query (the model data is immutable after startup), which is what
+ * makes both the cache and multi-threaded evaluation sound.
+ */
+
+#ifndef HCM_SVC_QUERY_HH
+#define HCM_SVC_QUERY_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "devices/device.hh"
+#include "util/json.hh"
+#include "workloads/workload.hh"
+
+namespace hcm {
+namespace svc {
+
+/** The model computations the engine serves. */
+enum class QueryType {
+    Optimize,   ///< best design per organization at one node
+    Projection, ///< per-organization series across all ITRS nodes
+    Energy,     ///< min-energy design per organization at one node
+    Pareto,     ///< speedup/energy frontier at one node
+};
+
+/** All query types, in enum order. */
+const std::vector<QueryType> &allQueryTypes();
+
+/** Wire name ("optimize", "projection", "energy", "pareto"). */
+std::string queryTypeName(QueryType type);
+
+/** Inverse of queryTypeName(); nullopt when unknown. */
+std::optional<QueryType> queryTypeByName(const std::string &name);
+
+/** One request against the model. */
+struct Query
+{
+    QueryType type = QueryType::Optimize;
+    wl::Workload workload = wl::Workload::fft(1024);
+    double f = 0.99;
+    std::string scenario = "baseline";
+    /** Technology node in nm; ignored by Projection (all nodes). */
+    double node = 22.0;
+    /** Restrict HET organizations to one device; empty = all. */
+    std::optional<dev::DeviceId> device;
+
+    /**
+     * Deterministic serialized identity: two queries produce the same
+     * key iff they request the same computation. Cache and in-flight
+     * dedup key on this string.
+     */
+    std::string canonicalKey() const;
+};
+
+/** One evaluated design in a result (one table row). */
+struct ResultRow
+{
+    std::string org;    ///< organization legend name
+    std::string node;   ///< node label ("22nm")
+    bool feasible = false;
+    double r = 0.0;
+    double n = 0.0;
+    double speedup = 0.0;
+    std::string limiter;
+    double energyNormalized = 0.0;
+};
+
+/** The answer to one query. */
+struct QueryResult
+{
+    Query query;
+    std::vector<ResultRow> rows;
+
+    /** Emit {"query": {...}, "rows": [...]} via the streaming writer. */
+    void writeJson(JsonWriter &json) const;
+
+    /** Whole result as one compact JSON document (tests, serve mode). */
+    std::string toJson() const;
+};
+
+/**
+ * Evaluate @p q against the model. Pure and thread-safe: no mutable
+ * global state is touched, so concurrent calls and memoized replays
+ * return bit-identical results.
+ */
+QueryResult evaluateQuery(const Query &q);
+
+} // namespace svc
+} // namespace hcm
+
+#endif // HCM_SVC_QUERY_HH

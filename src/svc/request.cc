@@ -1,0 +1,211 @@
+#include "request.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "core/scenario.hh"
+#include "itrs/scaling.hh"
+#include "util/format.hh"
+
+namespace hcm {
+namespace svc {
+namespace {
+
+/** Non-fatal counterpart of core::scenarioByName(). */
+bool
+scenarioExists(const std::string &name)
+{
+    if (name == core::baselineScenario().name)
+        return true;
+    for (const core::Scenario &s : core::alternativeScenarios())
+        if (s.name == name)
+            return true;
+    return false;
+}
+
+/** Non-fatal counterpart of itrs::nodeParams(). */
+bool
+nodeExists(double node_nm)
+{
+    for (const itrs::NodeParams &node : itrs::nodeTable())
+        if (node.nodeNm == node_nm)
+            return true;
+    return false;
+}
+
+} // namespace
+
+std::optional<wl::Workload>
+parseWorkloadSpec(const std::string &spec, std::string *error)
+{
+    if (iequals(spec, "mmm"))
+        return wl::Workload::mmm();
+    if (iequals(spec, "bs") || iequals(spec, "blackscholes"))
+        return wl::Workload::blackScholes();
+    if (iequals(spec, "fft"))
+        return wl::Workload::fft(1024);
+    if (spec.rfind("fft:", 0) == 0 || spec.rfind("FFT:", 0) == 0) {
+        const std::string digits = spec.substr(4);
+        char *end = nullptr;
+        unsigned long n = std::strtoul(digits.c_str(), &end, 10);
+        if (!digits.empty() && end == digits.c_str() + digits.size() &&
+            n >= 2 && (n & (n - 1)) == 0)
+            return wl::Workload::fft(n);
+        if (error)
+            *error = "fft size must be a power of two >= 2, got '" +
+                     digits + "'";
+        return std::nullopt;
+    }
+    if (error)
+        *error = "unknown workload '" + spec +
+                 "' (expected mmm, bs, or fft:N)";
+    return std::nullopt;
+}
+
+std::optional<dev::DeviceId>
+parseDeviceName(const std::string &name)
+{
+    static const std::vector<std::pair<std::string, dev::DeviceId>>
+        devices = {
+            {"gtx285", dev::DeviceId::Gtx285},
+            {"gtx480", dev::DeviceId::Gtx480},
+            {"r5870", dev::DeviceId::R5870},
+            {"lx760", dev::DeviceId::Lx760},
+            {"asic", dev::DeviceId::Asic},
+        };
+    for (const auto &[id_name, id] : devices)
+        if (iequals(name, id_name))
+            return id;
+    return std::nullopt;
+}
+
+RequestParse
+parseQueryRequest(const JsonValue &v)
+{
+    if (!v.isObject())
+        return RequestParse::failure(
+            "request must be a JSON object, got " +
+            JsonValue::typeName(v.type()));
+
+    RequestParse out;
+    Query &q = out.query;
+
+    const JsonValue *type = v.find("type");
+    if (!type || !type->isString())
+        return RequestParse::failure(
+            "missing required string field 'type'");
+    auto parsed_type = queryTypeByName(type->asString());
+    if (!parsed_type)
+        return RequestParse::failure(
+            "unknown query type '" + type->asString() +
+            "' (optimize, projection, energy, pareto)");
+    q.type = *parsed_type;
+
+    if (const JsonValue *workload = v.find("workload")) {
+        if (!workload->isString())
+            return RequestParse::failure("'workload' must be a string");
+        std::string why;
+        auto parsed = parseWorkloadSpec(workload->asString(), &why);
+        if (!parsed)
+            return RequestParse::failure(why);
+        q.workload = *parsed;
+    }
+
+    if (const JsonValue *f = v.find("f")) {
+        if (!f->isNumber())
+            return RequestParse::failure("'f' must be a number");
+        q.f = f->asNumber();
+        if (!(q.f >= 0.0 && q.f <= 1.0))
+            return RequestParse::failure(
+                "'f' must lie in [0, 1], got " +
+                std::to_string(q.f));
+    }
+
+    if (const JsonValue *scenario = v.find("scenario")) {
+        if (!scenario->isString())
+            return RequestParse::failure("'scenario' must be a string");
+        q.scenario = scenario->asString();
+        if (!scenarioExists(q.scenario))
+            return RequestParse::failure(
+                "unknown scenario '" + q.scenario + "'");
+    }
+
+    if (const JsonValue *node = v.find("node")) {
+        if (!node->isNumber())
+            return RequestParse::failure("'node' must be a number");
+        q.node = node->asNumber();
+        if (!nodeExists(q.node))
+            return RequestParse::failure(
+                "unknown node " + std::to_string(q.node) +
+                " (expected 40, 32, 22, 16, or 11)");
+    }
+
+    if (const JsonValue *device = v.find("device")) {
+        if (!device->isString())
+            return RequestParse::failure("'device' must be a string");
+        auto id = parseDeviceName(device->asString());
+        if (!id)
+            return RequestParse::failure(
+                "unknown device '" + device->asString() +
+                "' (gtx285, gtx480, r5870, lx760, asic)");
+        q.device = *id;
+    }
+
+    out.ok = true;
+    return out;
+}
+
+RequestParse
+parseQueryRequestText(const std::string &text)
+{
+    std::string why;
+    auto doc = JsonValue::parse(text, &why);
+    if (!doc)
+        return RequestParse::failure("malformed JSON: " + why);
+    return parseQueryRequest(*doc);
+}
+
+std::optional<std::vector<Query>>
+parseBatchDocument(const std::string &text, std::string *error)
+{
+    std::string why;
+    auto doc = JsonValue::parse(text, &why);
+    if (!doc) {
+        if (error)
+            *error = "malformed JSON: " + why;
+        return std::nullopt;
+    }
+    const JsonValue *list = nullptr;
+    if (doc->isArray()) {
+        list = &*doc;
+    } else if (doc->isObject()) {
+        list = doc->find("requests");
+        if (!list || !list->isArray()) {
+            if (error)
+                *error = "expected {\"requests\": [...]} or a "
+                         "top-level array";
+            return std::nullopt;
+        }
+    } else {
+        if (error)
+            *error = "batch document must be an array or object";
+        return std::nullopt;
+    }
+
+    std::vector<Query> queries;
+    queries.reserve(list->size());
+    for (std::size_t i = 0; i < list->items().size(); ++i) {
+        RequestParse parsed = parseQueryRequest(list->items()[i]);
+        if (!parsed.ok) {
+            if (error)
+                *error = "request " + std::to_string(i) + ": " +
+                         parsed.error;
+            return std::nullopt;
+        }
+        queries.push_back(parsed.query);
+    }
+    return queries;
+}
+
+} // namespace svc
+} // namespace hcm

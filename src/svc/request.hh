@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Wire format of the query service: JSON requests -> typed Query.
+ * Every field is validated non-fatally (unknown scenario, bad node,
+ * malformed workload spec, ...) so a server can answer one bad request
+ * with an error instead of dying. The request schema:
+ *
+ *   {"type": "optimize" | "projection" | "energy" | "pareto",
+ *    "workload": "mmm" | "bs" | "fft:N",   // default "fft:1024"
+ *    "f": 0.99,                            // parallel fraction
+ *    "scenario": "baseline" | ...,         // Section 6.2 names
+ *    "node": 40|32|22|16|11,               // ignored by projection
+ *    "device": "gtx285"|"gtx480"|"r5870"|"lx760"|"asic"}  // optional
+ */
+
+#ifndef HCM_SVC_REQUEST_HH
+#define HCM_SVC_REQUEST_HH
+
+#include <string>
+#include <vector>
+
+#include "svc/query.hh"
+#include "util/json_parse.hh"
+
+namespace hcm {
+namespace svc {
+
+/** Outcome of parsing one request. */
+struct RequestParse
+{
+    bool ok = false;
+    Query query;
+    std::string error;
+
+    static RequestParse
+    failure(std::string why)
+    {
+        RequestParse out;
+        out.error = std::move(why);
+        return out;
+    }
+};
+
+/** Parse one request object (already-parsed JSON) into a Query. */
+RequestParse parseQueryRequest(const JsonValue &v);
+
+/** Parse one request from raw JSON text (serve mode's line format). */
+RequestParse parseQueryRequestText(const std::string &text);
+
+/**
+ * Parse a batch document: either a top-level array of request objects
+ * or {"requests": [...]}. Returns the queries, or sets @p error (with
+ * the offending index) and returns nullopt.
+ */
+std::optional<std::vector<Query>> parseBatchDocument(
+    const std::string &text, std::string *error);
+
+/** Workload spec parser shared with the CLI ("mmm", "bs", "fft:N"). */
+std::optional<wl::Workload> parseWorkloadSpec(const std::string &spec,
+                                              std::string *error);
+
+/** Device name parser ("asic", "gtx285", ...); nullopt when unknown. */
+std::optional<dev::DeviceId> parseDeviceName(const std::string &name);
+
+} // namespace svc
+} // namespace hcm
+
+#endif // HCM_SVC_REQUEST_HH

@@ -1,0 +1,83 @@
+#include "service.hh"
+
+#include <sstream>
+
+#include "svc/request.hh"
+#include "util/format.hh"
+
+namespace hcm {
+namespace svc {
+namespace {
+
+void
+writeErrorLine(std::ostream &out, const std::string &why)
+{
+    JsonWriter json(out);
+    json.beginObject();
+    json.kv("error", why);
+    json.endObject();
+    out << "\n";
+}
+
+} // namespace
+
+bool
+runBatch(const std::string &text, QueryEngine &engine, std::ostream &out,
+         std::string *error)
+{
+    auto queries = parseBatchDocument(text, error);
+    if (!queries)
+        return false;
+
+    std::vector<QueryEngine::ResultPtr> results =
+        engine.evaluateBatch(*queries);
+
+    JsonWriter json(out);
+    json.beginObject();
+    json.key("results").beginArray();
+    for (const QueryEngine::ResultPtr &result : results)
+        result->writeJson(json);
+    json.endArray();
+    json.key("metrics");
+    engine.writeMetricsJson(json);
+    json.endObject();
+    out << "\n";
+    return true;
+}
+
+std::size_t
+runServe(std::istream &in, std::ostream &out, QueryEngine &engine)
+{
+    std::size_t served = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (trim(line).empty())
+            continue;
+        RequestParse parsed = parseQueryRequestText(line);
+        if (!parsed.ok) {
+            // "metrics" is a control verb, not a query type, so it
+            // fails normal parsing; intercept it here.
+            auto doc = JsonValue::parse(line, nullptr);
+            if (doc && doc->isObject()) {
+                const JsonValue *type = doc->find("type");
+                if (type && type->isString() &&
+                    type->asString() == "metrics") {
+                    JsonWriter json(out);
+                    engine.writeMetricsJson(json);
+                    out << "\n" << std::flush;
+                    continue;
+                }
+            }
+            writeErrorLine(out, parsed.error);
+            out << std::flush;
+            continue;
+        }
+        QueryEngine::ResultPtr result = engine.evaluate(parsed.query);
+        out << result->toJson() << "\n" << std::flush;
+        ++served;
+    }
+    return served;
+}
+
+} // namespace svc
+} // namespace hcm

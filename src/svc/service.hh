@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Front-ends over the query engine, shared by `hcm batch` and
+ * `hcm serve`:
+ *
+ *  - runBatch(): evaluate one JSON batch document and emit a single
+ *    response {"results": [...], "metrics": {...}} — every result in
+ *    input order, metrics covering latency per query type and cache
+ *    hit rate.
+ *  - runServe(): line-delimited JSON loop — one request per input
+ *    line, one response per output line; {"type": "metrics"} returns
+ *    the metrics document; malformed requests get {"error": ...}
+ *    without ending the session.
+ */
+
+#ifndef HCM_SVC_SERVICE_HH
+#define HCM_SVC_SERVICE_HH
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "svc/engine.hh"
+
+namespace hcm {
+namespace svc {
+
+/**
+ * Evaluate the batch document in @p text through @p engine, writing
+ * the response JSON to @p out. Returns false (with @p error set) when
+ * the document does not parse; evaluation itself cannot fail.
+ */
+bool runBatch(const std::string &text, QueryEngine &engine,
+              std::ostream &out, std::string *error);
+
+/**
+ * Serve line-delimited JSON requests from @p in until EOF, one
+ * response line each. Returns the number of successfully served
+ * queries.
+ */
+std::size_t runServe(std::istream &in, std::ostream &out,
+                     QueryEngine &engine);
+
+} // namespace svc
+} // namespace hcm
+
+#endif // HCM_SVC_SERVICE_HH

@@ -1,0 +1,76 @@
+#include "thread_pool.hh"
+
+#include "util/logging.hh"
+
+namespace hcm {
+namespace svc {
+
+ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
+    : _capacity(queue_capacity > 0 ? queue_capacity : 1)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    _workers.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        _stopping = true;
+    }
+    _notEmpty.notify_all();
+    _notFull.notify_all();
+    for (std::thread &w : _workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    hcm_assert(task, "submitted an empty task");
+    {
+        std::unique_lock<std::mutex> lock(_mu);
+        _notFull.wait(lock, [this] {
+            return _queue.size() < _capacity || _stopping;
+        });
+        hcm_assert(!_stopping, "submit() on a stopping ThreadPool");
+        _queue.push_back(std::move(task));
+    }
+    _notEmpty.notify_one();
+}
+
+std::size_t
+ThreadPool::pendingTasks() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    return _queue.size();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(_mu);
+            _notEmpty.wait(lock, [this] {
+                return !_queue.empty() || _stopping;
+            });
+            if (_queue.empty())
+                return; // stopping and fully drained
+            task = std::move(_queue.front());
+            _queue.pop_front();
+        }
+        _notFull.notify_one();
+        task();
+    }
+}
+
+} // namespace svc
+} // namespace hcm

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fixed-size worker pool with a bounded task queue — the execution
+ * substrate of the query engine. Submission blocks when the queue is
+ * full (backpressure instead of unbounded memory growth); destruction
+ * drains every queued task before joining, so submitted work always
+ * runs exactly once.
+ */
+
+#ifndef HCM_SVC_THREAD_POOL_HH
+#define HCM_SVC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hcm {
+namespace svc {
+
+/** A fixed pool of worker threads consuming a bounded FIFO queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p threads workers (0 selects the hardware concurrency).
+     * @p queue_capacity bounds the number of tasks waiting to run;
+     * submit() blocks once the bound is reached.
+     */
+    explicit ThreadPool(std::size_t threads,
+                        std::size_t queue_capacity = kDefaultQueueCapacity);
+
+    /** Drains the queue, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue @p task; blocks while the queue is at capacity. Panics
+     * when called after shutdown began.
+     */
+    void submit(std::function<void()> task);
+
+    std::size_t threadCount() const { return _workers.size(); }
+
+    /** Tasks queued but not yet picked up by a worker. */
+    std::size_t pendingTasks() const;
+
+    static constexpr std::size_t kDefaultQueueCapacity = 1024;
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex _mu;
+    std::condition_variable _notEmpty;
+    std::condition_variable _notFull;
+    std::deque<std::function<void()>> _queue;
+    std::vector<std::thread> _workers;
+    std::size_t _capacity;
+    bool _stopping = false;
+};
+
+} // namespace svc
+} // namespace hcm
+
+#endif // HCM_SVC_THREAD_POOL_HH

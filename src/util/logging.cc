@@ -2,9 +2,22 @@
 
 #include <cstdlib>
 #include <exception>
+#include <mutex>
 
 namespace hcm {
 namespace detail {
+
+namespace {
+
+/** Serializes sink writes so worker threads don't interleave lines. */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+} // namespace
 
 void
 logMessage(LogLevel level, const std::string &msg, const char *file,
@@ -25,10 +38,14 @@ logMessage(LogLevel level, const std::string &msg, const char *file,
         tag = "panic";
         break;
     }
-    std::cerr << tag << ": " << msg;
+    // Build the whole line first so the sink sees one atomic write.
+    std::ostringstream line_out;
+    line_out << tag << ": " << msg;
     if (level == LogLevel::Fatal || level == LogLevel::Panic)
-        std::cerr << " @ " << file << ":" << line;
-    std::cerr << std::endl;
+        line_out << " @ " << file << ":" << line;
+    line_out << "\n";
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    std::cerr << line_out.str() << std::flush;
 }
 
 } // namespace detail

@@ -1,0 +1,140 @@
+/** @file Tests for the sharded LRU memoization cache. */
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "svc/cache.hh"
+
+namespace hcm {
+namespace svc {
+namespace {
+
+std::shared_ptr<const QueryResult>
+resultNamed(const std::string &org)
+{
+    auto result = std::make_shared<QueryResult>();
+    ResultRow row;
+    row.org = org;
+    result->rows.push_back(row);
+    return result;
+}
+
+TEST(QueryCacheTest, MissThenHit)
+{
+    QueryCache cache(8, 2);
+    EXPECT_EQ(cache.get("k"), nullptr);
+    cache.put("k", resultNamed("ASIC"));
+    auto hit = cache.get("k");
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->rows[0].org, "ASIC");
+
+    CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_DOUBLE_EQ(stats.hitRate(), 0.5);
+}
+
+TEST(QueryCacheTest, PeekDoesNotCount)
+{
+    QueryCache cache(8, 1);
+    EXPECT_EQ(cache.peek("k"), nullptr);
+    cache.put("k", resultNamed("ASIC"));
+    EXPECT_NE(cache.peek("k"), nullptr);
+    CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(QueryCacheTest, EvictsLeastRecentlyUsed)
+{
+    QueryCache cache(2, 1); // one shard so LRU order is global
+    cache.put("a", resultNamed("A"));
+    cache.put("b", resultNamed("B"));
+    EXPECT_NE(cache.get("a"), nullptr); // refresh "a"
+    cache.put("c", resultNamed("C"));   // evicts "b"
+
+    EXPECT_NE(cache.get("a"), nullptr);
+    EXPECT_EQ(cache.get("b"), nullptr);
+    EXPECT_NE(cache.get("c"), nullptr);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(QueryCacheTest, PutRefreshesExistingKey)
+{
+    QueryCache cache(2, 1);
+    cache.put("k", resultNamed("old"));
+    cache.put("k", resultNamed("new"));
+    EXPECT_EQ(cache.stats().entries, 1u);
+    EXPECT_EQ(cache.get("k")->rows[0].org, "new");
+}
+
+TEST(QueryCacheTest, ZeroCapacityDisablesStorage)
+{
+    QueryCache cache(0);
+    cache.put("k", resultNamed("X"));
+    EXPECT_EQ(cache.get("k"), nullptr);
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(QueryCacheTest, ShardCountClampedToCapacity)
+{
+    QueryCache tiny(2, 64);
+    EXPECT_EQ(tiny.shardCount(), 2u);
+    QueryCache normal(64, 8);
+    EXPECT_EQ(normal.shardCount(), 8u);
+}
+
+TEST(QueryCacheTest, CapacityHoldsAcrossShards)
+{
+    // Insert far more than capacity; total entries must never exceed
+    // the ceiling-divided per-shard budget times the shard count.
+    QueryCache cache(16, 4);
+    for (int i = 0; i < 200; ++i)
+        cache.put("key" + std::to_string(i), resultNamed("X"));
+    EXPECT_LE(cache.stats().entries, 16u);
+    EXPECT_GE(cache.stats().evictions, 200u - 16u);
+}
+
+TEST(QueryCacheTest, ClearKeepsCounters)
+{
+    QueryCache cache(8, 2);
+    cache.put("k", resultNamed("X"));
+    EXPECT_NE(cache.get("k"), nullptr);
+    cache.clear();
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.get("k"), nullptr);
+}
+
+TEST(QueryCacheTest, ConcurrentMixedTrafficStaysConsistent)
+{
+    QueryCache cache(64, 8);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&cache, t] {
+            for (int i = 0; i < 500; ++i) {
+                std::string key =
+                    "key" + std::to_string((t * 31 + i) % 100);
+                if (i % 3 == 0)
+                    cache.put(key, resultNamed(key));
+                else
+                    cache.get(key);
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+    CacheStats stats = cache.stats();
+    EXPECT_LE(stats.entries, 64u);
+    EXPECT_EQ(stats.lookups(), stats.hits + stats.misses);
+}
+
+} // namespace
+} // namespace svc
+} // namespace hcm

@@ -1,0 +1,214 @@
+/** @file Tests for the batch engine: ordering, memoization, in-flight
+ *  dedup, metrics plumbing, and cross-configuration determinism. */
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "svc/engine.hh"
+#include "util/json_parse.hh"
+
+namespace hcm {
+namespace svc {
+namespace {
+
+/** A mixed workload of distinct queries (some expensive). */
+std::vector<Query>
+mixedQueries()
+{
+    std::vector<Query> queries;
+    for (double f : {0.5, 0.9, 0.99}) {
+        Query opt;
+        opt.type = QueryType::Optimize;
+        opt.workload = wl::Workload::fft(1024);
+        opt.f = f;
+        queries.push_back(opt);
+
+        Query energy;
+        energy.type = QueryType::Energy;
+        energy.workload = wl::Workload::mmm();
+        energy.f = f;
+        energy.node = 11.0;
+        queries.push_back(energy);
+    }
+    Query projection;
+    projection.type = QueryType::Projection;
+    projection.workload = wl::Workload::blackScholes();
+    projection.f = 0.9;
+    queries.push_back(projection);
+
+    Query pareto;
+    pareto.type = QueryType::Pareto;
+    pareto.workload = wl::Workload::mmm();
+    pareto.f = 0.99;
+    queries.push_back(pareto);
+    return queries;
+}
+
+/** Serialize a whole batch; bit-identical JSON == identical results. */
+std::string
+fingerprint(const std::vector<QueryEngine::ResultPtr> &results)
+{
+    std::ostringstream oss;
+    for (const auto &result : results)
+        oss << result->toJson() << "\n";
+    return oss.str();
+}
+
+EngineOptions
+options(std::size_t threads, std::size_t cache_capacity)
+{
+    EngineOptions opts;
+    opts.threads = threads;
+    opts.cacheCapacity = cache_capacity;
+    return opts;
+}
+
+TEST(QueryEngineTest, ResultsComeBackInInputOrder)
+{
+    QueryEngine engine(options(4, 64));
+    std::vector<Query> queries = mixedQueries();
+    auto results = engine.evaluateBatch(queries);
+    ASSERT_EQ(results.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        ASSERT_NE(results[i], nullptr);
+        EXPECT_EQ(results[i]->query.canonicalKey(),
+                  queries[i].canonicalKey());
+        EXPECT_FALSE(results[i]->rows.empty());
+    }
+}
+
+TEST(QueryEngineTest, DuplicateQueriesEvaluateOnce)
+{
+    QueryEngine engine(options(4, 64));
+    Query q; // default optimize query
+    std::vector<Query> queries(16, q);
+    auto results = engine.evaluateBatch(queries);
+    ASSERT_EQ(results.size(), 16u);
+    // Batch-local dedup collapses all 16 onto one future => one shared
+    // result object, one evaluation, one cache miss.
+    for (const auto &result : results)
+        EXPECT_EQ(result, results[0]);
+    CacheStats stats = engine.cacheStats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(engine.metrics().snapshot(QueryType::Optimize).queries,
+              1u);
+}
+
+TEST(QueryEngineTest, SecondBatchIsServedFromTheCache)
+{
+    QueryEngine engine(options(2, 64));
+    std::vector<Query> queries = mixedQueries();
+    engine.evaluateBatch(queries);
+    CacheStats cold = engine.cacheStats();
+    EXPECT_EQ(cold.hits, 0u);
+    EXPECT_EQ(cold.misses, queries.size());
+
+    engine.evaluateBatch(queries);
+    CacheStats warm = engine.cacheStats();
+    EXPECT_EQ(warm.hits, queries.size());
+    EXPECT_EQ(warm.misses, queries.size());
+    EXPECT_DOUBLE_EQ(warm.hitRate(), 0.5);
+}
+
+TEST(QueryEngineTest, EvaluateSingleMatchesBatch)
+{
+    QueryEngine engine(options(2, 64));
+    Query q;
+    q.type = QueryType::Pareto;
+    q.workload = wl::Workload::fft(1024);
+    auto single = engine.evaluate(q);
+    auto batch = engine.evaluateBatch({q});
+    ASSERT_NE(single, nullptr);
+    EXPECT_EQ(single->toJson(), batch[0]->toJson());
+}
+
+// Satellite: a batch of mixed queries returns bit-identical results
+// for 1 vs 8 worker threads and with the cache enabled vs disabled.
+TEST(QueryEngineTest, DeterministicAcrossThreadCounts)
+{
+    std::vector<Query> queries = mixedQueries();
+    QueryEngine one(options(1, 256));
+    QueryEngine eight(options(8, 256));
+    EXPECT_EQ(fingerprint(one.evaluateBatch(queries)),
+              fingerprint(eight.evaluateBatch(queries)));
+}
+
+TEST(QueryEngineTest, DeterministicWithCacheOnAndOff)
+{
+    std::vector<Query> queries = mixedQueries();
+    // Repeat every query so the cached engine actually serves hits.
+    std::vector<Query> doubled = queries;
+    doubled.insert(doubled.end(), queries.begin(), queries.end());
+
+    QueryEngine cached(options(4, 256));
+    QueryEngine uncached(options(4, 0));
+    EXPECT_FALSE(uncached.cacheEnabled());
+
+    std::string with_cache = fingerprint(cached.evaluateBatch(doubled));
+    std::string without = fingerprint(uncached.evaluateBatch(doubled));
+    EXPECT_EQ(with_cache, without);
+
+    // And a warm second pass (pure cache hits) changes nothing either.
+    EXPECT_EQ(fingerprint(cached.evaluateBatch(doubled)), with_cache);
+    EXPECT_GT(cached.cacheStats().hits, 0u);
+}
+
+TEST(QueryEngineTest, DisabledCacheStillDedupesWithinABatch)
+{
+    QueryEngine engine(options(4, 0));
+    Query q;
+    std::vector<Query> queries(8, q);
+    auto results = engine.evaluateBatch(queries);
+    for (const auto &result : results)
+        EXPECT_EQ(result, results[0]);
+    EXPECT_EQ(engine.metrics().snapshot(QueryType::Optimize).queries,
+              1u);
+}
+
+TEST(QueryEngineTest, ConcurrentBatchesShareInFlightWork)
+{
+    QueryEngine engine(options(4, 64));
+    std::vector<Query> queries = mixedQueries();
+    std::vector<std::string> prints(4);
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 4; ++t)
+        clients.emplace_back([&, t] {
+            prints[t] = fingerprint(engine.evaluateBatch(queries));
+        });
+    for (std::thread &th : clients)
+        th.join();
+    for (int t = 1; t < 4; ++t)
+        EXPECT_EQ(prints[t], prints[0]);
+    // Dedup across batches: far fewer evaluations than 4x the batch.
+    CacheStats stats = engine.cacheStats();
+    EXPECT_EQ(stats.entries, queries.size());
+}
+
+TEST(QueryEngineTest, MetricsCoverEveryQueryType)
+{
+    QueryEngine engine(options(2, 64));
+    engine.evaluateBatch(mixedQueries());
+    for (QueryType t : allQueryTypes())
+        EXPECT_GT(engine.metrics().snapshot(t).queries, 0u)
+            << queryTypeName(t);
+
+    std::ostringstream oss;
+    {
+        JsonWriter json(oss);
+        engine.writeMetricsJson(json);
+    }
+    auto doc = JsonValue::parse(oss.str());
+    ASSERT_TRUE(doc);
+    EXPECT_NE(doc->find("cache"), nullptr);
+    EXPECT_DOUBLE_EQ(doc->find("totalQueries")->asNumber(),
+                     static_cast<double>(mixedQueries().size()));
+}
+
+} // namespace
+} // namespace svc
+} // namespace hcm

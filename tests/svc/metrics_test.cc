@@ -1,0 +1,132 @@
+/** @file Tests for latency histograms and the metrics registry. */
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "svc/metrics.hh"
+#include "util/json_parse.hh"
+
+namespace hcm {
+namespace svc {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyIsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.meanNs(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentileNs(50.0), 0.0);
+}
+
+TEST(LatencyHistogramTest, MeanIsExact)
+{
+    LatencyHistogram h;
+    h.record(100);
+    h.record(200);
+    h.record(300);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.meanNs(), 200.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesWithinBucketResolution)
+{
+    LatencyHistogram h;
+    // 99 samples at ~1us, one at ~1ms: p50 must sit near 1us, p99
+    // within a power of two of... the tail sample.
+    for (int i = 0; i < 99; ++i)
+        h.record(1000);
+    h.record(1000000);
+    double p50 = h.percentileNs(50.0);
+    EXPECT_GE(p50, 512.0);
+    EXPECT_LE(p50, 2048.0);
+    double p99 = h.percentileNs(99.0);
+    EXPECT_LE(p99, 2048.0); // the 99th sample is still a fast one
+    double p995 = h.percentileNs(99.5);
+    EXPECT_GE(p995, 524288.0); // the slow sample's bucket
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotonic)
+{
+    LatencyHistogram h;
+    for (std::uint64_t ns : {10u, 100u, 1000u, 10000u, 100000u})
+        for (int i = 0; i < 20; ++i)
+            h.record(ns);
+    double last = 0.0;
+    for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
+        double v = h.percentileNs(p);
+        EXPECT_GE(v, last) << "p" << p;
+        last = v;
+    }
+}
+
+TEST(MetricsRegistryTest, CountsPerType)
+{
+    MetricsRegistry reg;
+    reg.recordQuery(QueryType::Optimize, 1000, false);
+    reg.recordQuery(QueryType::Optimize, 2000, true);
+    reg.recordQuery(QueryType::Pareto, 5000, false);
+
+    QueryTypeStats opt = reg.snapshot(QueryType::Optimize);
+    EXPECT_EQ(opt.queries, 2u);
+    EXPECT_EQ(opt.cacheHits, 1u);
+    EXPECT_EQ(opt.latency.count(), 2u);
+    EXPECT_EQ(reg.snapshot(QueryType::Pareto).queries, 1u);
+    EXPECT_EQ(reg.snapshot(QueryType::Energy).queries, 0u);
+    EXPECT_EQ(reg.totalQueries(), 3u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRecordingLosesNothing)
+{
+    MetricsRegistry reg;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t)
+        threads.emplace_back([&reg] {
+            for (int i = 0; i < 1000; ++i)
+                reg.recordQuery(QueryType::Projection, 100, i % 2 == 0);
+        });
+    for (std::thread &th : threads)
+        th.join();
+    QueryTypeStats stats = reg.snapshot(QueryType::Projection);
+    EXPECT_EQ(stats.queries, 8000u);
+    EXPECT_EQ(stats.cacheHits, 4000u);
+    EXPECT_EQ(stats.latency.count(), 8000u);
+}
+
+TEST(MetricsRegistryTest, JsonExportHasFullSchema)
+{
+    MetricsRegistry reg;
+    reg.recordQuery(QueryType::Optimize, 1500, false);
+    CacheStats cache;
+    cache.hits = 3;
+    cache.misses = 1;
+    cache.capacity = 64;
+
+    std::ostringstream oss;
+    {
+        JsonWriter json(oss);
+        reg.writeJson(json, &cache);
+    }
+    auto doc = JsonValue::parse(oss.str());
+    ASSERT_TRUE(doc);
+    EXPECT_DOUBLE_EQ(doc->find("totalQueries")->asNumber(), 1.0);
+    const JsonValue *types = doc->find("queryTypes");
+    ASSERT_NE(types, nullptr);
+    for (QueryType t : allQueryTypes()) {
+        const JsonValue *entry = types->find(queryTypeName(t));
+        ASSERT_NE(entry, nullptr) << queryTypeName(t);
+        const JsonValue *latency = entry->find("latencyMs");
+        ASSERT_NE(latency, nullptr);
+        for (const char *k : {"mean", "p50", "p95", "p99"})
+            EXPECT_NE(latency->find(k), nullptr) << k;
+    }
+    const JsonValue *cache_json = doc->find("cache");
+    ASSERT_NE(cache_json, nullptr);
+    EXPECT_DOUBLE_EQ(cache_json->find("hitRate")->asNumber(), 0.75);
+}
+
+} // namespace
+} // namespace svc
+} // namespace hcm

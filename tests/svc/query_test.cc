@@ -1,0 +1,194 @@
+/** @file Tests for the typed query layer: canonical keys, evaluation
+ *  against direct core calls, and JSON serialization. */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/budget.hh"
+#include "core/organization.hh"
+#include "core/projection.hh"
+#include "core/scenario.hh"
+#include "itrs/scaling.hh"
+#include "svc/query.hh"
+#include "util/json_parse.hh"
+
+namespace hcm {
+namespace svc {
+namespace {
+
+TEST(QueryTypeTest, NamesRoundTrip)
+{
+    for (QueryType t : allQueryTypes())
+        EXPECT_EQ(queryTypeByName(queryTypeName(t)), t);
+    EXPECT_FALSE(queryTypeByName("nonsense"));
+}
+
+TEST(QueryKeyTest, IdenticalQueriesShareAKey)
+{
+    Query a;
+    Query b;
+    EXPECT_EQ(a.canonicalKey(), b.canonicalKey());
+}
+
+TEST(QueryKeyTest, EveryInputPerturbationChangesTheKey)
+{
+    Query base;
+    std::set<std::string> keys;
+    keys.insert(base.canonicalKey());
+
+    Query q = base;
+    q.type = QueryType::Energy;
+    keys.insert(q.canonicalKey());
+
+    q = base;
+    q.workload = wl::Workload::mmm();
+    keys.insert(q.canonicalKey());
+
+    q = base;
+    q.f = 0.999;
+    keys.insert(q.canonicalKey());
+
+    q = base;
+    q.scenario = "power-10w";
+    keys.insert(q.canonicalKey());
+
+    q = base;
+    q.node = 11.0;
+    keys.insert(q.canonicalKey());
+
+    q = base;
+    q.device = dev::DeviceId::Asic;
+    keys.insert(q.canonicalKey());
+
+    EXPECT_EQ(keys.size(), 7u);
+}
+
+TEST(QueryKeyTest, ProjectionIgnoresNode)
+{
+    Query a;
+    a.type = QueryType::Projection;
+    Query b = a;
+    b.node = 11.0;
+    EXPECT_EQ(a.canonicalKey(), b.canonicalKey());
+}
+
+TEST(QueryEvalTest, OptimizeMatchesDirectCoreCall)
+{
+    Query q;
+    q.type = QueryType::Optimize;
+    q.workload = wl::Workload::fft(1024);
+    q.f = 0.99;
+    q.node = 22.0;
+    QueryResult result = evaluateQuery(q);
+
+    const core::Scenario scenario = core::baselineScenario();
+    const itrs::NodeParams &node = itrs::nodeParams(22.0);
+    core::Budget budget = core::makeBudget(node, q.workload, scenario);
+    core::OptimizerOptions opts;
+    opts.alpha = scenario.alpha;
+    auto orgs = core::paperOrganizations(q.workload);
+
+    ASSERT_EQ(result.rows.size(), orgs.size());
+    for (std::size_t i = 0; i < orgs.size(); ++i) {
+        core::DesignPoint dp =
+            core::optimize(orgs[i], q.f, budget, opts);
+        EXPECT_EQ(result.rows[i].org, orgs[i].name);
+        EXPECT_EQ(result.rows[i].feasible, dp.feasible);
+        if (dp.feasible) {
+            EXPECT_DOUBLE_EQ(result.rows[i].speedup, dp.speedup);
+            EXPECT_DOUBLE_EQ(result.rows[i].r, dp.r);
+        }
+    }
+}
+
+TEST(QueryEvalTest, ProjectionCoversEveryOrgAndNode)
+{
+    Query q;
+    q.type = QueryType::Projection;
+    q.workload = wl::Workload::mmm();
+    q.f = 0.99;
+    QueryResult result = evaluateQuery(q);
+
+    auto series = core::projectAll(q.workload, q.f);
+    std::size_t expected = 0;
+    for (const auto &s : series)
+        expected += s.points.size();
+    EXPECT_EQ(result.rows.size(), expected);
+}
+
+TEST(QueryEvalTest, DeviceFilterKeepsCmpsAndOneHet)
+{
+    Query q;
+    q.type = QueryType::Optimize;
+    q.workload = wl::Workload::fft(1024);
+    q.device = dev::DeviceId::Asic;
+    QueryResult result = evaluateQuery(q);
+    // SymCMP + AsymCMP + the one selected HET.
+    ASSERT_EQ(result.rows.size(), 3u);
+    EXPECT_EQ(result.rows.back().org, "ASIC");
+}
+
+TEST(QueryEvalTest, EnergyObjectiveNeverBeatenOnEnergy)
+{
+    Query speed;
+    speed.type = QueryType::Optimize;
+    speed.workload = wl::Workload::mmm();
+    speed.f = 0.99;
+    speed.node = 22.0;
+    Query energy = speed;
+    energy.type = QueryType::Energy;
+
+    QueryResult fast = evaluateQuery(speed);
+    QueryResult frugal = evaluateQuery(energy);
+    ASSERT_EQ(fast.rows.size(), frugal.rows.size());
+    for (std::size_t i = 0; i < fast.rows.size(); ++i) {
+        if (!fast.rows[i].feasible || !frugal.rows[i].feasible)
+            continue;
+        EXPECT_LE(frugal.rows[i].energyNormalized,
+                  fast.rows[i].energyNormalized * (1.0 + 1e-9))
+            << fast.rows[i].org;
+    }
+}
+
+TEST(QueryEvalTest, ParetoRowsAreMutuallyNonDominated)
+{
+    Query q;
+    q.type = QueryType::Pareto;
+    q.workload = wl::Workload::mmm();
+    q.f = 0.99;
+    q.node = 22.0;
+    QueryResult result = evaluateQuery(q);
+    ASSERT_GE(result.rows.size(), 2u);
+    for (const ResultRow &a : result.rows)
+        for (const ResultRow &b : result.rows) {
+            if (&a == &b)
+                continue;
+            bool dominates = a.speedup >= b.speedup &&
+                             a.energyNormalized <= b.energyNormalized &&
+                             (a.speedup > b.speedup ||
+                              a.energyNormalized < b.energyNormalized);
+            EXPECT_FALSE(dominates);
+        }
+}
+
+TEST(QueryResultTest, JsonIsParseableAndEchoesTheQuery)
+{
+    Query q;
+    q.type = QueryType::Optimize;
+    q.device = dev::DeviceId::Gtx285;
+    QueryResult result = evaluateQuery(q);
+    auto doc = JsonValue::parse(result.toJson());
+    ASSERT_TRUE(doc);
+    const JsonValue *query = doc->find("query");
+    ASSERT_NE(query, nullptr);
+    EXPECT_EQ(query->find("type")->asString(), "optimize");
+    EXPECT_EQ(query->find("device")->asString(), "GTX285");
+    const JsonValue *rows = doc->find("rows");
+    ASSERT_NE(rows, nullptr);
+    EXPECT_EQ(rows->size(), result.rows.size());
+}
+
+} // namespace
+} // namespace svc
+} // namespace hcm

@@ -1,0 +1,134 @@
+/** @file Tests for the JSON request wire format. */
+
+#include <gtest/gtest.h>
+
+#include "svc/request.hh"
+
+namespace hcm {
+namespace svc {
+namespace {
+
+TEST(RequestParseTest, MinimalRequestUsesDefaults)
+{
+    RequestParse parsed =
+        parseQueryRequestText(R"({"type":"optimize"})");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.query.type, QueryType::Optimize);
+    EXPECT_EQ(parsed.query.workload.name(), "FFT-1024");
+    EXPECT_DOUBLE_EQ(parsed.query.f, 0.99);
+    EXPECT_EQ(parsed.query.scenario, "baseline");
+    EXPECT_DOUBLE_EQ(parsed.query.node, 22.0);
+    EXPECT_FALSE(parsed.query.device);
+}
+
+TEST(RequestParseTest, FullRequestParsesEveryField)
+{
+    RequestParse parsed = parseQueryRequestText(
+        R"({"type":"pareto","workload":"mmm","f":0.999,)"
+        R"("scenario":"power-10w","node":11,"device":"gtx480"})");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.query.type, QueryType::Pareto);
+    EXPECT_EQ(parsed.query.workload, wl::Workload::mmm());
+    EXPECT_DOUBLE_EQ(parsed.query.f, 0.999);
+    EXPECT_EQ(parsed.query.scenario, "power-10w");
+    EXPECT_DOUBLE_EQ(parsed.query.node, 11.0);
+    EXPECT_EQ(parsed.query.device, dev::DeviceId::Gtx480);
+}
+
+TEST(RequestParseTest, RejectsBadInputsWithSpecificErrors)
+{
+    struct Case
+    {
+        const char *text;
+        const char *needle;
+    };
+    const Case cases[] = {
+        {"[1,2]", "must be a JSON object"},
+        {"{\"workload\":\"mmm\"}", "'type'"},
+        {"{\"type\":\"frobnicate\"}", "unknown query type"},
+        {"{\"type\":\"optimize\",\"workload\":\"doom\"}",
+         "unknown workload"},
+        {"{\"type\":\"optimize\",\"workload\":\"fft:1000\"}",
+         "power of two"},
+        {"{\"type\":\"optimize\",\"f\":1.5}", "[0, 1]"},
+        {"{\"type\":\"optimize\",\"f\":\"high\"}", "must be a number"},
+        {"{\"type\":\"optimize\",\"scenario\":\"mars\"}",
+         "unknown scenario"},
+        {"{\"type\":\"optimize\",\"node\":14}", "unknown node"},
+        {"{\"type\":\"optimize\",\"device\":\"tpu\"}",
+         "unknown device"},
+        {"{\"type\":", "malformed JSON"},
+    };
+    for (const Case &c : cases) {
+        RequestParse parsed = parseQueryRequestText(c.text);
+        EXPECT_FALSE(parsed.ok) << c.text;
+        EXPECT_NE(parsed.error.find(c.needle), std::string::npos)
+            << c.text << " -> " << parsed.error;
+    }
+}
+
+TEST(RequestParseTest, WorkloadSpecsMatchCliVocabulary)
+{
+    std::string error;
+    EXPECT_EQ(parseWorkloadSpec("mmm", &error), wl::Workload::mmm());
+    EXPECT_EQ(parseWorkloadSpec("MMM", &error), wl::Workload::mmm());
+    EXPECT_EQ(parseWorkloadSpec("bs", &error),
+              wl::Workload::blackScholes());
+    EXPECT_EQ(parseWorkloadSpec("blackscholes", &error),
+              wl::Workload::blackScholes());
+    EXPECT_EQ(parseWorkloadSpec("fft", &error),
+              wl::Workload::fft(1024));
+    EXPECT_EQ(parseWorkloadSpec("fft:4096", &error),
+              wl::Workload::fft(4096));
+    EXPECT_FALSE(parseWorkloadSpec("fft:0", &error));
+    EXPECT_FALSE(parseWorkloadSpec("fft:", &error));
+    EXPECT_FALSE(parseWorkloadSpec("fft:12", &error));
+}
+
+TEST(RequestParseTest, DeviceNamesAreCaseInsensitive)
+{
+    EXPECT_EQ(parseDeviceName("ASIC"), dev::DeviceId::Asic);
+    EXPECT_EQ(parseDeviceName("Lx760"), dev::DeviceId::Lx760);
+    EXPECT_EQ(parseDeviceName("r5870"), dev::DeviceId::R5870);
+    EXPECT_FALSE(parseDeviceName("corei7")); // not a U-core fabric
+}
+
+TEST(BatchDocumentTest, AcceptsArrayAndWrappedForms)
+{
+    std::string error;
+    auto bare = parseBatchDocument(
+        R"([{"type":"optimize"},{"type":"energy"}])", &error);
+    ASSERT_TRUE(bare) << error;
+    EXPECT_EQ(bare->size(), 2u);
+
+    auto wrapped = parseBatchDocument(
+        R"({"requests":[{"type":"pareto"}]})", &error);
+    ASSERT_TRUE(wrapped) << error;
+    ASSERT_EQ(wrapped->size(), 1u);
+    EXPECT_EQ((*wrapped)[0].type, QueryType::Pareto);
+
+    auto empty = parseBatchDocument("[]", &error);
+    ASSERT_TRUE(empty);
+    EXPECT_TRUE(empty->empty());
+}
+
+TEST(BatchDocumentTest, ReportsOffendingRequestIndex)
+{
+    std::string error;
+    auto doc = parseBatchDocument(
+        R"([{"type":"optimize"},{"type":"warp-drive"}])", &error);
+    EXPECT_FALSE(doc);
+    EXPECT_NE(error.find("request 1"), std::string::npos) << error;
+}
+
+TEST(BatchDocumentTest, RejectsNonBatchShapes)
+{
+    std::string error;
+    EXPECT_FALSE(parseBatchDocument("42", &error));
+    EXPECT_FALSE(parseBatchDocument(R"({"queries":[]})", &error));
+    EXPECT_FALSE(parseBatchDocument("{", &error));
+}
+
+} // namespace
+} // namespace svc
+} // namespace hcm

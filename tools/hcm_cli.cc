@@ -6,8 +6,10 @@
  * vocabulary. See `hcm help` for usage.
  */
 
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,8 @@
 #include "mem/traffic.hh"
 #include "plot/figure.hh"
 #include "sim/simulator.hh"
+#include "svc/engine.hh"
+#include "svc/service.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
 
@@ -46,6 +50,10 @@ commands:
   crossover               minimum f where a HET beats the best CMP
   roofline                device roofline + workload placement
   scenarios               Section 6.2 scenario summary
+  batch <requests.json>   evaluate a batch of JSON queries on the
+                          thread-pooled engine; emits results + metrics
+  serve                   line-delimited JSON request/response loop on
+                          stdin/stdout ({"type":"metrics"} for stats)
   list                    devices, workloads, scenarios
   help                    this text
 
@@ -70,6 +78,11 @@ options (project/optimize/scenarios):
                               (default 1.5)
   --out <dir>                 output directory for figure files
 
+options (batch/serve):
+  --threads <n>               worker threads (default: hardware)
+  --cache-entries <n>         memoization cache capacity (default 4096)
+  --no-cache                  disable the memoization cache
+
 examples:
   hcm table 5
   hcm figure 6
@@ -93,6 +106,9 @@ struct Options
     bool shared = false;
     double target = 1.5;
     std::string out = "bench_out";
+    std::size_t threads = 0;
+    std::size_t cacheEntries = 4096;
+    bool noCache = false;
 };
 
 wl::Workload
@@ -167,6 +183,12 @@ parseOptions(const std::vector<std::string> &args, std::size_t start)
             opts.target = std::stod(next());
         else if (a == "--out")
             opts.out = next();
+        else if (a == "--threads")
+            opts.threads = std::stoul(next());
+        else if (a == "--cache-entries")
+            opts.cacheEntries = std::stoul(next());
+        else if (a == "--no-cache")
+            opts.noCache = true;
         else
             hcm_fatal("unknown option '", a, "' (see hcm help)");
     }
@@ -507,6 +529,39 @@ cmdRoofline(const Options &opts)
     return 0;
 }
 
+svc::EngineOptions
+engineOptions(const Options &opts)
+{
+    svc::EngineOptions eopts;
+    eopts.threads = opts.threads;
+    eopts.cacheCapacity = opts.noCache ? 0 : opts.cacheEntries;
+    return eopts;
+}
+
+int
+cmdBatch(const std::string &path, const Options &opts)
+{
+    std::ifstream in(path);
+    if (!in)
+        hcm_fatal("cannot open '", path, "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    svc::QueryEngine engine(engineOptions(opts));
+    std::string error;
+    if (!svc::runBatch(buffer.str(), engine, std::cout, &error))
+        hcm_fatal(path, ": ", error);
+    return 0;
+}
+
+int
+cmdServe(const Options &opts)
+{
+    svc::QueryEngine engine(engineOptions(opts));
+    svc::runServe(std::cin, std::cout, engine);
+    return 0;
+}
+
 int
 cmdList()
 {
@@ -567,6 +622,13 @@ main(int argc, char **argv)
         std::cout << core::paper::scenarioSummary(opts.workload, opts.f);
         return 0;
     }
+    if (cmd == "batch") {
+        if (args.size() < 2 || args[1].rfind("--", 0) == 0)
+            hcm_fatal("usage: hcm batch <requests.json> [options]");
+        return cmdBatch(args[1], parseOptions(args, 2));
+    }
+    if (cmd == "serve")
+        return cmdServe(parseOptions(args, 1));
     if (cmd == "list")
         return cmdList();
     hcm_fatal("unknown command '", cmd, "' (see hcm help)");
