@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Generic metrics for every subsystem: named counters, gauges, and
+ * log2-bucketed histograms collected in a Registry and exported as
+ * Prometheus text format or JSON. Counters and gauges are lock-free
+ * atomics; histograms take a per-instrument mutex for a few increments.
+ * Instruments are identified by (name, labels) — repeated registration
+ * returns the same instrument, so call sites can look up lazily without
+ * coordinating ownership. The process-wide registry (globalRegistry())
+ * aggregates subsystems that have no natural owner (thread pool, chip
+ * simulator); components with per-instance stats (the query engine)
+ * own a private Registry instead.
+ */
+
+#ifndef HCM_OBS_METRICS_HH
+#define HCM_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace hcm {
+namespace obs {
+
+/** Label set attached to an instrument, e.g. {{"type", "optimize"}}. */
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/** Monotonically increasing count (lock-free). */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t delta = 1)
+    {
+        _value.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> _value{0};
+};
+
+/** Point-in-time level, e.g. queue depth (lock-free). */
+class Gauge
+{
+  public:
+    void
+    set(std::int64_t v)
+    {
+        _value.store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(std::int64_t delta)
+    {
+        _value.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::int64_t> _value{0};
+};
+
+/**
+ * Histogram over log2-spaced buckets (the generalization of the query
+ * engine's latency histogram): constant memory, a short mutex hold per
+ * sample, percentiles resolved to within a factor of two. Values are
+ * whatever unit the call site uses (the engine records nanoseconds).
+ * Thread-safe and copyable — a copy is a consistent snapshot.
+ */
+class Histogram
+{
+  public:
+    /** Bucket i spans [2^i, 2^(i+1)) ; bucket 0 also catches 0. */
+    static constexpr std::size_t kBuckets = 64;
+
+    Histogram() = default;
+    Histogram(const Histogram &other);
+    Histogram &operator=(const Histogram &other);
+
+    void record(std::uint64_t value);
+
+    std::uint64_t count() const;
+
+    /** Sum of all recorded values. */
+    std::uint64_t sum() const;
+
+    /** Mean recorded value (0 when empty). */
+    double mean() const;
+
+    /**
+     * Value below which @p p percent of samples fall, interpolated
+     * within the containing bucket. @p p in (0, 100]; 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** Samples in bucket @p i (for exporters). */
+    std::uint64_t bucketCount(std::size_t i) const;
+
+    /** Exclusive upper edge of bucket @p i as a double (2^(i+1)). */
+    static double bucketUpperEdge(std::size_t i);
+
+  private:
+    mutable std::mutex _mu;
+    std::array<std::uint64_t, kBuckets> _buckets{};
+    std::uint64_t _count = 0;
+    std::uint64_t _sum = 0;
+};
+
+/**
+ * Thread-safe collection of named instruments. Registration is
+ * idempotent: the same (name, labels) always yields the same
+ * instrument, and instrument addresses are stable for the registry's
+ * lifetime, so hot paths can cache the reference and skip the lookup.
+ * Exporters group series of one name together regardless of
+ * registration order, as the Prometheus exposition format requires.
+ */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    Counter &counter(const std::string &name, const Labels &labels = {});
+    Gauge &gauge(const std::string &name, const Labels &labels = {});
+    Histogram &histogram(const std::string &name,
+                         const Labels &labels = {});
+
+    /**
+     * Emit {"counters": [...], "gauges": [...], "histograms": [...]},
+     * each entry {"name": ..., "labels": {...}, ...values...};
+     * histograms carry count/mean/p50/p95/p99.
+     */
+    void writeJson(JsonWriter &json) const;
+
+    /**
+     * Prometheus text exposition format: one `# TYPE` comment per
+     * metric name, histograms as cumulative `_bucket{le=...}` series
+     * plus `_sum` and `_count`.
+     */
+    void writePrometheus(std::ostream &out) const;
+
+    /** Number of registered instruments (all kinds). */
+    std::size_t size() const;
+
+  private:
+    enum class Kind {
+        Counter,
+        Gauge,
+        Histogram,
+    };
+
+    struct Entry
+    {
+        std::string name;
+        Labels labels;
+        Kind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry &findOrCreate(const std::string &name, const Labels &labels,
+                        Kind kind);
+
+    mutable std::mutex _mu;
+    std::vector<std::unique_ptr<Entry>> _entries; ///< registration order
+    std::unordered_map<std::string, Entry *> _index; ///< name+labels key
+};
+
+/** Process-wide registry (thread pool, simulator, ...). */
+Registry &globalRegistry();
+
+} // namespace obs
+} // namespace hcm
+
+#endif // HCM_OBS_METRICS_HH

@@ -1,0 +1,133 @@
+#include "trace.hh"
+
+#include <chrono>
+
+#include "util/json.hh"
+
+namespace hcm {
+namespace obs {
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+std::uint64_t
+Tracer::nowNs()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point t0 = clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             t0)
+            .count());
+}
+
+void
+Tracer::setEnabled(bool on)
+{
+    _enabled.store(on, std::memory_order_relaxed);
+}
+
+Tracer::ThreadBuffer &
+Tracer::localBuffer()
+{
+    // The tracer keeps one reference so the buffer (and any events a
+    // short-lived worker recorded) survives past the thread's exit.
+    thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+        auto fresh = std::make_shared<ThreadBuffer>();
+        fresh->tid = _nextTid.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(_mu);
+        _buffers.push_back(fresh);
+        return fresh;
+    }();
+    return *buffer;
+}
+
+void
+Tracer::recordSpan(const char *name, const char *category,
+                   std::uint64_t start_ns, std::uint64_t dur_ns,
+                   std::vector<TraceArg> args)
+{
+    if (_recorded.fetch_add(1, std::memory_order_relaxed) >= kMaxEvents) {
+        _dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    ThreadBuffer &buffer = localBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mu);
+    buffer.events.push_back(
+        Event{name, category, start_ns, dur_ns, buffer.tid,
+              std::move(args)});
+}
+
+void
+Tracer::flushBuffers()
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    for (const auto &buffer : _buffers) {
+        std::lock_guard<std::mutex> inner(buffer->mu);
+        for (Event &event : buffer->events)
+            _retired.push_back(std::move(event));
+        buffer->events.clear();
+    }
+}
+
+std::size_t
+Tracer::spanCount()
+{
+    flushBuffers();
+    std::lock_guard<std::mutex> lock(_mu);
+    return _retired.size();
+}
+
+std::uint64_t
+Tracer::droppedSpans() const
+{
+    return _dropped.load(std::memory_order_relaxed);
+}
+
+void
+Tracer::clear()
+{
+    flushBuffers();
+    std::lock_guard<std::mutex> lock(_mu);
+    _retired.clear();
+    _recorded.store(0, std::memory_order_relaxed);
+    _dropped.store(0, std::memory_order_relaxed);
+}
+
+void
+Tracer::writeChromeTrace(std::ostream &out)
+{
+    flushBuffers();
+    std::lock_guard<std::mutex> lock(_mu);
+    JsonWriter json(out);
+    json.beginObject();
+    json.kv("displayTimeUnit", "ms");
+    json.kv("droppedEvents", droppedSpans());
+    json.key("traceEvents").beginArray();
+    for (const Event &event : _retired) {
+        json.beginObject();
+        json.kv("name", event.name);
+        json.kv("cat", event.category);
+        json.kv("ph", "X");
+        json.kv("pid", 1);
+        json.kv("tid", static_cast<long long>(event.tid));
+        json.kv("ts", static_cast<double>(event.startNs) / 1e3);
+        json.kv("dur", static_cast<double>(event.durNs) / 1e3);
+        if (!event.args.empty()) {
+            json.key("args").beginObject();
+            for (const TraceArg &arg : event.args)
+                json.kv(arg.key, arg.value);
+            json.endObject();
+        }
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+} // namespace obs
+} // namespace hcm

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Span-based tracing for the service and simulator hot paths. RAII
+ * Span objects time a scope and attach key=value args; completed spans
+ * land in per-thread buffers (one short uncontended lock per span) and
+ * are exported on demand as Chrome trace_event JSON, loadable in
+ * chrome://tracing or Perfetto. Tracing is off by default: a disabled
+ * Span construction is one relaxed atomic load and a couple of member
+ * stores, so instrumentation can stay in release builds. The buffer is
+ * bounded (kMaxEvents across all threads); spans past the cap are
+ * counted as dropped rather than growing memory without limit.
+ */
+
+#ifndef HCM_OBS_TRACE_HH
+#define HCM_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace hcm {
+namespace obs {
+
+/** One key=value annotation on a span. */
+struct TraceArg
+{
+    std::string key;
+    std::string value;
+};
+
+/**
+ * Process-wide trace collector. Threads record into thread-local
+ * buffers registered here; writeChromeTrace() flushes every buffer
+ * into a retained list and emits the whole history, so repeated
+ * exports (the serve control verb) are cumulative until clear().
+ */
+class Tracer
+{
+  public:
+    /** Upper bound on retained events across all threads. */
+    static constexpr std::size_t kMaxEvents = 1u << 20;
+
+    static Tracer &instance();
+
+    void setEnabled(bool on);
+
+    bool
+    enabled() const
+    {
+        return _enabled.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Record a completed span with explicit timing (for durations not
+     * tied to one scope, e.g. queue wait measured across threads).
+     * Call only when enabled(); events past kMaxEvents are dropped.
+     */
+    void recordSpan(const char *name, const char *category,
+                    std::uint64_t start_ns, std::uint64_t dur_ns,
+                    std::vector<TraceArg> args = {});
+
+    /** Spans recorded and retained so far (flushes buffers). */
+    std::size_t spanCount();
+
+    /** Spans discarded because the buffer cap was reached. */
+    std::uint64_t droppedSpans() const;
+
+    /**
+     * Emit everything recorded so far as one Chrome trace_event JSON
+     * document: {"displayTimeUnit": "ms", "droppedEvents": N,
+     * "traceEvents": [{"name", "cat", "ph": "X", "pid", "tid", "ts",
+     * "dur", "args"}, ...]}. Timestamps are microseconds since the
+     * first use of the tracer's clock. Compact (no newlines), so serve
+     * mode can ship it as one response line.
+     */
+    void writeChromeTrace(std::ostream &out);
+
+    /** Drop every retained span and reset the drop counter. */
+    void clear();
+
+    /** Nanoseconds on the tracing clock (steady, process-relative). */
+    static std::uint64_t nowNs();
+
+  private:
+    friend class Span;
+
+    struct Event
+    {
+        const char *name;
+        const char *category;
+        std::uint64_t startNs;
+        std::uint64_t durNs;
+        std::uint32_t tid;
+        std::vector<TraceArg> args;
+    };
+
+    struct ThreadBuffer
+    {
+        std::mutex mu;
+        std::vector<Event> events;
+        std::uint32_t tid = 0;
+    };
+
+    Tracer() = default;
+
+    ThreadBuffer &localBuffer();
+
+    /** Move every buffered event into _retired. */
+    void flushBuffers();
+
+    std::atomic<bool> _enabled{false};
+    std::atomic<std::uint64_t> _recorded{0};
+    std::atomic<std::uint64_t> _dropped{0};
+    std::atomic<std::uint32_t> _nextTid{1};
+    std::mutex _mu; ///< guards _buffers and _retired
+    std::vector<std::shared_ptr<ThreadBuffer>> _buffers;
+    std::vector<Event> _retired;
+};
+
+/**
+ * RAII span: times its scope and records on destruction when tracing
+ * is enabled. Names and categories must be string literals (or
+ * otherwise outlive the tracer) — spans never copy them, which keeps
+ * the disabled path free of allocation.
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name, const char *category = "hcm")
+        : _active(Tracer::instance().enabled()),
+          _name(name),
+          _category(category),
+          _startNs(_active ? Tracer::nowNs() : 0)
+    {
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    ~Span() { end(); }
+
+    bool active() const { return _active; }
+
+    /** Attach a key=value annotation (no-op when inactive). */
+    template <typename T>
+    void
+    arg(const char *key, const T &value)
+    {
+        if (_active)
+            _args.push_back(TraceArg{key, detail::concat(value)});
+    }
+
+    /** Record now instead of at scope exit (idempotent). */
+    void
+    end()
+    {
+        if (!_active)
+            return;
+        _active = false;
+        Tracer::instance().recordSpan(_name, _category, _startNs,
+                                      Tracer::nowNs() - _startNs,
+                                      std::move(_args));
+    }
+
+  private:
+    bool _active;
+    const char *_name;
+    const char *_category;
+    std::uint64_t _startNs;
+    std::vector<TraceArg> _args;
+};
+
+} // namespace obs
+} // namespace hcm
+
+#endif // HCM_OBS_TRACE_HH

@@ -5,6 +5,8 @@
 #include <deque>
 #include <functional>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace hcm {
@@ -13,6 +15,31 @@ namespace sim {
 namespace {
 
 constexpr double kEps = 1e-12;
+
+/** Process-wide simulator counters (shared by every ChipSimulator). */
+struct SimCounters
+{
+    obs::Counter &runs;
+    obs::Counter &events;
+    obs::Counter &chunks;
+    obs::Counter &serialPhases;
+    obs::Counter &parallelPhases;
+
+    static SimCounters &
+    instance()
+    {
+        static SimCounters counters{
+            obs::globalRegistry().counter("hcm_sim_runs_total"),
+            obs::globalRegistry().counter("hcm_sim_events_total"),
+            obs::globalRegistry().counter("hcm_sim_chunks_total"),
+            obs::globalRegistry().counter("hcm_sim_phases_total",
+                                          {{"kind", "serial"}}),
+            obs::globalRegistry().counter("hcm_sim_phases_total",
+                                          {{"kind", "parallel"}}),
+        };
+        return counters;
+    }
+};
 
 } // namespace
 
@@ -33,6 +60,9 @@ ChipSimulator::ChipSimulator(Machine machine, Schedule schedule)
 SimStats
 ChipSimulator::run(const TaskGraph &program)
 {
+    obs::Span run_span("sim.run", "sim");
+    run_span.arg("phases", program.phases().size());
+    run_span.arg("tiles", _machine.tiles);
     SimStats stats;
     EventQueue queue;
     for (const Phase &phase : program.phases()) {
@@ -47,6 +77,14 @@ ChipSimulator::run(const TaskGraph &program)
     stats.events = queue.executed();
     if (stats.parallelTime > 0.0)
         stats.avgBandwidthUse /= stats.parallelTime;
+    SimCounters &counters = SimCounters::instance();
+    counters.runs.add(1);
+    counters.events.add(stats.events);
+    counters.chunks.add(stats.chunksRun);
+    run_span.arg("events", stats.events);
+    hcm_debug("sim run complete", logField("events", stats.events),
+              logField("simTime", stats.totalTime),
+              logField("chunks", stats.chunksRun));
     return stats;
 }
 
@@ -54,6 +92,10 @@ void
 ChipSimulator::runSerial(const Phase &phase, EventQueue &queue,
                          SimStats &stats)
 {
+    obs::Span phase_span("sim.phase", "sim");
+    phase_span.arg("kind", "serial");
+    phase_span.arg("work", phase.work);
+    SimCounters::instance().serialPhases.add(1);
     // The core's traffic demand equals its delivered performance; it is
     // throttled when it alone exceeds the pipe (the serial bandwidth
     // bound r <= B^2 in Table 1).
@@ -71,6 +113,11 @@ void
 ChipSimulator::runParallel(const Phase &phase, EventQueue &queue,
                            SimStats &stats)
 {
+    obs::Span phase_span("sim.phase", "sim");
+    phase_span.arg("kind", "parallel");
+    phase_span.arg("work", phase.work);
+    phase_span.arg("chunks", phase.chunks);
+    SimCounters::instance().parallelPhases.add(1);
     // A bag of chunks scheduled onto tiles. All active tiles progress
     // at a common rate (identical tiles sharing one bandwidth
     // throttle), so the simulation advances completion-to-completion;

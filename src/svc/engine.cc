@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/trace.hh"
+
 namespace hcm {
 namespace svc {
 namespace {
@@ -40,9 +42,16 @@ std::shared_future<QueryEngine::ResultPtr>
 QueryEngine::acquire(const Query &q, const std::string &key)
 {
     auto start = std::chrono::steady_clock::now();
+    // One span per query on the submitting thread; the worker adds
+    // queue-wait and eval spans when the query misses the cache.
+    obs::Span query_span("svc.query", "svc");
+    query_span.arg("type", queryTypeName(q.type));
     // Fast path: a warm hit never touches the pool.
     if (_cache) {
+        obs::Span lookup_span("svc.cache.lookup", "svc");
         if (ResultPtr hit = _cache->get(key)) {
+            lookup_span.end();
+            query_span.arg("outcome", "hit");
             _metrics.recordQuery(q.type, elapsedNs(start), true);
             return readyFuture(std::move(hit));
         }
@@ -53,17 +62,29 @@ QueryEngine::acquire(const Query &q, const std::string &key)
     {
         std::lock_guard<std::mutex> lock(_inflightMu);
         auto it = _inflight.find(key);
-        if (it != _inflight.end())
+        if (it != _inflight.end()) {
+            query_span.arg("outcome", "inflight");
             return it->second; // someone is already computing it
+        }
         prom = std::make_shared<std::promise<ResultPtr>>();
         fut = prom->get_future().share();
         _inflight.emplace(key, fut);
     }
+    query_span.arg("outcome", "miss");
     // Submit with _inflightMu released: a full queue blocks here, and
     // finishing workers need that mutex to erase their entries. Later
     // acquirers of this key rendezvous on the map entry made above and
     // wait on the future, not the queue.
-    _pool.submit([this, q, key, prom] {
+    std::uint64_t submit_ns = obs::Tracer::instance().enabled()
+                                  ? obs::Tracer::nowNs()
+                                  : 0;
+    _pool.submit([this, q, key, prom, submit_ns] {
+        if (obs::Tracer::instance().enabled() && submit_ns > 0) {
+            std::uint64_t now = obs::Tracer::nowNs();
+            obs::Tracer::instance().recordSpan(
+                "svc.queue_wait", "svc", submit_ns, now - submit_ns,
+                {{"type", queryTypeName(q.type)}});
+        }
         auto task_start = std::chrono::steady_clock::now();
         ResultPtr result;
         bool hit = false;
@@ -75,7 +96,10 @@ QueryEngine::acquire(const Query &q, const std::string &key)
             hit = result != nullptr;
         }
         if (!result) {
+            obs::Span eval_span("svc.eval", "svc");
+            eval_span.arg("type", queryTypeName(q.type));
             result = std::make_shared<QueryResult>(evaluateQuery(q));
+            eval_span.end();
             if (_cache)
                 _cache->put(key, result);
         }
@@ -98,6 +122,8 @@ QueryEngine::evaluate(const Query &q)
 std::vector<QueryEngine::ResultPtr>
 QueryEngine::evaluateBatch(const std::vector<Query> &queries)
 {
+    obs::Span batch_span("svc.batch", "svc");
+    batch_span.arg("queries", queries.size());
     std::vector<std::shared_future<ResultPtr>> futures;
     futures.reserve(queries.size());
     // Batch-local dedup keeps repeated queries down to one future even
@@ -129,6 +155,13 @@ QueryEngine::writeMetricsJson(JsonWriter &json) const
 {
     CacheStats cache = cacheStats();
     _metrics.writeJson(json, &cache);
+}
+
+void
+QueryEngine::writeMetricsProm(std::ostream &out) const
+{
+    CacheStats cache = cacheStats();
+    _metrics.writePrometheus(out, &cache);
 }
 
 } // namespace svc

@@ -71,6 +71,9 @@ class QueryEngine
     /** Full metrics document (latency per type + cache counters). */
     void writeMetricsJson(JsonWriter &json) const;
 
+    /** The same metrics in Prometheus text format. */
+    void writeMetricsProm(std::ostream &out) const;
+
   private:
     std::shared_future<ResultPtr> acquire(const Query &q,
                                           const std::string &key);

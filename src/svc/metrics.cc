@@ -1,91 +1,54 @@
 #include "metrics.hh"
 
-#include <cmath>
-
-#include "util/logging.hh"
-
 namespace hcm {
 namespace svc {
-namespace {
 
-/** Index of the bucket containing @p nanos. */
-std::size_t
-bucketOf(std::uint64_t nanos)
+MetricsRegistry::MetricsRegistry()
 {
-    std::size_t i = 0;
-    while (nanos > 1 && i < 63) {
-        nanos >>= 1;
-        ++i;
-    }
-    return i;
-}
-
-} // namespace
-
-void
-LatencyHistogram::record(std::uint64_t nanos)
-{
-    ++_buckets[bucketOf(nanos)];
-    ++_count;
-    _sumNs += nanos;
-}
-
-double
-LatencyHistogram::meanNs() const
-{
-    return _count ? static_cast<double>(_sumNs) / _count : 0.0;
-}
-
-double
-LatencyHistogram::percentileNs(double p) const
-{
-    hcm_assert(p > 0.0 && p <= 100.0, "percentile ", p,
-               " outside (0, 100]");
-    if (_count == 0)
-        return 0.0;
-    double target = p / 100.0 * static_cast<double>(_count);
-    std::uint64_t seen = 0;
-    for (std::size_t i = 0; i < kBuckets; ++i) {
-        if (_buckets[i] == 0)
-            continue;
-        double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i));
-        double hi = std::ldexp(1.0, static_cast<int>(i) + 1);
-        double before = static_cast<double>(seen);
-        seen += _buckets[i];
-        if (static_cast<double>(seen) >= target) {
-            double within = (target - before) / _buckets[i];
-            return lo + within * (hi - lo);
-        }
-    }
-    return std::ldexp(1.0, 63); // unreachable: counts always cover
+    // One pass per metric name keeps each name's series contiguous in
+    // the registry, the grouping the Prometheus exporter emits.
+    for (QueryType type : allQueryTypes())
+        _byType[static_cast<std::size_t>(type)].queries =
+            &_registry.counter("hcm_svc_queries_total",
+                               {{"type", queryTypeName(type)}});
+    for (QueryType type : allQueryTypes())
+        _byType[static_cast<std::size_t>(type)].cacheHits =
+            &_registry.counter("hcm_svc_query_cache_hits_total",
+                               {{"type", queryTypeName(type)}});
+    for (QueryType type : allQueryTypes())
+        _byType[static_cast<std::size_t>(type)].latency =
+            &_registry.histogram("hcm_svc_query_latency_ns",
+                                 {{"type", queryTypeName(type)}});
 }
 
 void
 MetricsRegistry::recordQuery(QueryType type, std::uint64_t nanos,
                              bool cacheHit)
 {
-    std::lock_guard<std::mutex> lock(_mu);
-    QueryTypeStats &stats = _byType[static_cast<std::size_t>(type)];
-    ++stats.queries;
+    const PerType &instruments = _byType[static_cast<std::size_t>(type)];
+    instruments.queries->add(1);
     if (cacheHit)
-        ++stats.cacheHits;
-    stats.latency.record(nanos);
+        instruments.cacheHits->add(1);
+    instruments.latency->record(nanos);
 }
 
 QueryTypeStats
 MetricsRegistry::snapshot(QueryType type) const
 {
-    std::lock_guard<std::mutex> lock(_mu);
-    return _byType[static_cast<std::size_t>(type)];
+    const PerType &instruments = _byType[static_cast<std::size_t>(type)];
+    QueryTypeStats stats;
+    stats.queries = instruments.queries->value();
+    stats.cacheHits = instruments.cacheHits->value();
+    stats.latency = LatencyHistogram(*instruments.latency);
+    return stats;
 }
 
 std::uint64_t
 MetricsRegistry::totalQueries() const
 {
-    std::lock_guard<std::mutex> lock(_mu);
     std::uint64_t total = 0;
-    for (const QueryTypeStats &stats : _byType)
-        total += stats.queries;
+    for (const PerType &instruments : _byType)
+        total += instruments.queries->value();
     return total;
 }
 
@@ -93,12 +56,10 @@ void
 MetricsRegistry::writeJson(JsonWriter &json,
                            const CacheStats *cache) const
 {
-    // Copy under the lock, format outside it.
+    // Snapshot first, format after, as the locked original did.
     std::array<QueryTypeStats, 4> by_type;
-    {
-        std::lock_guard<std::mutex> lock(_mu);
-        by_type = _byType;
-    }
+    for (QueryType type : allQueryTypes())
+        by_type[static_cast<std::size_t>(type)] = snapshot(type);
     std::uint64_t total = 0;
     for (const QueryTypeStats &stats : by_type)
         total += stats.queries;
@@ -126,6 +87,25 @@ MetricsRegistry::writeJson(JsonWriter &json,
         cache->writeJson(json);
     }
     json.endObject();
+}
+
+void
+MetricsRegistry::writePrometheus(std::ostream &out,
+                                 const CacheStats *cache) const
+{
+    _registry.writePrometheus(out);
+    if (!cache)
+        return;
+    out << "# TYPE hcm_svc_cache_hits_total counter\n"
+        << "hcm_svc_cache_hits_total " << cache->hits << "\n"
+        << "# TYPE hcm_svc_cache_misses_total counter\n"
+        << "hcm_svc_cache_misses_total " << cache->misses << "\n"
+        << "# TYPE hcm_svc_cache_evictions_total counter\n"
+        << "hcm_svc_cache_evictions_total " << cache->evictions << "\n"
+        << "# TYPE hcm_svc_cache_entries gauge\n"
+        << "hcm_svc_cache_entries " << cache->entries << "\n"
+        << "# TYPE hcm_svc_cache_capacity gauge\n"
+        << "hcm_svc_cache_capacity " << cache->capacity << "\n";
 }
 
 } // namespace svc

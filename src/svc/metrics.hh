@@ -1,11 +1,13 @@
 /**
  * @file
  * Observability for the query engine: per-query-type counters and
- * log-scale latency histograms with percentile estimation (p50/p95/p99),
- * exported as JSON through the streaming writer. Histograms use
- * power-of-two nanosecond buckets — constant memory, lock held only for
- * a few increments per sample — which resolves percentiles to within a
- * factor of two, plenty for spotting contention and cache effects.
+ * log-scale latency histograms with percentile estimation (p50/p95/p99).
+ * The instruments live in a private obs::Registry (generic counters +
+ * histograms), which buys the Prometheus text exporter for free while
+ * the JSON document keeps its original shape byte-for-byte. Histograms
+ * use power-of-two nanosecond buckets — constant memory, a short lock
+ * per sample — which resolves percentiles to within a factor of two,
+ * plenty for spotting contention and cache effects.
  */
 
 #ifndef HCM_SVC_METRICS_HH
@@ -13,8 +15,9 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
+#include <ostream>
 
+#include "obs/metrics.hh"
 #include "svc/cache.hh"
 #include "svc/query.hh"
 #include "util/json.hh"
@@ -22,31 +25,24 @@
 namespace hcm {
 namespace svc {
 
-/** Histogram over log2-spaced nanosecond buckets. Not synchronized —
- *  MetricsRegistry guards access. */
-class LatencyHistogram
+/** Log2-bucketed nanosecond histogram (obs::Histogram with the
+ *  engine's historical nanosecond-flavoured accessors). */
+class LatencyHistogram : public obs::Histogram
 {
   public:
-    void record(std::uint64_t nanos);
-
-    std::uint64_t count() const { return _count; }
+    LatencyHistogram() = default;
+    LatencyHistogram(const obs::Histogram &other) : obs::Histogram(other)
+    {
+    }
 
     /** Mean latency in nanoseconds (0 when empty). */
-    double meanNs() const;
+    double meanNs() const { return mean(); }
 
     /**
      * Latency below which @p p percent of samples fall, interpolated
      * within the containing bucket. @p p in (0, 100]; 0 when empty.
      */
-    double percentileNs(double p) const;
-
-  private:
-    /** Bucket i spans [2^i, 2^(i+1)) ns; bucket 0 also catches 0. */
-    static constexpr std::size_t kBuckets = 64;
-
-    std::array<std::uint64_t, kBuckets> _buckets{};
-    std::uint64_t _count = 0;
-    std::uint64_t _sumNs = 0;
+    double percentileNs(double p) const { return percentile(p); }
 };
 
 /** Counters + latency for one query type. */
@@ -61,6 +57,11 @@ struct QueryTypeStats
 class MetricsRegistry
 {
   public:
+    MetricsRegistry();
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
     /** Record one served query of @p type taking @p nanos. */
     void recordQuery(QueryType type, std::uint64_t nanos, bool cacheHit);
 
@@ -81,9 +82,29 @@ class MetricsRegistry
     void writeJson(JsonWriter &json,
                    const CacheStats *cache = nullptr) const;
 
+    /**
+     * The same metrics in Prometheus text format:
+     * hcm_svc_queries_total{type=...}, hcm_svc_query_cache_hits_total,
+     * hcm_svc_query_latency_ns histograms, plus hcm_svc_cache_* series
+     * when @p cache is non-null.
+     */
+    void writePrometheus(std::ostream &out,
+                         const CacheStats *cache = nullptr) const;
+
+    /** The underlying generic registry (exporters, tests). */
+    const obs::Registry &registry() const { return _registry; }
+
   private:
-    mutable std::mutex _mu;
-    std::array<QueryTypeStats, 4> _byType;
+    /** Per-type instruments, resolved once at construction. */
+    struct PerType
+    {
+        obs::Counter *queries = nullptr;
+        obs::Counter *cacheHits = nullptr;
+        obs::Histogram *latency = nullptr;
+    };
+
+    obs::Registry _registry;
+    std::array<PerType, 4> _byType;
 };
 
 } // namespace svc

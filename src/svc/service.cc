@@ -2,8 +2,10 @@
 
 #include <sstream>
 
+#include "obs/trace.hh"
 #include "svc/request.hh"
 #include "util/format.hh"
+#include "util/logging.hh"
 
 namespace hcm {
 namespace svc {
@@ -42,6 +44,8 @@ runBatch(const std::string &text, QueryEngine &engine, std::ostream &out,
     engine.writeMetricsJson(json);
     json.endObject();
     out << "\n";
+    hcm_debug("batch served", logField("queries", queries->size()),
+              logField("threads", engine.threadCount()));
     return true;
 }
 
@@ -55,8 +59,8 @@ runServe(std::istream &in, std::ostream &out, QueryEngine &engine)
             continue;
         RequestParse parsed = parseQueryRequestText(line);
         if (!parsed.ok) {
-            // "metrics" is a control verb, not a query type, so it
-            // fails normal parsing; intercept it here.
+            // "metrics" and "trace" are control verbs, not query
+            // types, so they fail normal parsing; intercept them here.
             auto doc = JsonValue::parse(line, nullptr);
             if (doc && doc->isObject()) {
                 const JsonValue *type = doc->find("type");
@@ -64,6 +68,14 @@ runServe(std::istream &in, std::ostream &out, QueryEngine &engine)
                     type->asString() == "metrics") {
                     JsonWriter json(out);
                     engine.writeMetricsJson(json);
+                    out << "\n" << std::flush;
+                    continue;
+                }
+                if (type && type->isString() &&
+                    type->asString() == "trace") {
+                    // The accumulated Chrome trace as one response
+                    // line (empty traceEvents when tracing is off).
+                    obs::Tracer::instance().writeChromeTrace(out);
                     out << "\n" << std::flush;
                     continue;
                 }
@@ -76,6 +88,9 @@ runServe(std::istream &in, std::ostream &out, QueryEngine &engine)
         out << result->toJson() << "\n" << std::flush;
         ++served;
     }
+    hcm_inform("serve session ended", logField("served", served),
+               logField("cacheHitRate",
+                        engine.cacheStats().hitRate()));
     return served;
 }
 

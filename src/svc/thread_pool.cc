@@ -1,12 +1,18 @@
 #include "thread_pool.hh"
 
+#include <chrono>
+
 #include "util/logging.hh"
 
 namespace hcm {
 namespace svc {
 
 ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
-    : _capacity(queue_capacity > 0 ? queue_capacity : 1)
+    : _capacity(queue_capacity > 0 ? queue_capacity : 1),
+      _queueDepth(obs::globalRegistry().gauge("hcm_pool_queue_depth")),
+      _tasksRun(obs::globalRegistry().counter("hcm_pool_tasks_total")),
+      _taskLatencyNs(
+          obs::globalRegistry().histogram("hcm_pool_task_latency_ns"))
 {
     if (threads == 0) {
         threads = std::thread::hardware_concurrency();
@@ -41,6 +47,7 @@ ThreadPool::submit(std::function<void()> task)
         });
         hcm_assert(!_stopping, "submit() on a stopping ThreadPool");
         _queue.push_back(std::move(task));
+        _queueDepth.set(static_cast<std::int64_t>(_queue.size()));
     }
     _notEmpty.notify_one();
 }
@@ -66,9 +73,16 @@ ThreadPool::workerLoop()
                 return; // stopping and fully drained
             task = std::move(_queue.front());
             _queue.pop_front();
+            _queueDepth.set(static_cast<std::int64_t>(_queue.size()));
         }
         _notFull.notify_one();
+        auto start = std::chrono::steady_clock::now();
         task();
+        _taskLatencyNs.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
+        _tasksRun.add(1);
     }
 }
 

@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hh"
+
 namespace hcm {
 namespace svc {
 
@@ -62,6 +64,11 @@ class ThreadPool
     std::vector<std::thread> _workers;
     std::size_t _capacity;
     bool _stopping = false;
+
+    /** Process-wide pool instruments (all pools share the series). */
+    obs::Gauge &_queueDepth;
+    obs::Counter &_tasksRun;
+    obs::Histogram &_taskLatencyNs;
 };
 
 } // namespace svc

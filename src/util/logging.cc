@@ -1,11 +1,11 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
 
 namespace hcm {
-namespace detail {
 
 namespace {
 
@@ -17,14 +17,83 @@ sinkMutex()
     return mu;
 }
 
+std::atomic<std::ostream *> g_sink{&std::cerr};
+
+/** Threshold, initialized once from HCM_LOG_LEVEL (default Inform). */
+std::atomic<int> &
+thresholdStore()
+{
+    static std::atomic<int> level = [] {
+        if (const char *env = std::getenv("HCM_LOG_LEVEL")) {
+            if (auto parsed = logLevelFromName(env))
+                return static_cast<int>(*parsed);
+        }
+        return static_cast<int>(LogLevel::Inform);
+    }();
+    return level;
+}
+
 } // namespace
+
+LogLevel
+logThreshold()
+{
+    return static_cast<LogLevel>(
+        thresholdStore().load(std::memory_order_relaxed));
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    thresholdStore().store(static_cast<int>(level),
+                           std::memory_order_relaxed);
+}
+
+std::optional<LogLevel>
+logLevelFromName(const std::string &name)
+{
+    if (name == "debug")
+        return LogLevel::Debug;
+    if (name == "info" || name == "inform")
+        return LogLevel::Inform;
+    if (name == "warn" || name == "warning")
+        return LogLevel::Warn;
+    if (name == "fatal")
+        return LogLevel::Fatal;
+    return std::nullopt;
+}
+
+std::ostream &
+operator<<(std::ostream &os, const LogField &field)
+{
+    os << ' ' << field.key << '=';
+    if (field.value.find(' ') != std::string::npos)
+        os << '"' << field.value << '"';
+    else
+        os << field.value;
+    return os;
+}
+
+namespace detail {
+
+std::ostream *
+setLogSink(std::ostream *sink)
+{
+    return g_sink.exchange(sink ? sink : &std::cerr);
+}
 
 void
 logMessage(LogLevel level, const std::string &msg, const char *file,
            int line)
 {
+    // Fatal/Panic always print: they are the message of last resort.
+    if (level < logThreshold() && level < LogLevel::Fatal)
+        return;
     const char *tag = "info";
     switch (level) {
+      case LogLevel::Debug:
+        tag = "debug";
+        break;
       case LogLevel::Inform:
         tag = "info";
         break;
@@ -45,7 +114,7 @@ logMessage(LogLevel level, const std::string &msg, const char *file,
         line_out << " @ " << file << ":" << line;
     line_out << "\n";
     std::lock_guard<std::mutex> lock(sinkMutex());
-    std::cerr << line_out.str() << std::flush;
+    *g_sink.load() << line_out.str() << std::flush;
 }
 
 } // namespace detail

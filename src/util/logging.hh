@@ -2,7 +2,16 @@
  * @file
  * Status-message and error-reporting helpers in the spirit of gem5's
  * base/logging.hh: panic() for internal invariant violations, fatal() for
- * user errors, warn()/inform() for non-fatal status.
+ * user errors, warn()/inform()/debug() for non-fatal status.
+ *
+ * Messages below a runtime threshold are suppressed before their
+ * arguments are formatted, so hot paths can carry hcm_debug() lines at
+ * no cost. The threshold defaults to Inform, can be set from the
+ * HCM_LOG_LEVEL environment variable (debug|info|warn|fatal) or
+ * programmatically (the CLI maps --verbose, and serve mode quiets to
+ * Warn so status lines never compete with the stdout wire protocol —
+ * fatal()/panic() always print). Structured key=value fields ride
+ * along via logField(): hcm_inform("served", logField("queries", n)).
  */
 
 #ifndef HCM_UTIL_LOGGING_HH
@@ -10,24 +19,48 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 namespace hcm {
 
-/** Severity of a log message. */
+/** Severity of a log message (ordered: Debug < Inform < ... < Panic). */
 enum class LogLevel {
+    Debug,
     Inform,
     Warn,
     Fatal,
     Panic,
 };
 
+/** Messages below this level are dropped (Fatal/Panic never are). */
+LogLevel logThreshold();
+
+/** Override the threshold (wins over HCM_LOG_LEVEL). */
+void setLogThreshold(LogLevel level);
+
+/** Parse "debug" | "info"/"inform" | "warn" | "fatal"; nullopt else. */
+std::optional<LogLevel> logLevelFromName(const std::string &name);
+
+/** One key=value field attached to a log line (see logField()). */
+struct LogField
+{
+    std::string key;
+    std::string value;
+};
+
+/** Streams as ` key=value`, quoting values containing spaces. */
+std::ostream &operator<<(std::ostream &os, const LogField &field);
+
 namespace detail {
 
-/** Emit a formatted log line to stderr. */
+/** Emit a formatted log line to the sink (default stderr). */
 void logMessage(LogLevel level, const std::string &msg, const char *file,
                 int line);
+
+/** Redirect log output (tests); returns the previous sink. */
+std::ostream *setLogSink(std::ostream *sink);
 
 /** Concatenate a parameter pack into a string via operator<<. */
 template <typename... Args>
@@ -41,6 +74,14 @@ concat(Args &&...args)
 }
 
 } // namespace detail
+
+/** Build a structured field: logField("queries", 12) -> queries=12. */
+template <typename T>
+LogField
+logField(const std::string &key, const T &value)
+{
+    return LogField{key, detail::concat(value)};
+}
 
 /**
  * Abort due to an internal logic error (a bug in HCM itself).
@@ -66,17 +107,25 @@ concat(Args &&...args)
 #define hcm_fatal(...) \
     ::hcm::fatalImpl(::hcm::detail::concat(__VA_ARGS__), __FILE__, __LINE__)
 
+/** Emit at @p level unless suppressed; arguments stay unevaluated
+ *  below the threshold (safe and free on hot paths). */
+#define hcm_log_at(level, ...) \
+    do { \
+        if ((level) >= ::hcm::logThreshold()) { \
+            ::hcm::detail::logMessage( \
+                (level), ::hcm::detail::concat(__VA_ARGS__), __FILE__, \
+                __LINE__); \
+        } \
+    } while (0)
+
 /** Report a suspicious but survivable condition. */
-#define hcm_warn(...) \
-    ::hcm::detail::logMessage(::hcm::LogLevel::Warn, \
-                              ::hcm::detail::concat(__VA_ARGS__), __FILE__, \
-                              __LINE__)
+#define hcm_warn(...) hcm_log_at(::hcm::LogLevel::Warn, __VA_ARGS__)
 
 /** Report normal operating status. */
-#define hcm_inform(...) \
-    ::hcm::detail::logMessage(::hcm::LogLevel::Inform, \
-                              ::hcm::detail::concat(__VA_ARGS__), __FILE__, \
-                              __LINE__)
+#define hcm_inform(...) hcm_log_at(::hcm::LogLevel::Inform, __VA_ARGS__)
+
+/** Verbose diagnostics, silent unless the threshold is Debug. */
+#define hcm_debug(...) hcm_log_at(::hcm::LogLevel::Debug, __VA_ARGS__)
 
 /** Panic unless a model invariant holds. */
 #define hcm_assert(cond, ...) \

@@ -1,5 +1,8 @@
 /** @file Tests for latency histograms and the metrics registry. */
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -60,6 +63,48 @@ TEST(LatencyHistogramTest, PercentilesAreMonotonic)
         EXPECT_GE(v, last) << "p" << p;
         last = v;
     }
+}
+
+TEST(LatencyHistogramTest, SingleSampleStaysInItsBucket)
+{
+    LatencyHistogram h;
+    h.record(1000);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.meanNs(), 1000.0);
+    for (double p : {1.0, 50.0, 100.0}) {
+        EXPECT_GE(h.percentileNs(p), 512.0) << "p" << p;
+        EXPECT_LE(h.percentileNs(p), 1024.0) << "p" << p;
+    }
+}
+
+TEST(LatencyHistogramTest, ZeroLatencyIsRepresentable)
+{
+    LatencyHistogram h;
+    h.record(0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.meanNs(), 0.0);
+    // Bucket 0 spans [0, 2), so the percentile resolves below 2 ns.
+    EXPECT_LE(h.percentileNs(50.0), 2.0);
+}
+
+TEST(LatencyHistogramTest, MaxLatencyDoesNotOverflowTopBucket)
+{
+    LatencyHistogram h;
+    h.record(std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(h.count(), 1u);
+    double p100 = h.percentileNs(100.0);
+    EXPECT_GE(p100, std::ldexp(1.0, 63));
+    EXPECT_LE(p100, std::ldexp(1.0, 64));
+}
+
+TEST(LatencyHistogramTest, SnapshotConversionPreservesCounts)
+{
+    obs::Histogram generic;
+    generic.record(100);
+    generic.record(300);
+    LatencyHistogram snap(generic);
+    EXPECT_EQ(snap.count(), 2u);
+    EXPECT_DOUBLE_EQ(snap.meanNs(), 200.0);
 }
 
 TEST(MetricsRegistryTest, CountsPerType)
@@ -125,6 +170,90 @@ TEST(MetricsRegistryTest, JsonExportHasFullSchema)
     const JsonValue *cache_json = doc->find("cache");
     ASSERT_NE(cache_json, nullptr);
     EXPECT_DOUBLE_EQ(cache_json->find("hitRate")->asNumber(), 0.75);
+}
+
+// Golden file: the exact bytes the seed implementation produced for
+// this recording sequence, captured before the registry migration. The
+// wire format is consumed by external tooling, so the migration onto
+// obs::Registry must not change a single byte.
+TEST(MetricsRegistryTest, JsonExportMatchesGoldenBytes)
+{
+    MetricsRegistry reg;
+    reg.recordQuery(QueryType::Optimize, 1500, false);
+    reg.recordQuery(QueryType::Optimize, 3000, true);
+    reg.recordQuery(QueryType::Projection, 250000, false);
+    reg.recordQuery(QueryType::Pareto, 0, false);
+    CacheStats cache;
+    cache.hits = 3;
+    cache.misses = 1;
+    cache.evictions = 2;
+    cache.entries = 5;
+    cache.capacity = 64;
+
+    std::ostringstream oss;
+    {
+        JsonWriter json(oss);
+        reg.writeJson(json, &cache);
+    }
+    const std::string golden =
+        "{\"totalQueries\":4,\"queryTypes\":{"
+        "\"optimize\":{\"count\":2,\"cacheHits\":1,\"latencyMs\":{"
+        "\"mean\":0.00225,\"p50\":0.002048,\"p95\":0.0038912,"
+        "\"p99\":0.00405504}},"
+        "\"projection\":{\"count\":1,\"cacheHits\":0,\"latencyMs\":{"
+        "\"mean\":0.25,\"p50\":0.196608,\"p95\":0.2555904,"
+        "\"p99\":0.26083328}},"
+        "\"energy\":{\"count\":0,\"cacheHits\":0,\"latencyMs\":{"
+        "\"mean\":0,\"p50\":0,\"p95\":0,\"p99\":0}},"
+        "\"pareto\":{\"count\":1,\"cacheHits\":0,\"latencyMs\":{"
+        "\"mean\":0,\"p50\":1e-06,\"p95\":1.9e-06,\"p99\":1.98e-06}}},"
+        "\"cache\":{\"hits\":3,\"misses\":1,\"evictions\":2,"
+        "\"entries\":5,\"capacity\":64,\"hitRate\":0.75}}";
+    EXPECT_EQ(oss.str(), golden);
+}
+
+TEST(MetricsRegistryTest, PrometheusExportCoversTypesAndCache)
+{
+    MetricsRegistry reg;
+    reg.recordQuery(QueryType::Optimize, 1500, false);
+    reg.recordQuery(QueryType::Optimize, 3000, true);
+    CacheStats cache;
+    cache.hits = 3;
+    cache.misses = 1;
+    cache.evictions = 2;
+    cache.entries = 5;
+    cache.capacity = 64;
+
+    std::ostringstream oss;
+    reg.writePrometheus(oss, &cache);
+    std::string text = oss.str();
+
+    EXPECT_NE(text.find("# TYPE hcm_svc_queries_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("hcm_svc_queries_total{type=\"optimize\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("hcm_svc_queries_total{type=\"pareto\"} 0\n"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("hcm_svc_query_cache_hits_total{type=\"optimize\"} 1\n"),
+        std::string::npos);
+    EXPECT_NE(text.find("# TYPE hcm_svc_query_latency_ns histogram\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("hcm_svc_query_latency_ns_count"
+                        "{type=\"optimize\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("hcm_svc_query_latency_ns_sum"
+                        "{type=\"optimize\"} 4500\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("hcm_svc_cache_hits_total 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("hcm_svc_cache_misses_total 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("hcm_svc_cache_evictions_total 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("hcm_svc_cache_entries 5\n"), std::string::npos);
+    EXPECT_NE(text.find("hcm_svc_cache_capacity 64\n"),
+              std::string::npos);
 }
 
 } // namespace

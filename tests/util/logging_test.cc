@@ -1,11 +1,37 @@
 /** @file Unit tests for util/logging. */
 
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "util/logging.hh"
 
 namespace hcm {
 namespace {
+
+/** Captures log output and restores the sink and threshold on exit. */
+class LogCapture
+{
+  public:
+    LogCapture()
+        : _previousSink(detail::setLogSink(&_stream)),
+          _previousThreshold(logThreshold())
+    {
+    }
+
+    ~LogCapture()
+    {
+        detail::setLogSink(_previousSink);
+        setLogThreshold(_previousThreshold);
+    }
+
+    std::string text() const { return _stream.str(); }
+
+  private:
+    std::ostringstream _stream;
+    std::ostream *_previousSink;
+    LogLevel _previousThreshold;
+};
 
 TEST(LoggingTest, ConcatJoinsHeterogeneousArguments)
 {
@@ -37,9 +63,83 @@ TEST(LoggingTest, AssertPassesOnTrue)
 
 TEST(LoggingTest, WarnAndInformDoNotTerminate)
 {
+    LogCapture capture;
     hcm_warn("this is only a warning");
     hcm_inform("status message");
     SUCCEED();
+}
+
+TEST(LoggingTest, ThresholdSuppressesLowerLevels)
+{
+    LogCapture capture;
+    setLogThreshold(LogLevel::Warn);
+    hcm_debug("not shown");
+    hcm_inform("not shown either");
+    hcm_warn("survives");
+    EXPECT_EQ(capture.text().find("not shown"), std::string::npos);
+    EXPECT_NE(capture.text().find("survives"), std::string::npos);
+}
+
+TEST(LoggingTest, DebugThresholdEnablesEverything)
+{
+    LogCapture capture;
+    setLogThreshold(LogLevel::Debug);
+    hcm_debug("fine detail");
+    hcm_inform("routine");
+    std::string text = capture.text();
+    EXPECT_NE(text.find("debug: fine detail"), std::string::npos);
+    EXPECT_NE(text.find("info: routine"), std::string::npos);
+}
+
+TEST(LoggingTest, SuppressedArgumentsAreNotEvaluated)
+{
+    LogCapture capture;
+    setLogThreshold(LogLevel::Warn);
+    int evaluations = 0;
+    auto expensive = [&evaluations] {
+        ++evaluations;
+        return "costly";
+    };
+    hcm_debug("value: ", expensive());
+    EXPECT_EQ(evaluations, 0);
+    hcm_warn("value: ", expensive());
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LoggingTest, LogLevelFromNameParsesAliases)
+{
+    EXPECT_EQ(logLevelFromName("debug"), LogLevel::Debug);
+    EXPECT_EQ(logLevelFromName("info"), LogLevel::Inform);
+    EXPECT_EQ(logLevelFromName("inform"), LogLevel::Inform);
+    EXPECT_EQ(logLevelFromName("warn"), LogLevel::Warn);
+    EXPECT_EQ(logLevelFromName("warning"), LogLevel::Warn);
+    EXPECT_EQ(logLevelFromName("fatal"), LogLevel::Fatal);
+    EXPECT_EQ(logLevelFromName("verbose"), std::nullopt);
+    EXPECT_EQ(logLevelFromName(""), std::nullopt);
+}
+
+TEST(LoggingTest, LogFieldFormatsKeyValue)
+{
+    std::ostringstream oss;
+    oss << logField("queries", 12) << logField("rate", 0.5);
+    EXPECT_EQ(oss.str(), " queries=12 rate=0.5");
+}
+
+TEST(LoggingTest, LogFieldQuotesValuesWithSpaces)
+{
+    std::ostringstream oss;
+    oss << logField("msg", "two words");
+    EXPECT_EQ(oss.str(), " msg=\"two words\"");
+}
+
+TEST(LoggingTest, StructuredFieldsRideOnLogLines)
+{
+    LogCapture capture;
+    setLogThreshold(LogLevel::Inform);
+    hcm_inform("batch served", logField("queries", 6),
+               logField("threads", 8));
+    EXPECT_NE(capture.text().find("batch served queries=6 threads=8"),
+              std::string::npos);
 }
 
 } // namespace

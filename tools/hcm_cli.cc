@@ -21,11 +21,14 @@
 #include "core/pareto.hh"
 #include "core/projection.hh"
 #include "mem/traffic.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "plot/figure.hh"
 #include "sim/simulator.hh"
 #include "svc/engine.hh"
 #include "svc/service.hh"
 #include "util/format.hh"
+#include "util/json_parse.hh"
 #include "util/logging.hh"
 
 namespace {
@@ -53,7 +56,10 @@ commands:
   batch <requests.json>   evaluate a batch of JSON queries on the
                           thread-pooled engine; emits results + metrics
   serve                   line-delimited JSON request/response loop on
-                          stdin/stdout ({"type":"metrics"} for stats)
+                          stdin/stdout ({"type":"metrics"} for stats,
+                          {"type":"trace"} for the collected trace)
+  validate-trace <file>   check a --trace-out file is a well-formed
+                          Chrome trace (exit 1 with a reason if not)
   list                    devices, workloads, scenarios
   help                    this text
 
@@ -83,6 +89,16 @@ options (batch/serve):
   --cache-entries <n>         memoization cache capacity (default 4096)
   --no-cache                  disable the memoization cache
 
+observability (batch/serve/simulate):
+  --trace-out <file>          enable span tracing and write a Chrome
+                              trace_event JSON on exit (load it in
+                              chrome://tracing or ui.perfetto.dev)
+  --metrics-out <file>        write collected metrics on exit
+  --metrics-format <fmt>      json | prom (default json)
+  --verbose                   log threshold Debug (HCM_LOG_LEVEL also
+                              works: debug|info|warn|fatal; serve
+                              defaults to warn)
+
 examples:
   hcm table 5
   hcm figure 6
@@ -109,6 +125,10 @@ struct Options
     std::size_t threads = 0;
     std::size_t cacheEntries = 4096;
     bool noCache = false;
+    std::string traceOut;
+    std::string metricsOut;
+    std::string metricsFormat = "json";
+    bool verbose = false;
 };
 
 wl::Workload
@@ -189,10 +209,103 @@ parseOptions(const std::vector<std::string> &args, std::size_t start)
             opts.cacheEntries = std::stoul(next());
         else if (a == "--no-cache")
             opts.noCache = true;
+        else if (a == "--trace-out")
+            opts.traceOut = next();
+        else if (a == "--metrics-out")
+            opts.metricsOut = next();
+        else if (a == "--metrics-format")
+            opts.metricsFormat = next();
+        else if (a == "--verbose")
+            opts.verbose = true;
         else
             hcm_fatal("unknown option '", a, "' (see hcm help)");
     }
+    if (opts.metricsFormat != "json" && opts.metricsFormat != "prom")
+        hcm_fatal("--metrics-format must be json or prom, not '",
+                  opts.metricsFormat, "'");
     return opts;
+}
+
+/**
+ * Map --verbose / serve's quiet default onto the log threshold.
+ * HCM_LOG_LEVEL always wins so operators can override either way.
+ */
+void
+applyLogOptions(const Options &opts, bool quiet_default)
+{
+    if (std::getenv("HCM_LOG_LEVEL"))
+        return;
+    if (opts.verbose)
+        setLogThreshold(LogLevel::Debug);
+    else if (quiet_default)
+        setLogThreshold(LogLevel::Warn);
+}
+
+/**
+ * RAII tracing session: --trace-out enables span collection for the
+ * command's lifetime and writes the Chrome trace on scope exit.
+ */
+class TraceSession
+{
+  public:
+    explicit TraceSession(const Options &opts) : _path(opts.traceOut)
+    {
+        if (!_path.empty())
+            obs::Tracer::instance().setEnabled(true);
+    }
+
+    ~TraceSession()
+    {
+        if (_path.empty())
+            return;
+        obs::Tracer::instance().setEnabled(false);
+        std::ofstream out(_path);
+        if (!out) {
+            hcm_warn("cannot write trace file '", _path, "'");
+            return;
+        }
+        std::size_t spans = obs::Tracer::instance().spanCount();
+        obs::Tracer::instance().writeChromeTrace(out);
+        out << "\n";
+        hcm_inform("trace written", logField("file", _path),
+                   logField("spans", spans));
+    }
+
+  private:
+    std::string _path;
+};
+
+/**
+ * Write --metrics-out in the chosen format: the engine's per-query
+ * metrics (when a query engine ran) plus the process-wide registry
+ * (thread pool, simulator).
+ */
+void
+writeMetricsFile(const Options &opts, const svc::QueryEngine *engine)
+{
+    if (opts.metricsOut.empty())
+        return;
+    std::ofstream out(opts.metricsOut);
+    if (!out)
+        hcm_fatal("cannot write metrics file '", opts.metricsOut, "'");
+    if (opts.metricsFormat == "prom") {
+        if (engine)
+            engine->writeMetricsProm(out);
+        obs::globalRegistry().writePrometheus(out);
+    } else {
+        JsonWriter json(out);
+        json.beginObject();
+        if (engine) {
+            json.key("svc");
+            engine->writeMetricsJson(json);
+        }
+        json.key("process");
+        obs::globalRegistry().writeJson(json);
+        json.endObject();
+        out << "\n";
+    }
+    hcm_inform("metrics written", logField("file", opts.metricsOut),
+               logField("format", opts.metricsFormat));
 }
 
 int
@@ -362,6 +475,8 @@ cmdSimulate(const Options &opts)
 {
     if (opts.device.empty())
         hcm_fatal("simulate needs --device (the HET fabric to check)");
+    applyLogOptions(opts, false);
+    TraceSession trace(opts);
     const core::Scenario &scenario = core::scenarioByName(opts.scenario);
     const itrs::NodeParams &node = itrs::nodeParams(opts.node);
     auto org = core::heterogeneous(parseDevice(opts.device),
@@ -395,6 +510,38 @@ cmdSimulate(const Options &opts)
               << " BCE units; tile utilization "
               << fmtPercent(stats.tileUtilization(m.tiles), 1)
               << "; events " << stats.events << "\n";
+    writeMetricsFile(opts, nullptr);
+    return 0;
+}
+
+int
+cmdValidateTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        hcm_fatal("cannot open '", path, "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    auto doc = JsonValue::parse(buffer.str(), &error);
+    if (!doc)
+        hcm_fatal(path, ": not valid JSON: ", error);
+    if (!doc->isObject())
+        hcm_fatal(path, ": trace root must be an object");
+    const JsonValue *events = doc->find("traceEvents");
+    if (!events || !events->isArray())
+        hcm_fatal(path, ": missing \"traceEvents\" array");
+    std::size_t index = 0;
+    for (const JsonValue &event : events->items()) {
+        if (!event.isObject())
+            hcm_fatal(path, ": event ", index, " is not an object");
+        for (const char *k : {"name", "ph", "ts", "pid", "tid"})
+            if (!event.find(k))
+                hcm_fatal(path, ": event ", index, " missing \"", k,
+                          "\"");
+        ++index;
+    }
+    std::cout << "valid trace: " << index << " event(s)\n";
     return 0;
 }
 
@@ -547,18 +694,26 @@ cmdBatch(const std::string &path, const Options &opts)
     std::ostringstream buffer;
     buffer << in.rdbuf();
 
+    applyLogOptions(opts, false);
+    TraceSession trace(opts);
     svc::QueryEngine engine(engineOptions(opts));
     std::string error;
     if (!svc::runBatch(buffer.str(), engine, std::cout, &error))
         hcm_fatal(path, ": ", error);
+    writeMetricsFile(opts, &engine);
     return 0;
 }
 
 int
 cmdServe(const Options &opts)
 {
+    // Quiet by default: stdout carries the wire protocol, and stderr
+    // chatter is noise for a supervised daemon (satellite: Warn).
+    applyLogOptions(opts, true);
+    TraceSession trace(opts);
     svc::QueryEngine engine(engineOptions(opts));
     svc::runServe(std::cin, std::cout, engine);
+    writeMetricsFile(opts, &engine);
     return 0;
 }
 
@@ -629,6 +784,11 @@ main(int argc, char **argv)
     }
     if (cmd == "serve")
         return cmdServe(parseOptions(args, 1));
+    if (cmd == "validate-trace") {
+        if (args.size() < 2)
+            hcm_fatal("usage: hcm validate-trace <trace.json>");
+        return cmdValidateTrace(args[1]);
+    }
     if (cmd == "list")
         return cmdList();
     hcm_fatal("unknown command '", cmd, "' (see hcm help)");
