@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Refresh the checked-in bench baseline that CI's bench-telemetry job
+# diffs against. Run from the repo root after a deliberate performance
+# change, then commit the updated file:
+#
+#   ./scripts/bench_baseline_update.sh [build-dir]
+#
+# The baseline is a --smoke run (short measurement time), which is all
+# the CI gate needs: with its generous tolerance it flags
+# order-of-magnitude regressions, not percent-level drift. Use
+# `hcm bench` without --smoke plus `hcm bench-diff` locally for careful
+# before/after comparisons.
+set -eu
+
+build_dir="${1:-build}"
+repo_root="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+cd "$repo_root"
+
+hcm="$build_dir/tools/hcm"
+if [ ! -x "$hcm" ]; then
+    echo "error: $hcm not found; build first (cmake --build $build_dir)" >&2
+    exit 1
+fi
+
+"$hcm" bench --smoke \
+    --bench-dir "$build_dir/bench" \
+    --results bench/baseline/BENCH_RESULTS.json
+
+echo "baseline updated: bench/baseline/BENCH_RESULTS.json"
+echo "review the diff and commit it if the change is intentional"

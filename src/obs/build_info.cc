@@ -1,0 +1,43 @@
+#include "build_info.hh"
+
+namespace hcm {
+namespace obs {
+
+#ifndef HCM_VERSION
+#define HCM_VERSION "0.0.0"
+#endif
+
+#ifndef HCM_BUILD_TYPE
+#define HCM_BUILD_TYPE ""
+#endif
+
+const BuildInfo &
+buildInfo()
+{
+    static const BuildInfo info{
+        HCM_VERSION,
+#if defined(__clang__)
+        "clang " __VERSION__,
+#elif defined(__GNUC__)
+        "gcc " __VERSION__,
+#else
+        "unknown",
+#endif
+        HCM_BUILD_TYPE,
+    };
+    return info;
+}
+
+void
+registerBuildInfoMetric(Registry &registry)
+{
+    const BuildInfo &info = buildInfo();
+    registry
+        .gauge("hcm_build_info", {{"version", info.version},
+                                  {"compiler", info.compiler},
+                                  {"build_type", info.buildType}})
+        .set(1);
+}
+
+} // namespace obs
+} // namespace hcm

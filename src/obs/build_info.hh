@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Build identity: version, compiler, and build type, baked in at
+ * compile time. Exposed two ways: as a struct for anything that wants
+ * to stamp output files (the bench telemetry pipeline records it in
+ * BENCH_RESULTS.json so two result files can be compared knowing what
+ * produced them), and as the conventional `hcm_build_info` gauge — a
+ * constant 1 whose labels carry the identity — registered at CLI
+ * startup so every metrics export (JSON and Prometheus) names the
+ * build it came from.
+ */
+
+#ifndef HCM_OBS_BUILD_INFO_HH
+#define HCM_OBS_BUILD_INFO_HH
+
+#include <string>
+
+#include "obs/metrics.hh"
+
+namespace hcm {
+namespace obs {
+
+/** Compile-time build identity. */
+struct BuildInfo
+{
+    std::string version;   ///< project version (CMake PROJECT_VERSION)
+    std::string compiler;  ///< compiler id + version string
+    std::string buildType; ///< CMAKE_BUILD_TYPE ("" when unset)
+};
+
+/** The identity this binary was built with. */
+const BuildInfo &buildInfo();
+
+/**
+ * Register the `hcm_build_info` gauge (value 1, labels version /
+ * compiler / build_type) in @p registry. Idempotent, like all
+ * registrations.
+ */
+void registerBuildInfoMetric(Registry &registry);
+
+} // namespace obs
+} // namespace hcm
+
+#endif // HCM_OBS_BUILD_INFO_HH

@@ -6,7 +6,7 @@
 #include <functional>
 
 #include "obs/metrics.hh"
-#include "obs/trace.hh"
+#include "prof/profiler.hh"
 #include "util/logging.hh"
 
 namespace hcm {
@@ -60,9 +60,9 @@ ChipSimulator::ChipSimulator(Machine machine, Schedule schedule)
 SimStats
 ChipSimulator::run(const TaskGraph &program)
 {
-    obs::Span run_span("sim.run", "sim");
-    run_span.arg("phases", program.phases().size());
-    run_span.arg("tiles", _machine.tiles);
+    prof::Scope run_scope("sim.run", "sim");
+    run_scope.arg("phases", program.phases().size());
+    run_scope.arg("tiles", _machine.tiles);
     SimStats stats;
     EventQueue queue;
     for (const Phase &phase : program.phases()) {
@@ -81,7 +81,7 @@ ChipSimulator::run(const TaskGraph &program)
     counters.runs.add(1);
     counters.events.add(stats.events);
     counters.chunks.add(stats.chunksRun);
-    run_span.arg("events", stats.events);
+    run_scope.arg("events", stats.events);
     hcm_debug("sim run complete", logField("events", stats.events),
               logField("simTime", stats.totalTime),
               logField("chunks", stats.chunksRun));
@@ -92,9 +92,9 @@ void
 ChipSimulator::runSerial(const Phase &phase, EventQueue &queue,
                          SimStats &stats)
 {
-    obs::Span phase_span("sim.phase", "sim");
-    phase_span.arg("kind", "serial");
-    phase_span.arg("work", phase.work);
+    prof::Scope phase_scope("sim.phase", "sim");
+    phase_scope.arg("kind", "serial");
+    phase_scope.arg("work", phase.work);
     SimCounters::instance().serialPhases.add(1);
     // The core's traffic demand equals its delivered performance; it is
     // throttled when it alone exceeds the pipe (the serial bandwidth
@@ -113,10 +113,10 @@ void
 ChipSimulator::runParallel(const Phase &phase, EventQueue &queue,
                            SimStats &stats)
 {
-    obs::Span phase_span("sim.phase", "sim");
-    phase_span.arg("kind", "parallel");
-    phase_span.arg("work", phase.work);
-    phase_span.arg("chunks", phase.chunks);
+    prof::Scope phase_scope("sim.phase", "sim");
+    phase_scope.arg("kind", "parallel");
+    phase_scope.arg("work", phase.work);
+    phase_scope.arg("chunks", phase.chunks);
     SimCounters::instance().parallelPhases.add(1);
     // A bag of chunks scheduled onto tiles. All active tiles progress
     // at a common rate (identical tiles sharing one bandwidth

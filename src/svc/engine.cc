@@ -3,6 +3,8 @@
 #include <chrono>
 
 #include "obs/trace.hh"
+#include "prof/profiler.hh"
+#include "util/logging.hh"
 
 namespace hcm {
 namespace svc {
@@ -38,21 +40,35 @@ QueryEngine::QueryEngine(EngineOptions opts)
 {
 }
 
+void
+QueryEngine::noteSlowQuery(const Query &q, const std::string &key,
+                           std::uint64_t wait_ns, std::uint64_t eval_ns)
+{
+    _metrics.recordSlowQuery();
+    hcm_warn("slow query", logField("type", queryTypeName(q.type)),
+             logField("key", key),
+             logField("queueWaitMs", wait_ns / 1e6),
+             logField("evalMs", eval_ns / 1e6));
+}
+
 std::shared_future<QueryEngine::ResultPtr>
 QueryEngine::acquire(const Query &q, const std::string &key)
 {
     auto start = std::chrono::steady_clock::now();
-    // One span per query on the submitting thread; the worker adds
-    // queue-wait and eval spans when the query misses the cache.
-    obs::Span query_span("svc.query", "svc");
-    query_span.arg("type", queryTypeName(q.type));
+    // One scope per query on the submitting thread; the worker adds
+    // queue-wait and eval scopes when the query misses the cache.
+    prof::Scope query_scope("svc.query", "svc");
+    query_scope.arg("type", queryTypeName(q.type));
     // Fast path: a warm hit never touches the pool.
     if (_cache) {
-        obs::Span lookup_span("svc.cache.lookup", "svc");
+        prof::Scope lookup_scope("svc.cache.lookup", "svc");
         if (ResultPtr hit = _cache->get(key)) {
-            lookup_span.end();
-            query_span.arg("outcome", "hit");
-            _metrics.recordQuery(q.type, elapsedNs(start), true);
+            lookup_scope.end();
+            query_scope.arg("outcome", "hit");
+            std::uint64_t hit_ns = elapsedNs(start);
+            _metrics.recordQuery(q.type, hit_ns, true);
+            if (_opts.slowQueryNs > 0 && hit_ns > _opts.slowQueryNs)
+                noteSlowQuery(q, key, 0, hit_ns);
             return readyFuture(std::move(hit));
         }
     }
@@ -63,27 +79,34 @@ QueryEngine::acquire(const Query &q, const std::string &key)
         std::lock_guard<std::mutex> lock(_inflightMu);
         auto it = _inflight.find(key);
         if (it != _inflight.end()) {
-            query_span.arg("outcome", "inflight");
+            query_scope.arg("outcome", "inflight");
             return it->second; // someone is already computing it
         }
         prom = std::make_shared<std::promise<ResultPtr>>();
         fut = prom->get_future().share();
         _inflight.emplace(key, fut);
     }
-    query_span.arg("outcome", "miss");
+    query_scope.arg("outcome", "miss");
     // Submit with _inflightMu released: a full queue blocks here, and
     // finishing workers need that mutex to erase their entries. Later
     // acquirers of this key rendezvous on the map entry made above and
     // wait on the future, not the queue.
-    std::uint64_t submit_ns = obs::Tracer::instance().enabled()
-                                  ? obs::Tracer::nowNs()
-                                  : 0;
+    bool timing_wanted = obs::Tracer::instance().enabled() ||
+                         prof::Profiler::instance().enabled() ||
+                         _opts.slowQueryNs > 0;
+    std::uint64_t submit_ns = timing_wanted ? obs::Tracer::nowNs() : 0;
     _pool.submit([this, q, key, prom, submit_ns] {
-        if (obs::Tracer::instance().enabled() && submit_ns > 0) {
+        std::uint64_t wait_ns = 0;
+        if (submit_ns > 0) {
             std::uint64_t now = obs::Tracer::nowNs();
-            obs::Tracer::instance().recordSpan(
-                "svc.queue_wait", "svc", submit_ns, now - submit_ns,
-                {{"type", queryTypeName(q.type)}});
+            wait_ns = now > submit_ns ? now - submit_ns : 0;
+            if (obs::Tracer::instance().enabled())
+                obs::Tracer::instance().recordSpan(
+                    "svc.queue_wait", "svc", submit_ns, wait_ns,
+                    {{"type", queryTypeName(q.type)}});
+            // Queue wait has no RAII scope (it straddles threads), so
+            // hand the measured duration to the profiler directly.
+            prof::Profiler::instance().record("svc.queue_wait", wait_ns);
         }
         auto task_start = std::chrono::steady_clock::now();
         ResultPtr result;
@@ -96,14 +119,18 @@ QueryEngine::acquire(const Query &q, const std::string &key)
             hit = result != nullptr;
         }
         if (!result) {
-            obs::Span eval_span("svc.eval", "svc");
-            eval_span.arg("type", queryTypeName(q.type));
+            prof::Scope eval_scope("svc.eval", "svc");
+            eval_scope.arg("type", queryTypeName(q.type));
             result = std::make_shared<QueryResult>(evaluateQuery(q));
-            eval_span.end();
+            eval_scope.end();
             if (_cache)
                 _cache->put(key, result);
         }
-        _metrics.recordQuery(q.type, elapsedNs(task_start), hit);
+        std::uint64_t eval_ns = elapsedNs(task_start);
+        _metrics.recordQuery(q.type, eval_ns, hit);
+        if (_opts.slowQueryNs > 0 &&
+            wait_ns + eval_ns > _opts.slowQueryNs)
+            noteSlowQuery(q, key, wait_ns, eval_ns);
         prom->set_value(result);
         {
             std::lock_guard<std::mutex> inner(_inflightMu);
@@ -122,8 +149,8 @@ QueryEngine::evaluate(const Query &q)
 std::vector<QueryEngine::ResultPtr>
 QueryEngine::evaluateBatch(const std::vector<Query> &queries)
 {
-    obs::Span batch_span("svc.batch", "svc");
-    batch_span.arg("queries", queries.size());
+    prof::Scope batch_scope("svc.batch", "svc");
+    batch_scope.arg("queries", queries.size());
     std::vector<std::shared_future<ResultPtr>> futures;
     futures.reserve(queries.size());
     // Batch-local dedup keeps repeated queries down to one future even

@@ -12,6 +12,7 @@
 #define HCM_SVC_ENGINE_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -37,6 +38,12 @@ struct EngineOptions
     /** Memoization entries across all shards; 0 disables the cache. */
     std::size_t cacheCapacity = 4096;
     std::size_t cacheShards = 8;
+    /**
+     * Queries whose total latency (queue wait + evaluation; cache hits
+     * use the lookup time) exceeds this emit one structured warn line
+     * and count in hcm_svc_slow_queries_total. 0 disables the log.
+     */
+    std::uint64_t slowQueryNs = 0;
 };
 
 /** Thread-pooled, memoizing evaluator of model queries. */
@@ -77,6 +84,10 @@ class QueryEngine
   private:
     std::shared_future<ResultPtr> acquire(const Query &q,
                                           const std::string &key);
+
+    /** Count + log one query past the slow threshold. */
+    void noteSlowQuery(const Query &q, const std::string &key,
+                       std::uint64_t wait_ns, std::uint64_t eval_ns);
 
     EngineOptions _opts;
     std::unique_ptr<QueryCache> _cache;

@@ -19,6 +19,21 @@ MetricsRegistry::MetricsRegistry()
         _byType[static_cast<std::size_t>(type)].latency =
             &_registry.histogram("hcm_svc_query_latency_ns",
                                  {{"type", queryTypeName(type)}});
+    // Registered after the per-type families so the Prometheus export
+    // appends it without disturbing the existing series order.
+    _slowQueries = &_registry.counter("hcm_svc_slow_queries_total");
+}
+
+void
+MetricsRegistry::recordSlowQuery()
+{
+    _slowQueries->add(1);
+}
+
+std::uint64_t
+MetricsRegistry::slowQueries() const
+{
+    return _slowQueries->value();
 }
 
 void
@@ -66,6 +81,7 @@ MetricsRegistry::writeJson(JsonWriter &json,
 
     json.beginObject();
     json.kv("totalQueries", total);
+    json.kv("slowQueries", _slowQueries->value());
     json.key("queryTypes").beginObject();
     for (QueryType type : allQueryTypes()) {
         const QueryTypeStats &stats =

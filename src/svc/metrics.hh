@@ -65,6 +65,12 @@ class MetricsRegistry
     /** Record one served query of @p type taking @p nanos. */
     void recordQuery(QueryType type, std::uint64_t nanos, bool cacheHit);
 
+    /** Count one query that crossed the engine's slow-query threshold. */
+    void recordSlowQuery();
+
+    /** Queries counted by recordSlowQuery() so far. */
+    std::uint64_t slowQueries() const;
+
     /** Copy of the stats for @p type. */
     QueryTypeStats snapshot(QueryType type) const;
 
@@ -74,6 +80,7 @@ class MetricsRegistry
     /**
      * Emit the metrics document:
      * {"totalQueries": N,
+     *  "slowQueries": N,
      *  "queryTypes": {"optimize": {"count": ..., "cacheHits": ...,
      *                 "latencyMs": {"mean": ..., "p50": ..., "p95": ...,
      *                               "p99": ...}}, ...},
@@ -105,6 +112,7 @@ class MetricsRegistry
 
     obs::Registry _registry;
     std::array<PerType, 4> _byType;
+    obs::Counter *_slowQueries = nullptr;
 };
 
 } // namespace svc

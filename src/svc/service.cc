@@ -2,7 +2,9 @@
 
 #include <sstream>
 
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "prof/profiler.hh"
 #include "svc/request.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
@@ -59,13 +61,31 @@ runServe(std::istream &in, std::ostream &out, QueryEngine &engine)
             continue;
         RequestParse parsed = parseQueryRequestText(line);
         if (!parsed.ok) {
-            // "metrics" and "trace" are control verbs, not query
-            // types, so they fail normal parsing; intercept them here.
+            // "metrics", "trace", and "profile" are control verbs, not
+            // query types, so they fail normal parsing; intercept here.
             auto doc = JsonValue::parse(line, nullptr);
             if (doc && doc->isObject()) {
                 const JsonValue *type = doc->find("type");
                 if (type && type->isString() &&
                     type->asString() == "metrics") {
+                    const JsonValue *format = doc->find("format");
+                    if (format && format->isString() &&
+                        format->asString() == "prom") {
+                        // Prometheus text is multi-line; a blank line
+                        // terminates the block so line-oriented clients
+                        // know where the response ends.
+                        engine.writeMetricsProm(out);
+                        obs::globalRegistry().writePrometheus(out);
+                        out << "\n" << std::flush;
+                        continue;
+                    }
+                    if (format && (!format->isString() ||
+                                   format->asString() != "json")) {
+                        writeErrorLine(
+                            out, "metrics format must be json or prom");
+                        out << std::flush;
+                        continue;
+                    }
                     JsonWriter json(out);
                     engine.writeMetricsJson(json);
                     out << "\n" << std::flush;
@@ -76,6 +96,14 @@ runServe(std::istream &in, std::ostream &out, QueryEngine &engine)
                     // The accumulated Chrome trace as one response
                     // line (empty traceEvents when tracing is off).
                     obs::Tracer::instance().writeChromeTrace(out);
+                    out << "\n" << std::flush;
+                    continue;
+                }
+                if (type && type->isString() &&
+                    type->asString() == "profile") {
+                    // The aggregated profile tree as one JSON line
+                    // (empty roots when profiling is off).
+                    prof::Profiler::instance().writeJson(out);
                     out << "\n" << std::flush;
                     continue;
                 }

@@ -63,6 +63,15 @@ logLevelFromName(const std::string &name)
     return std::nullopt;
 }
 
+LogLevel
+lowerLogLevel(LogLevel base, unsigned steps)
+{
+    int level = static_cast<int>(base) - static_cast<int>(steps);
+    if (level < static_cast<int>(LogLevel::Debug))
+        level = static_cast<int>(LogLevel::Debug);
+    return static_cast<LogLevel>(level);
+}
+
 std::ostream &
 operator<<(std::ostream &os, const LogField &field)
 {

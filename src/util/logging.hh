@@ -43,6 +43,14 @@ void setLogThreshold(LogLevel level);
 /** Parse "debug" | "info"/"inform" | "warn" | "fatal"; nullopt else. */
 std::optional<LogLevel> logLevelFromName(const std::string &name);
 
+/**
+ * @p base lowered by @p steps severity levels (towards Debug),
+ * saturating at Debug: lowerLogLevel(Warn, 2) == Debug. This is how
+ * repeated --verbose flags map onto the threshold — each occurrence
+ * takes one step rather than jumping straight to Debug.
+ */
+LogLevel lowerLogLevel(LogLevel base, unsigned steps);
+
 /** One key=value field attached to a log line (see logField()). */
 struct LogField
 {

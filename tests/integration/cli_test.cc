@@ -1,8 +1,10 @@
 /** @file End-to-end tests of the `hcm` CLI binary (path injected by
- *  CMake as HCM_CLI_PATH). */
+ *  CMake as HCM_CLI_PATH; the built bench directory as HCM_BENCH_DIR). */
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -13,11 +15,11 @@ namespace {
 #define HCM_CLI_PATH "hcm"
 #endif
 
-/** Run the CLI with @p args; returns (exit status, stdout+stderr). */
+/** Run a full shell command; returns (exit status, stdout+stderr). */
 std::pair<int, std::string>
-runCli(const std::string &args)
+runShell(const std::string &command)
 {
-    std::string cmd = std::string(HCM_CLI_PATH) + " " + args + " 2>&1";
+    std::string cmd = "{ " + command + " ; } 2>&1";
     FILE *pipe = popen(cmd.c_str(), "r");
     EXPECT_NE(pipe, nullptr);
     std::string out;
@@ -26,6 +28,45 @@ runCli(const std::string &args)
         out += buf.data();
     int status = pclose(pipe);
     return {WEXITSTATUS(status), out};
+}
+
+/** Run the CLI with @p args; returns (exit status, stdout+stderr). */
+std::pair<int, std::string>
+runCli(const std::string &args)
+{
+    return runShell(std::string(HCM_CLI_PATH) + " " + args);
+}
+
+/** Write @p text to @p path (test fixtures). */
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << path;
+    out << text;
+}
+
+/** Read all of @p path ("" when missing). */
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** A small batch request file on disk; returns its path. */
+std::string
+batchRequestsFile()
+{
+    std::string path =
+        ::testing::TempDir() + "hcm_cli_batch_requests.json";
+    writeFile(path, R"({"requests":[
+        {"type":"optimize","workload":"fft:1024","f":0.99,"node":22},
+        {"type":"optimize","workload":"mmm","f":0.9,"node":22},
+        {"type":"energy","workload":"mmm","f":0.9,"node":11}]})");
+    return path;
 }
 
 TEST(CliTest, HelpPrintsUsage)
@@ -182,6 +223,224 @@ TEST(CliTest, TrafficMeasurement)
     EXPECT_EQ(code, 0);
     EXPECT_NE(out.find("compulsory"), std::string::npos);
     EXPECT_NE(out.find("working set"), std::string::npos);
+}
+
+TEST(CliTest, BatchProfileOutEmitsInstrumentedCallSites)
+{
+    std::string requests = batchRequestsFile();
+    std::string profile = ::testing::TempDir() + "hcm_cli_profile.txt";
+    auto [code, out] = runCli("batch " + requests + " --profile-out " +
+                              profile);
+    EXPECT_EQ(code, 0) << out;
+    std::string text = readFile(profile);
+    // Collapsed-stack roots mirror the engine's instrumentation: the
+    // submitting thread's svc.batch -> svc.query nesting and the
+    // worker-side svc.eval root.
+    EXPECT_NE(text.find("svc.batch;svc.query"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("svc.eval"), std::string::npos) << text;
+    // Every line is "path <self_ns>".
+    std::istringstream lines(text);
+    std::string line;
+    std::size_t count = 0;
+    while (std::getline(lines, line)) {
+        ++count;
+        EXPECT_NE(line.find_last_of(' '), std::string::npos) << line;
+    }
+    EXPECT_GT(count, 0u);
+}
+
+TEST(CliTest, BatchProfileJsonFormat)
+{
+    std::string requests = batchRequestsFile();
+    std::string profile = ::testing::TempDir() + "hcm_cli_profile.json";
+    auto [code, out] = runCli("batch " + requests +
+                              " --profile-out " + profile +
+                              " --profile-format json");
+    EXPECT_EQ(code, 0) << out;
+    std::string text = readFile(profile);
+    EXPECT_EQ(text.front(), '{') << text;
+    EXPECT_NE(text.find("\"roots\":"), std::string::npos) << text;
+    EXPECT_NE(text.find("\"name\":\"svc.batch\""), std::string::npos)
+        << text;
+    EXPECT_EQ(runCli("batch " + requests +
+                     " --profile-out /tmp/x --profile-format bogus")
+                  .first,
+              1);
+}
+
+TEST(CliTest, SimulateProfileOutCoversSimulatorScopes)
+{
+    std::string profile = ::testing::TempDir() + "hcm_cli_sim_prof.txt";
+    auto [code, out] =
+        runCli("simulate --workload mmm --f 0.99 --node 22 "
+               "--device gtx285 --chunks 500 --profile-out " +
+               profile);
+    EXPECT_EQ(code, 0) << out;
+    std::string text = readFile(profile);
+    EXPECT_NE(text.find("sim.run;sim.phase"), std::string::npos)
+        << text;
+}
+
+TEST(CliTest, SlowQueryLogCountsAndWarns)
+{
+    std::string requests = batchRequestsFile();
+    // 1ns threshold: every query in the batch is slow.
+    auto [code, out] =
+        runCli("batch " + requests + " --slow-query-ms 0.000001");
+    EXPECT_EQ(code, 0) << out;
+    EXPECT_NE(out.find("slow query"), std::string::npos) << out;
+    EXPECT_NE(out.find("evalMs="), std::string::npos) << out;
+    EXPECT_EQ(out.find("\"slowQueries\":0,"), std::string::npos) << out;
+    // Without the flag nothing is flagged.
+    auto [code2, out2] = runCli("batch " + requests);
+    EXPECT_EQ(code2, 0);
+    EXPECT_EQ(out2.find("slow query"), std::string::npos) << out2;
+    EXPECT_NE(out2.find("\"slowQueries\":0,"), std::string::npos)
+        << out2;
+}
+
+TEST(CliTest, VerboseStepsThroughLevels)
+{
+    std::string requests = batchRequestsFile();
+    // batch: base Info; one --verbose reaches Debug.
+    auto [code, quiet_out] = runCli("batch " + requests);
+    EXPECT_EQ(code, 0);
+    EXPECT_EQ(quiet_out.find("debug:"), std::string::npos) << quiet_out;
+    auto [vcode, verbose_out] = runCli("batch " + requests + " --verbose");
+    EXPECT_EQ(vcode, 0);
+    EXPECT_NE(verbose_out.find("debug: batch served"),
+              std::string::npos)
+        << verbose_out;
+    // serve: base Warn; the first --verbose only reaches Info.
+    std::string serve = std::string("echo '' | ") + HCM_CLI_PATH +
+                        " serve";
+    EXPECT_EQ(runShell(serve).second.find("info:"), std::string::npos);
+    std::string one = runShell(serve + " --verbose").second;
+    EXPECT_NE(one.find("info: serve session ended"), std::string::npos)
+        << one;
+    EXPECT_EQ(one.find("debug:"), std::string::npos) << one;
+}
+
+TEST(CliTest, ServeMetricsVerbSupportsPromFormat)
+{
+    std::string cmd =
+        std::string("printf '%s\\n' "
+                    "'{\"type\":\"optimize\",\"workload\":\"mmm\","
+                    "\"f\":0.9,\"node\":22}' "
+                    "'{\"type\":\"metrics\",\"format\":\"prom\"}' | ") +
+        HCM_CLI_PATH + " serve";
+    auto [code, out] = runShell(cmd);
+    EXPECT_EQ(code, 0) << out;
+    EXPECT_NE(out.find("# TYPE hcm_svc_queries_total counter"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("hcm_svc_queries_total{type=\"optimize\"} 1"),
+              std::string::npos)
+        << out;
+    // The process-wide registry rides along, led by the build gauge.
+    EXPECT_NE(out.find("hcm_build_info{version="), std::string::npos)
+        << out;
+    // An unknown format is a one-line error, not a dead session.
+    auto [bad_code, bad_out] = runShell(
+        std::string("echo '{\"type\":\"metrics\",\"format\":\"xml\"}'"
+                    " | ") +
+        HCM_CLI_PATH + " serve");
+    EXPECT_EQ(bad_code, 0);
+    EXPECT_NE(bad_out.find("metrics format must be json or prom"),
+              std::string::npos)
+        << bad_out;
+}
+
+TEST(CliTest, ServeProfileVerbReturnsJsonTree)
+{
+    std::string cmd =
+        std::string("printf '%s\\n' "
+                    "'{\"type\":\"optimize\",\"workload\":\"mmm\","
+                    "\"f\":0.9,\"node\":22}' "
+                    "'{\"type\":\"profile\"}' | ") +
+        HCM_CLI_PATH + " serve --profile-out /dev/null";
+    auto [code, out] = runShell(cmd);
+    EXPECT_EQ(code, 0) << out;
+    EXPECT_NE(out.find("\"enabled\":true"), std::string::npos) << out;
+    EXPECT_NE(out.find("\"name\":\"svc.query\""), std::string::npos)
+        << out;
+}
+
+#ifdef HCM_BENCH_DIR
+TEST(CliTest, BenchSmokeProducesSchemaValidResults)
+{
+    std::string results = ::testing::TempDir() + "hcm_cli_bench.json";
+    auto [code, out] = runCli(std::string("bench --smoke --only "
+                                          "bench_obs --bench-dir ") +
+                              HCM_BENCH_DIR + " --results " + results);
+    EXPECT_EQ(code, 0) << out;
+    std::string text = readFile(results);
+    EXPECT_NE(text.find("\"schema\":\"hcm-bench-results/v1\""),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("\"smoke\":true"), std::string::npos);
+    EXPECT_NE(text.find("\"binary\":\"bench_obs\""), std::string::npos);
+    EXPECT_NE(text.find("\"realTimeNs\":"), std::string::npos);
+    // The results file feeds bench-diff: identical inputs pass.
+    EXPECT_EQ(runCli("bench-diff " + results + " " + results).first, 0);
+}
+#endif
+
+TEST(CliTest, BenchDiffGatesOnSyntheticSlowdown)
+{
+    auto results = [](double ns) {
+        std::ostringstream doc;
+        doc << R"({"schema":"hcm-bench-results/v1","smoke":true,)"
+            << R"("build":{},"host":{},"failures":[],)"
+            << R"("suites":[{"binary":"bench_x","benchmarks":[)"
+            << R"({"name":"BM_A","realTimeNs":)" << ns
+            << R"(,"iterations":10,"repetition":0}]}]})";
+        return doc.str();
+    };
+    std::string old_path = ::testing::TempDir() + "hcm_bench_old.json";
+    std::string new_path = ::testing::TempDir() + "hcm_bench_new.json";
+    writeFile(old_path, results(100.0));
+    writeFile(new_path, results(200.0)); // synthetic 2x slowdown
+
+    auto [same, same_out] =
+        runCli("bench-diff " + old_path + " " + old_path);
+    EXPECT_EQ(same, 0) << same_out;
+    EXPECT_NE(same_out.find("0 regression(s)"), std::string::npos);
+
+    auto [slow, slow_out] =
+        runCli("bench-diff " + old_path + " " + new_path);
+    EXPECT_EQ(slow, 1) << slow_out;
+    EXPECT_NE(slow_out.find("REGRESSION"), std::string::npos);
+    EXPECT_NE(slow_out.find("bench_x:BM_A"), std::string::npos);
+
+    // A generous tolerance waves the same delta through.
+    EXPECT_EQ(runCli("bench-diff " + old_path + " " + new_path +
+                     " --tolerance-pct 900")
+                  .first,
+              0);
+    // The floor mutes sub-threshold noise entirely.
+    EXPECT_EQ(runCli("bench-diff " + old_path + " " + new_path +
+                     " --min-time-ns 1000")
+                  .first,
+              0);
+}
+
+TEST(CliTest, BenchDiffRejectsNonResultsFiles)
+{
+    std::string bogus = ::testing::TempDir() + "hcm_bench_bogus.json";
+    writeFile(bogus, R"({"schema":"other"})");
+    auto [code, out] = runCli("bench-diff " + bogus + " " + bogus);
+    EXPECT_EQ(code, 1);
+    EXPECT_NE(out.find("schema"), std::string::npos) << out;
+}
+
+TEST(CliTest, BenchRequiresAManifest)
+{
+    auto [code, out] =
+        runCli("bench --bench-dir /nonexistent-dir-xyz");
+    EXPECT_EQ(code, 1);
+    EXPECT_NE(out.find("cannot open"), std::string::npos) << out;
 }
 
 } // namespace

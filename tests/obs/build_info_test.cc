@@ -1,0 +1,74 @@
+/** @file Tests for the build-identity struct and its info gauge. */
+
+#include "obs/build_info.hh"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/json_parse.hh"
+
+namespace hcm {
+namespace obs {
+namespace {
+
+TEST(BuildInfoTest, IdentityIsPopulated)
+{
+    const BuildInfo &info = buildInfo();
+    EXPECT_FALSE(info.version.empty());
+    EXPECT_FALSE(info.compiler.empty());
+    // buildType may legitimately be "" (no CMAKE_BUILD_TYPE).
+    EXPECT_EQ(&buildInfo(), &info); // one cached instance
+}
+
+TEST(BuildInfoTest, GaugeCarriesIdentityLabels)
+{
+    Registry reg;
+    registerBuildInfoMetric(reg);
+    registerBuildInfoMetric(reg); // idempotent like all registrations
+
+    std::ostringstream oss;
+    reg.writePrometheus(oss);
+    std::string text = oss.str();
+    EXPECT_NE(text.find("# TYPE hcm_build_info gauge\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("hcm_build_info{version=\"" +
+                        buildInfo().version + "\""),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("compiler=\"" + buildInfo().compiler + "\""),
+              std::string::npos)
+        << text;
+    // The conventional info-gauge value is a constant 1.
+    EXPECT_NE(text.find("\"} 1\n"), std::string::npos) << text;
+    // Registered twice, exported once.
+    EXPECT_EQ(text.find("hcm_build_info{",
+                        text.find("hcm_build_info{") + 1),
+              std::string::npos);
+}
+
+TEST(BuildInfoTest, GaugeAppearsInJsonExport)
+{
+    Registry reg;
+    registerBuildInfoMetric(reg);
+    std::ostringstream oss;
+    {
+        JsonWriter json(oss);
+        reg.writeJson(json);
+    }
+    auto doc = JsonValue::parse(oss.str());
+    ASSERT_TRUE(doc);
+    const JsonValue *gauges = doc->find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    ASSERT_EQ(gauges->size(), 1u);
+    const JsonValue &gauge = gauges->items()[0];
+    EXPECT_EQ(gauge.find("name")->asString(), "hcm_build_info");
+    EXPECT_EQ(gauge.find("labels")->find("version")->asString(),
+              buildInfo().version);
+    EXPECT_DOUBLE_EQ(gauge.find("value")->asNumber(), 1.0);
+}
+
+} // namespace
+} // namespace obs
+} // namespace hcm

@@ -249,6 +249,86 @@ TEST(RegistryTest, PrometheusEscapesLabelValues)
               std::string::npos);
 }
 
+TEST(RegistryTest, PrometheusEscapesQuoteAlone)
+{
+    Registry reg;
+    reg.counter("c", {{"msg", "say \"hi\""}}).add(1);
+    std::ostringstream oss;
+    reg.writePrometheus(oss);
+    EXPECT_NE(oss.str().find("c{msg=\"say \\\"hi\\\"\"} 1\n"),
+              std::string::npos)
+        << oss.str();
+}
+
+TEST(RegistryTest, PrometheusEscapesBackslashAlone)
+{
+    Registry reg;
+    reg.counter("c", {{"path", "a\\b"}}).add(1);
+    std::ostringstream oss;
+    reg.writePrometheus(oss);
+    EXPECT_NE(oss.str().find("c{path=\"a\\\\b\"} 1\n"),
+              std::string::npos)
+        << oss.str();
+}
+
+TEST(RegistryTest, PrometheusEscapesNewlineAlone)
+{
+    Registry reg;
+    reg.counter("c", {{"msg", "two\nlines"}}).add(1);
+    std::ostringstream oss;
+    reg.writePrometheus(oss);
+    std::string text = oss.str();
+    // The newline must be the two characters '\' 'n', keeping the
+    // sample on one physical line.
+    EXPECT_NE(text.find("c{msg=\"two\\nlines\"} 1\n"),
+              std::string::npos)
+        << text;
+    EXPECT_EQ(text.find("two\nlines"), std::string::npos) << text;
+}
+
+TEST(RegistryTest, PrometheusZeroSampleHistogramStaysWellFormed)
+{
+    Registry reg;
+    reg.histogram("lat_empty"); // registered, never recorded
+    std::ostringstream oss;
+    reg.writePrometheus(oss);
+    std::string text = oss.str();
+    EXPECT_NE(text.find("# TYPE lat_empty histogram\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("lat_empty_bucket{le=\"2\"} 0\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("lat_empty_bucket{le=\"+Inf\"} 0\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("lat_empty_sum 0\n"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("lat_empty_count 0\n"), std::string::npos)
+        << text;
+}
+
+TEST(RegistryTest, JsonZeroSampleHistogramOmitsPercentiles)
+{
+    Registry reg;
+    reg.histogram("lat_empty");
+    std::ostringstream oss;
+    {
+        JsonWriter json(oss);
+        reg.writeJson(json);
+    }
+    auto doc = JsonValue::parse(oss.str());
+    ASSERT_TRUE(doc);
+    const JsonValue &entry = doc->find("histograms")->items()[0];
+    EXPECT_DOUBLE_EQ(entry.find("count")->asNumber(), 0.0);
+    EXPECT_DOUBLE_EQ(entry.find("sum")->asNumber(), 0.0);
+    // Percentiles of nothing are meaningless; the export drops them
+    // rather than reporting a fake 0.
+    EXPECT_EQ(entry.find("p50"), nullptr);
+    EXPECT_EQ(entry.find("p95"), nullptr);
+    EXPECT_EQ(entry.find("p99"), nullptr);
+}
+
 TEST(RegistryTest, GlobalRegistryIsASingleton)
 {
     EXPECT_EQ(&globalRegistry(), &globalRegistry());

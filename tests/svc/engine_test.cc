@@ -10,6 +10,7 @@
 
 #include "svc/engine.hh"
 #include "util/json_parse.hh"
+#include "util/logging.hh"
 
 namespace hcm {
 namespace svc {
@@ -207,6 +208,80 @@ TEST(QueryEngineTest, MetricsCoverEveryQueryType)
     EXPECT_NE(doc->find("cache"), nullptr);
     EXPECT_DOUBLE_EQ(doc->find("totalQueries")->asNumber(),
                      static_cast<double>(mixedQueries().size()));
+}
+
+/** Captures log output and restores the sink and threshold on exit. */
+class LogCapture
+{
+  public:
+    LogCapture()
+        : _previousSink(detail::setLogSink(&_stream)),
+          _previousThreshold(logThreshold())
+    {
+    }
+
+    ~LogCapture()
+    {
+        detail::setLogSink(_previousSink);
+        setLogThreshold(_previousThreshold);
+    }
+
+    std::string text() const { return _stream.str(); }
+
+  private:
+    std::ostringstream _stream;
+    std::ostream *_previousSink;
+    LogLevel _previousThreshold;
+};
+
+TEST(QueryEngineTest, SlowQueriesAreLoggedAndCounted)
+{
+    LogCapture capture;
+    setLogThreshold(LogLevel::Warn);
+    EngineOptions opts = options(2, 64);
+    opts.slowQueryNs = 1; // every evaluation is "slow"
+    QueryEngine engine(opts);
+
+    Query q;
+    q.type = QueryType::Optimize;
+    q.workload = wl::Workload::fft(1024);
+    q.f = 0.9;
+    engine.evaluate(q);
+
+    EXPECT_EQ(engine.metrics().slowQueries(), 1u);
+    std::string log = capture.text();
+    EXPECT_NE(log.find("slow query"), std::string::npos) << log;
+    EXPECT_NE(log.find("type=optimize"), std::string::npos) << log;
+    EXPECT_NE(log.find("key=" + q.canonicalKey()), std::string::npos)
+        << log;
+    EXPECT_NE(log.find("queueWaitMs="), std::string::npos) << log;
+    EXPECT_NE(log.find("evalMs="), std::string::npos) << log;
+
+    // A warm cache hit past the threshold counts too (queue wait 0).
+    engine.evaluate(q);
+    EXPECT_EQ(engine.metrics().slowQueries(), 2u);
+}
+
+TEST(QueryEngineTest, FastQueriesAreNotFlaggedSlow)
+{
+    LogCapture capture;
+    setLogThreshold(LogLevel::Warn);
+    EngineOptions opts = options(2, 64);
+    opts.slowQueryNs = 60'000'000'000ULL; // one minute: nothing is slow
+    QueryEngine engine(opts);
+    engine.evaluateBatch(mixedQueries());
+    EXPECT_EQ(engine.metrics().slowQueries(), 0u);
+    EXPECT_EQ(capture.text().find("slow query"), std::string::npos);
+}
+
+TEST(QueryEngineTest, SlowQueryLogDisabledByDefault)
+{
+    LogCapture capture;
+    setLogThreshold(LogLevel::Warn);
+    QueryEngine engine(options(2, 64));
+    engine.evaluateBatch(mixedQueries());
+    EXPECT_EQ(engine.metrics().slowQueries(), 0u);
+    EXPECT_EQ(capture.text().find("slow query"), std::string::npos);
 }
 
 } // namespace

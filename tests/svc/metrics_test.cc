@@ -174,8 +174,9 @@ TEST(MetricsRegistryTest, JsonExportHasFullSchema)
 
 // Golden file: the exact bytes the seed implementation produced for
 // this recording sequence, captured before the registry migration. The
-// wire format is consumed by external tooling, so the migration onto
-// obs::Registry must not change a single byte.
+// wire format is consumed by external tooling, so changes must be
+// additive and deliberate. Deliberate change so far: the slow-query
+// subsystem added "slowQueries" right after "totalQueries".
 TEST(MetricsRegistryTest, JsonExportMatchesGoldenBytes)
 {
     MetricsRegistry reg;
@@ -196,7 +197,7 @@ TEST(MetricsRegistryTest, JsonExportMatchesGoldenBytes)
         reg.writeJson(json, &cache);
     }
     const std::string golden =
-        "{\"totalQueries\":4,\"queryTypes\":{"
+        "{\"totalQueries\":4,\"slowQueries\":0,\"queryTypes\":{"
         "\"optimize\":{\"count\":2,\"cacheHits\":1,\"latencyMs\":{"
         "\"mean\":0.00225,\"p50\":0.002048,\"p95\":0.0038912,"
         "\"p99\":0.00405504}},"
@@ -253,6 +254,34 @@ TEST(MetricsRegistryTest, PrometheusExportCoversTypesAndCache)
               std::string::npos);
     EXPECT_NE(text.find("hcm_svc_cache_entries 5\n"), std::string::npos);
     EXPECT_NE(text.find("hcm_svc_cache_capacity 64\n"),
+              std::string::npos);
+    // The slow-query counter rides in the same registry (0 here).
+    EXPECT_NE(text.find("# TYPE hcm_svc_slow_queries_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("hcm_svc_slow_queries_total 0\n"),
+              std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SlowQueriesCountAndExport)
+{
+    MetricsRegistry reg;
+    EXPECT_EQ(reg.slowQueries(), 0u);
+    reg.recordSlowQuery();
+    reg.recordSlowQuery();
+    EXPECT_EQ(reg.slowQueries(), 2u);
+
+    std::ostringstream oss;
+    {
+        JsonWriter json(oss);
+        reg.writeJson(json);
+    }
+    auto doc = JsonValue::parse(oss.str());
+    ASSERT_TRUE(doc);
+    EXPECT_DOUBLE_EQ(doc->find("slowQueries")->asNumber(), 2.0);
+
+    std::ostringstream prom;
+    reg.writePrometheus(prom);
+    EXPECT_NE(prom.str().find("hcm_svc_slow_queries_total 2\n"),
               std::string::npos);
 }
 

@@ -142,5 +142,23 @@ TEST(LoggingTest, StructuredFieldsRideOnLogLines)
               std::string::npos);
 }
 
+TEST(LoggingTest, LowerLogLevelStepsTowardsDebug)
+{
+    // The CLI's repeated --verbose walks this ladder: serve starts at
+    // Warn, everything else at Inform.
+    EXPECT_EQ(lowerLogLevel(LogLevel::Warn, 0), LogLevel::Warn);
+    EXPECT_EQ(lowerLogLevel(LogLevel::Warn, 1), LogLevel::Inform);
+    EXPECT_EQ(lowerLogLevel(LogLevel::Warn, 2), LogLevel::Debug);
+    EXPECT_EQ(lowerLogLevel(LogLevel::Inform, 0), LogLevel::Inform);
+    EXPECT_EQ(lowerLogLevel(LogLevel::Inform, 1), LogLevel::Debug);
+}
+
+TEST(LoggingTest, LowerLogLevelSaturatesAtDebug)
+{
+    EXPECT_EQ(lowerLogLevel(LogLevel::Debug, 1), LogLevel::Debug);
+    EXPECT_EQ(lowerLogLevel(LogLevel::Warn, 100), LogLevel::Debug);
+    EXPECT_EQ(lowerLogLevel(LogLevel::Panic, 99), LogLevel::Debug);
+}
+
 } // namespace
 } // namespace hcm

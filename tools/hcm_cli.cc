@@ -21,9 +21,12 @@
 #include "core/pareto.hh"
 #include "core/projection.hh"
 #include "mem/traffic.hh"
+#include "obs/build_info.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "plot/figure.hh"
+#include "prof/bench_results.hh"
+#include "prof/profiler.hh"
 #include "sim/simulator.hh"
 #include "svc/engine.hh"
 #include "svc/service.hh"
@@ -57,7 +60,13 @@ commands:
                           thread-pooled engine; emits results + metrics
   serve                   line-delimited JSON request/response loop on
                           stdin/stdout ({"type":"metrics"} for stats,
-                          {"type":"trace"} for the collected trace)
+                          optionally with "format":"prom";
+                          {"type":"trace"} for the collected trace;
+                          {"type":"profile"} for the profile tree)
+  bench                   run the google-benchmark suites and merge
+                          their results into one BENCH_RESULTS.json
+  bench-diff <old> <new>  compare two bench results files; exit 1 when
+                          a median slowdown exceeds the tolerance
   validate-trace <file>   check a --trace-out file is a well-formed
                           Chrome trace (exit 1 with a reason if not)
   list                    devices, workloads, scenarios
@@ -88,15 +97,38 @@ options (batch/serve):
   --threads <n>               worker threads (default: hardware)
   --cache-entries <n>         memoization cache capacity (default 4096)
   --no-cache                  disable the memoization cache
+  --slow-query-ms <ms>        log queries slower than this (queue wait
+                              + eval) and count them in
+                              hcm_svc_slow_queries_total (default: off)
+
+options (bench/bench-diff):
+  --bench-dir <dir>           directory with the gbench binaries and
+                              manifest (default build/bench)
+  --only <substr>             run only binaries whose name contains this
+  --smoke                     fast sweep: minimal measurement time,
+                              one repetition
+  --repetitions <n>           repetitions per benchmark (default:
+                              3, or 1 with --smoke)
+  --results <file>            where to write the merged results
+                              (default BENCH_RESULTS.json)
+  --tolerance-pct <pct>       bench-diff: median slowdown beyond this
+                              is a regression (default 10)
+  --min-time-ns <ns>          bench-diff: ignore benchmarks faster than
+                              this in both files (default 0)
 
 observability (batch/serve/simulate):
   --trace-out <file>          enable span tracing and write a Chrome
                               trace_event JSON on exit (load it in
                               chrome://tracing or ui.perfetto.dev)
+  --profile-out <file>        enable the scoped profiler and write the
+                              aggregated profile on exit
+  --profile-format <fmt>      collapsed (flamegraph.pl/speedscope
+                              input) | json (default collapsed)
   --metrics-out <file>        write collected metrics on exit
   --metrics-format <fmt>      json | prom (default json)
-  --verbose                   log threshold Debug (HCM_LOG_LEVEL also
-                              works: debug|info|warn|fatal; serve
+  --verbose                   lower the log threshold one step per
+                              occurrence (-> Info -> Debug;
+                              HCM_LOG_LEVEL wins when set; serve
                               defaults to warn)
 
 examples:
@@ -125,10 +157,20 @@ struct Options
     std::size_t threads = 0;
     std::size_t cacheEntries = 4096;
     bool noCache = false;
+    double slowQueryMs = 0.0;
     std::string traceOut;
+    std::string profileOut;
+    std::string profileFormat = "collapsed";
     std::string metricsOut;
     std::string metricsFormat = "json";
-    bool verbose = false;
+    unsigned verbosity = 0;
+    std::string benchDir = "build/bench";
+    std::string only;
+    bool smoke = false;
+    int repetitions = 0;
+    std::string results = "BENCH_RESULTS.json";
+    double tolerancePct = 10.0;
+    double minTimeNs = 0.0;
 };
 
 wl::Workload
@@ -209,36 +251,61 @@ parseOptions(const std::vector<std::string> &args, std::size_t start)
             opts.cacheEntries = std::stoul(next());
         else if (a == "--no-cache")
             opts.noCache = true;
+        else if (a == "--slow-query-ms")
+            opts.slowQueryMs = std::stod(next());
         else if (a == "--trace-out")
             opts.traceOut = next();
+        else if (a == "--profile-out")
+            opts.profileOut = next();
+        else if (a == "--profile-format")
+            opts.profileFormat = next();
         else if (a == "--metrics-out")
             opts.metricsOut = next();
         else if (a == "--metrics-format")
             opts.metricsFormat = next();
         else if (a == "--verbose")
-            opts.verbose = true;
+            ++opts.verbosity;
+        else if (a == "--bench-dir")
+            opts.benchDir = next();
+        else if (a == "--only")
+            opts.only = next();
+        else if (a == "--smoke")
+            opts.smoke = true;
+        else if (a == "--repetitions")
+            opts.repetitions = std::stoi(next());
+        else if (a == "--results")
+            opts.results = next();
+        else if (a == "--tolerance-pct")
+            opts.tolerancePct = std::stod(next());
+        else if (a == "--min-time-ns")
+            opts.minTimeNs = std::stod(next());
         else
             hcm_fatal("unknown option '", a, "' (see hcm help)");
     }
     if (opts.metricsFormat != "json" && opts.metricsFormat != "prom")
         hcm_fatal("--metrics-format must be json or prom, not '",
                   opts.metricsFormat, "'");
+    if (opts.profileFormat != "collapsed" && opts.profileFormat != "json")
+        hcm_fatal("--profile-format must be collapsed or json, not '",
+                  opts.profileFormat, "'");
+    if (opts.slowQueryMs < 0.0)
+        hcm_fatal("--slow-query-ms must be >= 0");
     return opts;
 }
 
 /**
- * Map --verbose / serve's quiet default onto the log threshold.
- * HCM_LOG_LEVEL always wins so operators can override either way.
+ * Map repeated --verbose flags / serve's quiet default onto the log
+ * threshold: each --verbose lowers the command's base level one step
+ * (serve: Warn -> Info -> Debug; others: Info -> Debug). HCM_LOG_LEVEL
+ * always wins so operators can override either way.
  */
 void
 applyLogOptions(const Options &opts, bool quiet_default)
 {
     if (std::getenv("HCM_LOG_LEVEL"))
         return;
-    if (opts.verbose)
-        setLogThreshold(LogLevel::Debug);
-    else if (quiet_default)
-        setLogThreshold(LogLevel::Warn);
+    LogLevel base = quiet_default ? LogLevel::Warn : LogLevel::Inform;
+    setLogThreshold(lowerLogLevel(base, opts.verbosity));
 }
 
 /**
@@ -273,6 +340,49 @@ class TraceSession
 
   private:
     std::string _path;
+};
+
+/**
+ * RAII profiling session: --profile-out enables the scoped profiler
+ * for the command's lifetime and writes the aggregated profile —
+ * collapsed-stack text or the JSON tree — on scope exit.
+ */
+class ProfileSession
+{
+  public:
+    explicit ProfileSession(const Options &opts)
+        : _path(opts.profileOut), _format(opts.profileFormat)
+    {
+        if (!_path.empty())
+            prof::Profiler::instance().setEnabled(true);
+    }
+
+    ~ProfileSession()
+    {
+        if (_path.empty())
+            return;
+        prof::Profiler &profiler = prof::Profiler::instance();
+        profiler.setEnabled(false);
+        std::ofstream out(_path);
+        if (!out) {
+            hcm_warn("cannot write profile file '", _path, "'");
+            return;
+        }
+        std::size_t sites = profiler.siteCount();
+        if (_format == "json") {
+            profiler.writeJson(out);
+            out << "\n";
+        } else {
+            profiler.writeCollapsed(out);
+        }
+        hcm_inform("profile written", logField("file", _path),
+                   logField("sites", sites),
+                   logField("format", _format));
+    }
+
+  private:
+    std::string _path;
+    std::string _format;
 };
 
 /**
@@ -477,6 +587,7 @@ cmdSimulate(const Options &opts)
         hcm_fatal("simulate needs --device (the HET fabric to check)");
     applyLogOptions(opts, false);
     TraceSession trace(opts);
+    ProfileSession profile(opts);
     const core::Scenario &scenario = core::scenarioByName(opts.scenario);
     const itrs::NodeParams &node = itrs::nodeParams(opts.node);
     auto org = core::heterogeneous(parseDevice(opts.device),
@@ -682,6 +793,8 @@ engineOptions(const Options &opts)
     svc::EngineOptions eopts;
     eopts.threads = opts.threads;
     eopts.cacheCapacity = opts.noCache ? 0 : opts.cacheEntries;
+    eopts.slowQueryNs =
+        static_cast<std::uint64_t>(opts.slowQueryMs * 1e6);
     return eopts;
 }
 
@@ -696,6 +809,7 @@ cmdBatch(const std::string &path, const Options &opts)
 
     applyLogOptions(opts, false);
     TraceSession trace(opts);
+    ProfileSession profile(opts);
     svc::QueryEngine engine(engineOptions(opts));
     std::string error;
     if (!svc::runBatch(buffer.str(), engine, std::cout, &error))
@@ -711,10 +825,68 @@ cmdServe(const Options &opts)
     // chatter is noise for a supervised daemon (satellite: Warn).
     applyLogOptions(opts, true);
     TraceSession trace(opts);
+    ProfileSession profile(opts);
     svc::QueryEngine engine(engineOptions(opts));
     svc::runServe(std::cin, std::cout, engine);
     writeMetricsFile(opts, &engine);
     return 0;
+}
+
+int
+cmdBench(const Options &opts)
+{
+    applyLogOptions(opts, false);
+    prof::BenchRunOptions bopts;
+    bopts.benchDir = opts.benchDir;
+    bopts.only = opts.only;
+    bopts.smoke = opts.smoke;
+    bopts.repetitions = opts.repetitions;
+    std::ostringstream merged;
+    std::string error;
+    if (!prof::runBenchPipeline(bopts, merged, &error))
+        hcm_fatal("bench: ", error);
+    std::ofstream out(opts.results);
+    if (!out)
+        hcm_fatal("cannot write results file '", opts.results, "'");
+    out << merged.str();
+    hcm_inform("bench results written",
+               logField("file", opts.results),
+               logField("smoke", opts.smoke ? "yes" : "no"));
+    return 0;
+}
+
+hcm::JsonValue
+loadBenchResults(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        hcm_fatal("cannot open '", path, "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    auto doc = JsonValue::parse(buffer.str(), &error);
+    if (!doc)
+        hcm_fatal(path, ": not valid JSON: ", error);
+    return *doc;
+}
+
+int
+cmdBenchDiff(const std::string &old_path, const std::string &new_path,
+             const Options &opts)
+{
+    applyLogOptions(opts, false);
+    JsonValue old_doc = loadBenchResults(old_path);
+    JsonValue new_doc = loadBenchResults(new_path);
+    prof::BenchDiffOptions dopts;
+    dopts.tolerancePct = opts.tolerancePct;
+    dopts.minTimeNs = opts.minTimeNs;
+    std::string error;
+    auto report =
+        prof::diffBenchResults(old_doc, new_doc, dopts, &error);
+    if (!report)
+        hcm_fatal("bench-diff: ", error);
+    prof::writeDiffReport(std::cout, *report, dopts);
+    return report->hasRegressions() ? 1 : 0;
 }
 
 int
@@ -739,6 +911,9 @@ cmdList()
 int
 main(int argc, char **argv)
 {
+    // Identity gauge first, so every metrics export — including ones
+    // from commands that never touch the engine — carries the build.
+    hcm::obs::registerBuildInfoMetric(hcm::obs::globalRegistry());
     std::vector<std::string> args(argv + 1, argv + argc);
     if (args.empty() || args[0] == "help" || args[0] == "--help" ||
         args[0] == "-h") {
@@ -784,6 +959,15 @@ main(int argc, char **argv)
     }
     if (cmd == "serve")
         return cmdServe(parseOptions(args, 1));
+    if (cmd == "bench")
+        return cmdBench(parseOptions(args, 1));
+    if (cmd == "bench-diff") {
+        if (args.size() < 3 || args[1].rfind("--", 0) == 0 ||
+            args[2].rfind("--", 0) == 0)
+            hcm_fatal("usage: hcm bench-diff <old.json> <new.json> "
+                      "[options]");
+        return cmdBenchDiff(args[1], args[2], parseOptions(args, 3));
+    }
     if (cmd == "validate-trace") {
         if (args.size() < 2)
             hcm_fatal("usage: hcm validate-trace <trace.json>");
