@@ -62,7 +62,8 @@ QueryCache::peek(const std::string &key)
     auto it = shard.index.find(key);
     if (it == shard.index.end())
         return nullptr;
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    // No splice: a peek must not promote the entry, or internal
+    // double-checks would distort the eviction order get() maintains.
     return it->second->second;
 }
 
@@ -103,7 +104,12 @@ CacheStats
 QueryCache::stats() const
 {
     CacheStats out;
-    out.capacity = _capacity;
+    // Report what can actually become resident: the per-shard budget
+    // is the requested capacity rounded up to a multiple of the shard
+    // count, so the effective total may exceed the request (e.g. 10
+    // entries over 4 shards admit 12). `entries <= capacity` holds
+    // against this number, not the requested one.
+    out.capacity = capacity();
     for (const Shard &shard : _shards) {
         std::lock_guard<std::mutex> lock(shard.mu);
         out.hits += shard.hits;

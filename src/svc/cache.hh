@@ -55,7 +55,9 @@ class QueryCache
     /**
      * @p capacity total entries across shards (0 disables storage:
      * every lookup misses, puts are dropped). @p shards is clamped to
-     * [1, capacity] so each shard holds at least one entry.
+     * [1, capacity] so each shard holds at least one entry. The
+     * per-shard budget is capacity/shards rounded up, so capacity()
+     * reports the (possibly larger) effective total.
      */
     explicit QueryCache(std::size_t capacity, std::size_t shards = 8);
 
@@ -66,8 +68,9 @@ class QueryCache
     std::shared_ptr<const QueryResult> get(const std::string &key);
 
     /**
-     * get() without touching the hit/miss counters — for internal
-     * double-checks that would otherwise count one query twice.
+     * Read-only lookup: touches neither the hit/miss counters nor the
+     * recency order — for internal double-checks that must not count
+     * one query twice or distort eviction.
      */
     std::shared_ptr<const QueryResult> peek(const std::string &key);
 
@@ -83,7 +86,20 @@ class QueryCache
 
     CacheStats stats() const;
 
-    std::size_t capacity() const { return _capacity; }
+    /**
+     * Effective total capacity: shards x per-shard budget. At least
+     * the requested capacity, and more when the round-up to whole
+     * shards leaves headroom; stats().entries never exceeds it.
+     */
+    std::size_t
+    capacity() const
+    {
+        return _perShardCapacity * _shards.size();
+    }
+
+    /** The capacity the constructor was asked for. */
+    std::size_t requestedCapacity() const { return _capacity; }
+
     std::size_t shardCount() const { return _shards.size(); }
 
   private:

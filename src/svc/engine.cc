@@ -1,9 +1,12 @@
 #include "engine.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "obs/trace.hh"
 #include "prof/profiler.hh"
+#include "svc/fault.hh"
 #include "util/logging.hh"
 
 namespace hcm {
@@ -28,6 +31,25 @@ readyFuture(QueryEngine::ResultPtr value)
     return prom.get_future().share();
 }
 
+/**
+ * Runs its function at scope exit, exceptions included — the worker's
+ * "always resolve the promise, always erase the in-flight entry"
+ * guarantee hangs off one of these.
+ */
+template <typename F>
+class ScopeExit
+{
+  public:
+    explicit ScopeExit(F fn) : _fn(std::move(fn)) {}
+    ~ScopeExit() { _fn(); }
+
+    ScopeExit(const ScopeExit &) = delete;
+    ScopeExit &operator=(const ScopeExit &) = delete;
+
+  private:
+    F _fn;
+};
+
 } // namespace
 
 QueryEngine::QueryEngine(EngineOptions opts)
@@ -49,6 +71,42 @@ QueryEngine::noteSlowQuery(const Query &q, const std::string &key,
              logField("key", key),
              logField("queueWaitMs", wait_ns / 1e6),
              logField("evalMs", eval_ns / 1e6));
+}
+
+std::uint64_t
+QueryEngine::effectiveDeadlineNs(const Query &q) const
+{
+    return q.deadlineNs > 0 ? q.deadlineNs : _opts.deadlineNs;
+}
+
+std::uint64_t
+QueryEngine::retryAfterMsHint() const
+{
+    // Pending depth x mean latency / workers estimates when the queue
+    // will have drained; deliberately coarse (clamped to [1ms, 10s]).
+    double mean_ns = 0.0;
+    std::uint64_t count = 0;
+    for (QueryType type : allQueryTypes()) {
+        QueryTypeStats stats = _metrics.snapshot(type);
+        mean_ns += stats.latency.meanNs() *
+                   static_cast<double>(stats.queries);
+        count += stats.queries;
+    }
+    double per_task_ms =
+        count > 0 ? mean_ns / static_cast<double>(count) / 1e6 : 5.0;
+    double workers = static_cast<double>(
+        std::max<std::size_t>(1, _pool.threadCount()));
+    double depth = static_cast<double>(_pool.pendingTasks() + 1);
+    double hint = per_task_ms * depth / workers;
+    return static_cast<std::uint64_t>(
+        std::min(10'000.0, std::max(1.0, hint)));
+}
+
+std::size_t
+QueryEngine::inflightCount() const
+{
+    std::lock_guard<std::mutex> lock(_inflightMu);
+    return _inflight.size();
 }
 
 std::shared_future<QueryEngine::ResultPtr>
@@ -86,8 +144,7 @@ QueryEngine::acquire(const Query &q, const std::string &key)
         fut = prom->get_future().share();
         _inflight.emplace(key, fut);
     }
-    query_scope.arg("outcome", "miss");
-    // Submit with _inflightMu released: a full queue blocks here, and
+    // Submit with _inflightMu released: a full queue waits here, and
     // finishing workers need that mutex to erase their entries. Later
     // acquirers of this key rendezvous on the map entry made above and
     // wait on the future, not the queue.
@@ -95,7 +152,8 @@ QueryEngine::acquire(const Query &q, const std::string &key)
                          prof::Profiler::instance().enabled() ||
                          _opts.slowQueryNs > 0;
     std::uint64_t submit_ns = timing_wanted ? obs::Tracer::nowNs() : 0;
-    _pool.submit([this, q, key, prom, submit_ns] {
+    std::uint64_t deadline_ns = effectiveDeadlineNs(q);
+    auto task = [this, q, key, prom, submit_ns, deadline_ns, start] {
         std::uint64_t wait_ns = 0;
         if (submit_ns > 0) {
             std::uint64_t now = obs::Tracer::nowNs();
@@ -110,33 +168,112 @@ QueryEngine::acquire(const Query &q, const std::string &key)
         }
         auto task_start = std::chrono::steady_clock::now();
         ResultPtr result;
+        // The seed bug this layer kills: nothing below may leave the
+        // promise unset or the in-flight entry behind, whatever
+        // evaluation does — so both are discharged by a scope guard.
+        ScopeExit finish([&] {
+            if (!result)
+                result = std::make_shared<QueryResult>(makeQueryError(
+                    q, QueryErrorKind::EvaluationFailed,
+                    "internal error: worker produced no result"));
+            // Erase before resolving: a waiter that has seen the
+            // result must also see the key gone, so its retry starts
+            // a fresh evaluation instead of rendezvousing with a
+            // finished one.
+            {
+                std::lock_guard<std::mutex> inner(_inflightMu);
+                _inflight.erase(key);
+            }
+            prom->set_value(result);
+        });
         bool hit = false;
-        if (_cache) {
-            // Double-check: a concurrent batch may have filled it
-            // between our miss and this task running. Uncounted — the
-            // acquire-time lookup already charged this query.
-            result = _cache->peek(key);
-            hit = result != nullptr;
-        }
-        if (!result) {
-            prof::Scope eval_scope("svc.eval", "svc");
-            eval_scope.arg("type", queryTypeName(q.type));
-            result = std::make_shared<QueryResult>(evaluateQuery(q));
-            eval_scope.end();
-            if (_cache)
-                _cache->put(key, result);
+        try {
+            FaultInjector::instance().maybeInject("dequeue");
+            if (deadline_ns > 0 && elapsedNs(start) > deadline_ns) {
+                // Abandoned in the queue: don't burn the worker on it.
+                _metrics.recordDeadlineExceeded();
+                result = std::make_shared<QueryResult>(makeQueryError(
+                    q, QueryErrorKind::DeadlineExceeded,
+                    "deadline exceeded while queued"));
+                return;
+            }
+            if (_cache) {
+                // Double-check: a concurrent batch may have filled it
+                // between our miss and this task running. Uncounted —
+                // the acquire-time lookup already charged this query.
+                result = _cache->peek(key);
+                hit = result != nullptr;
+            }
+            if (!result) {
+                prof::Scope eval_scope("svc.eval", "svc");
+                eval_scope.arg("type", queryTypeName(q.type));
+                try {
+                    FaultInjector::instance().maybeInject("eval");
+                    result =
+                        std::make_shared<QueryResult>(evaluateQuery(q));
+                } catch (...) {
+                    eval_scope.arg("outcome", "error");
+                    throw;
+                }
+                eval_scope.end();
+                if (_cache)
+                    _cache->put(key, result);
+            }
+            if (deadline_ns > 0 && elapsedNs(start) > deadline_ns) {
+                // Evaluated, but past its deadline: the cache keeps
+                // the value for a retry; this waiter gets the error.
+                _metrics.recordDeadlineExceeded();
+                result = std::make_shared<QueryResult>(makeQueryError(
+                    q, QueryErrorKind::DeadlineExceeded,
+                    "deadline exceeded during evaluation"));
+                return;
+            }
+        } catch (const std::exception &e) {
+            _metrics.recordError();
+            hcm_warn("query evaluation failed",
+                     logField("type", queryTypeName(q.type)),
+                     logField("key", key), logField("error", e.what()));
+            result = std::make_shared<QueryResult>(makeQueryError(
+                q, QueryErrorKind::EvaluationFailed, e.what()));
+            return;
+        } catch (...) {
+            _metrics.recordError();
+            hcm_warn("query evaluation failed",
+                     logField("type", queryTypeName(q.type)),
+                     logField("key", key),
+                     logField("error", "non-standard exception"));
+            result = std::make_shared<QueryResult>(makeQueryError(
+                q, QueryErrorKind::EvaluationFailed,
+                "evaluation failed with a non-standard exception"));
+            return;
         }
         std::uint64_t eval_ns = elapsedNs(task_start);
         _metrics.recordQuery(q.type, eval_ns, hit);
         if (_opts.slowQueryNs > 0 &&
             wait_ns + eval_ns > _opts.slowQueryNs)
             noteSlowQuery(q, key, wait_ns, eval_ns);
-        prom->set_value(result);
+    };
+    if (!_pool.trySubmit(std::move(task), _opts.admissionWaitNs)) {
+        // Admission shed the task (queue saturated for the whole
+        // bounded wait, or the pool is stopping). Resolve the promise
+        // ourselves — piggybacked waiters get the same error — and
+        // clear the in-flight entry so a retry starts fresh.
+        query_scope.arg("outcome", "rejected");
+        _metrics.recordRejected();
+        bool stopping = _pool.stopping();
+        auto error = std::make_shared<QueryResult>(makeQueryError(
+            q, QueryErrorKind::Overloaded,
+            stopping ? "engine is shutting down"
+                     : "worker queue is full",
+            stopping ? 0 : retryAfterMsHint()));
         {
-            std::lock_guard<std::mutex> inner(_inflightMu);
+            std::lock_guard<std::mutex> lock(_inflightMu);
             _inflight.erase(key);
         }
-    });
+        prom->set_value(std::move(error));
+        return fut;
+    }
+    query_scope.arg("outcome", "miss");
     return fut;
 }
 

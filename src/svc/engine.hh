@@ -6,6 +6,13 @@
  * per-query-type latency metrics. Results come back in input order,
  * and because evaluateQuery() is pure, a batch returns bit-identical
  * answers regardless of thread count or cache state.
+ *
+ * Request lifecycle guarantees: every future the engine hands out
+ * resolves. A throwing evaluation resolves to an evaluation_failed
+ * QueryResult (the in-flight entry is erased by a scope guard, so the
+ * key re-evaluates cleanly next time); a missed deadline resolves to
+ * deadline_exceeded; a saturated or stopping pool resolves to
+ * overloaded with a retryAfterMs hint. Error results are never cached.
  */
 
 #ifndef HCM_SVC_ENGINE_HH
@@ -44,6 +51,21 @@ struct EngineOptions
      * and count in hcm_svc_slow_queries_total. 0 disables the log.
      */
     std::uint64_t slowQueryNs = 0;
+    /**
+     * Default per-query deadline, measured from admission; a query's
+     * own Query::deadlineNs wins when set. Checked when a worker
+     * dequeues the task and again after evaluation; a miss resolves
+     * the future to a deadline_exceeded error instead of burning the
+     * worker on an abandoned request. 0 = no default deadline.
+     */
+    std::uint64_t deadlineNs = 0;
+    /**
+     * Admission control: how long a submission may wait at a full
+     * worker queue before the engine sheds it with an `overloaded`
+     * error (carrying a retryAfterMs hint) instead of blocking the
+     * caller indefinitely. 0 rejects immediately when full.
+     */
+    std::uint64_t admissionWaitNs = 5'000'000'000;
 };
 
 /** Thread-pooled, memoizing evaluator of model queries. */
@@ -70,6 +92,9 @@ class QueryEngine
     std::size_t threadCount() const { return _pool.threadCount(); }
     bool cacheEnabled() const { return _cache != nullptr; }
 
+    /** Keys currently being evaluated (0 once all work resolved). */
+    std::size_t inflightCount() const;
+
     /** Zeroed stats when the cache is disabled. */
     CacheStats cacheStats() const;
 
@@ -89,10 +114,16 @@ class QueryEngine
     void noteSlowQuery(const Query &q, const std::string &key,
                        std::uint64_t wait_ns, std::uint64_t eval_ns);
 
+    /** The query's own deadline, else the engine default (0 = none). */
+    std::uint64_t effectiveDeadlineNs(const Query &q) const;
+
+    /** Coarse client backoff hint from queue depth and mean latency. */
+    std::uint64_t retryAfterMsHint() const;
+
     EngineOptions _opts;
     std::unique_ptr<QueryCache> _cache;
     MetricsRegistry _metrics;
-    std::mutex _inflightMu;
+    mutable std::mutex _inflightMu;
     std::unordered_map<std::string, std::shared_future<ResultPtr>>
         _inflight;
     ThreadPool _pool; ///< last member: workers die before state they use

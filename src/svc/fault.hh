@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic fault injection for the query service. A process-wide
+ * injector holds a list of rules parsed from a spec string; the engine
+ * calls maybeInject() at named sites ("dequeue" just after a worker
+ * picks a task up, "eval" just before evaluateQuery), and a matching
+ * rule either sleeps (delay) or throws FaultInjected (throw). Triggers
+ * key off a per-site call counter, so tests can target exactly the
+ * Nth evaluation and failure paths replay identically every run.
+ *
+ * Spec grammar (comma-separated rules, each colon-separated):
+ *
+ *   rule     := site ":" action (":" modifier)*
+ *   site     := "eval" | "dequeue"
+ *   action   := "throw" ["=" message] | "delay=" milliseconds
+ *   modifier := "nth=" N        fire only on the Nth call (1-based)
+ *             | "every=" K      fire on every Kth call
+ *
+ * Examples: "eval:throw" (every evaluation throws),
+ * "eval:throw:nth=2" (only the second), "eval:delay=50:every=3",
+ * "dequeue:delay=20,eval:throw:nth=1".
+ *
+ * Enabled via `hcm batch/serve --fault-spec <spec>` or the test-only
+ * configure()/reset() API. Disabled, maybeInject() is one relaxed
+ * atomic load.
+ */
+
+#ifndef HCM_SVC_FAULT_HH
+#define HCM_SVC_FAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hcm {
+namespace svc {
+
+/** The exception injected by a throw rule. */
+class FaultInjected : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** One parsed fault rule. */
+struct FaultRule
+{
+    enum class Action { Throw, Delay };
+
+    std::string site;
+    Action action = Action::Throw;
+    std::string message = "injected fault"; ///< Throw: what() text
+    std::uint64_t delayMs = 0;              ///< Delay: sleep length
+    std::uint64_t nth = 0;   ///< fire only on this call; 0 = unset
+    std::uint64_t every = 0; ///< fire on every Kth call; 0 = unset
+};
+
+/** Process-wide deterministic fault injector (off by default). */
+class FaultInjector
+{
+  public:
+    static FaultInjector &instance();
+
+    /**
+     * Parse @p spec and arm the injector with its rules, replacing any
+     * previous configuration and zeroing call counters. Returns false
+     * (with @p error set, injector left disabled) on a malformed spec.
+     * An empty spec disables injection.
+     */
+    bool configure(const std::string &spec, std::string *error = nullptr);
+
+    /** Disarm and drop all rules and counters (test teardown). */
+    void reset();
+
+    bool
+    enabled() const
+    {
+        return _enabled.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Count one call of @p site and apply the matching rules: delays
+     * first (outside the lock), then at most one throw. No-op when
+     * disabled.
+     */
+    void maybeInject(const char *site);
+
+    /** Calls maybeInject() has seen for @p site since configure(). */
+    std::uint64_t callCount(const std::string &site) const;
+
+    const std::vector<FaultRule> &rules() const { return _rules; }
+
+  private:
+    FaultInjector() = default;
+
+    std::atomic<bool> _enabled{false};
+    mutable std::mutex _mu;
+    std::vector<FaultRule> _rules;
+    std::unordered_map<std::string, std::uint64_t> _calls;
+};
+
+} // namespace svc
+} // namespace hcm
+
+#endif // HCM_SVC_FAULT_HH

@@ -20,8 +20,48 @@ MetricsRegistry::MetricsRegistry()
             &_registry.histogram("hcm_svc_query_latency_ns",
                                  {{"type", queryTypeName(type)}});
     // Registered after the per-type families so the Prometheus export
-    // appends it without disturbing the existing series order.
+    // appends them without disturbing the existing series order.
     _slowQueries = &_registry.counter("hcm_svc_slow_queries_total");
+    _errors = &_registry.counter("hcm_svc_errors_total");
+    _deadlineExceeded =
+        &_registry.counter("hcm_svc_deadline_exceeded_total");
+    _rejected = &_registry.counter("hcm_svc_rejected_total");
+}
+
+void
+MetricsRegistry::recordError()
+{
+    _errors->add(1);
+}
+
+void
+MetricsRegistry::recordDeadlineExceeded()
+{
+    _deadlineExceeded->add(1);
+}
+
+void
+MetricsRegistry::recordRejected()
+{
+    _rejected->add(1);
+}
+
+std::uint64_t
+MetricsRegistry::errors() const
+{
+    return _errors->value();
+}
+
+std::uint64_t
+MetricsRegistry::deadlineExceeded() const
+{
+    return _deadlineExceeded->value();
+}
+
+std::uint64_t
+MetricsRegistry::rejected() const
+{
+    return _rejected->value();
 }
 
 void
@@ -82,6 +122,9 @@ MetricsRegistry::writeJson(JsonWriter &json,
     json.beginObject();
     json.kv("totalQueries", total);
     json.kv("slowQueries", _slowQueries->value());
+    json.kv("errors", _errors->value());
+    json.kv("deadlineExceeded", _deadlineExceeded->value());
+    json.kv("rejected", _rejected->value());
     json.key("queryTypes").beginObject();
     for (QueryType type : allQueryTypes()) {
         const QueryTypeStats &stats =

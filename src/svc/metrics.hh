@@ -71,6 +71,22 @@ class MetricsRegistry
     /** Queries counted by recordSlowQuery() so far. */
     std::uint64_t slowQueries() const;
 
+    /**
+     * Failure counters, disjoint by outcome: recordError() counts
+     * evaluations that threw (hcm_svc_errors_total),
+     * recordDeadlineExceeded() queries that missed their deadline
+     * (hcm_svc_deadline_exceeded_total), recordRejected() admissions
+     * shed by backpressure or shutdown (hcm_svc_rejected_total).
+     * Failed queries do not feed the latency histograms.
+     */
+    void recordError();
+    void recordDeadlineExceeded();
+    void recordRejected();
+
+    std::uint64_t errors() const;
+    std::uint64_t deadlineExceeded() const;
+    std::uint64_t rejected() const;
+
     /** Copy of the stats for @p type. */
     QueryTypeStats snapshot(QueryType type) const;
 
@@ -81,6 +97,7 @@ class MetricsRegistry
      * Emit the metrics document:
      * {"totalQueries": N,
      *  "slowQueries": N,
+     *  "errors": N, "deadlineExceeded": N, "rejected": N,
      *  "queryTypes": {"optimize": {"count": ..., "cacheHits": ...,
      *                 "latencyMs": {"mean": ..., "p50": ..., "p95": ...,
      *                               "p99": ...}}, ...},
@@ -113,6 +130,9 @@ class MetricsRegistry
     obs::Registry _registry;
     std::array<PerType, 4> _byType;
     obs::Counter *_slowQueries = nullptr;
+    obs::Counter *_errors = nullptr;
+    obs::Counter *_deadlineExceeded = nullptr;
+    obs::Counter *_rejected = nullptr;
 };
 
 } // namespace svc

@@ -149,6 +149,34 @@ queryTypeByName(const std::string &name)
 }
 
 std::string
+queryErrorKindName(QueryErrorKind kind)
+{
+    switch (kind) {
+      case QueryErrorKind::None:
+        return "";
+      case QueryErrorKind::EvaluationFailed:
+        return "evaluation_failed";
+      case QueryErrorKind::DeadlineExceeded:
+        return "deadline_exceeded";
+      case QueryErrorKind::Overloaded:
+        return "overloaded";
+    }
+    hcm_panic("bad QueryErrorKind ", static_cast<int>(kind));
+}
+
+QueryResult
+makeQueryError(const Query &q, QueryErrorKind kind, std::string why,
+               std::uint64_t retry_after_ms)
+{
+    QueryResult result;
+    result.query = q;
+    result.errorKind = kind;
+    result.error = std::move(why);
+    result.retryAfterMs = retry_after_ms;
+    return result;
+}
+
+std::string
 Query::canonicalKey() const
 {
     std::ostringstream key;
@@ -167,6 +195,15 @@ void
 QueryResult::writeJson(JsonWriter &json) const
 {
     json.beginObject();
+    // Errors lead with the machine-readable fields so line-oriented
+    // clients can dispatch on the first keys; the query echo follows
+    // for correlation.
+    if (!ok()) {
+        json.kv("error", error);
+        json.kv("type", queryErrorKindName(errorKind));
+        if (retryAfterMs > 0)
+            json.kv("retryAfterMs", retryAfterMs);
+    }
     json.key("query").beginObject();
     json.kv("type", queryTypeName(query.type));
     json.kv("workload", query.workload.name());
@@ -177,6 +214,10 @@ QueryResult::writeJson(JsonWriter &json) const
     if (query.device)
         json.kv("device", dev::deviceName(*query.device));
     json.endObject();
+    if (!ok()) {
+        json.endObject();
+        return;
+    }
     json.key("rows").beginArray();
     for (const ResultRow &row : rows) {
         json.beginObject();

@@ -13,6 +13,7 @@
 #ifndef HCM_SVC_QUERY_HH
 #define HCM_SVC_QUERY_HH
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -52,6 +53,12 @@ struct Query
     double node = 22.0;
     /** Restrict HET organizations to one device; empty = all. */
     std::optional<dev::DeviceId> device;
+    /**
+     * Per-request deadline measured from engine admission; 0 means
+     * "use the engine default" (which may itself be "none"). Not part
+     * of the canonical key: a deadline shapes delivery, not identity.
+     */
+    std::uint64_t deadlineNs = 0;
 
     /**
      * Deterministic serialized identity: two queries produce the same
@@ -74,18 +81,50 @@ struct ResultRow
     double energyNormalized = 0.0;
 };
 
-/** The answer to one query. */
+/**
+ * How a query failed. Every value past None maps onto one wire-level
+ * "type" string; see queryErrorKindName().
+ */
+enum class QueryErrorKind {
+    None,             ///< success
+    EvaluationFailed, ///< evaluateQuery threw
+    DeadlineExceeded, ///< deadline passed before delivery
+    Overloaded,       ///< admission rejected (queue full or shutdown)
+};
+
+/** Wire name ("evaluation_failed", "deadline_exceeded", "overloaded");
+ *  empty for None. */
+std::string queryErrorKindName(QueryErrorKind kind);
+
+/** The answer to one query: rows on success, a structured error
+ *  otherwise. Futures always resolve to one of the two — an exception
+ *  never escapes the engine as a hung waiter. */
 struct QueryResult
 {
     Query query;
     std::vector<ResultRow> rows;
+    QueryErrorKind errorKind = QueryErrorKind::None;
+    std::string error; ///< human-readable reason; empty on success
+    /** Overloaded only: client hint for when to retry. */
+    std::uint64_t retryAfterMs = 0;
 
-    /** Emit {"query": {...}, "rows": [...]} via the streaming writer. */
+    bool ok() const { return errorKind == QueryErrorKind::None; }
+
+    /**
+     * Emit {"query": {...}, "rows": [...]} on success, or the error
+     * object {"error": ..., "type": ..., ["retryAfterMs": ...,]
+     * "query": {...}} via the streaming writer.
+     */
     void writeJson(JsonWriter &json) const;
 
     /** Whole result as one compact JSON document (tests, serve mode). */
     std::string toJson() const;
 };
+
+/** An error-carrying result for @p q (rows empty, ok() false). */
+QueryResult makeQueryError(const Query &q, QueryErrorKind kind,
+                           std::string why,
+                           std::uint64_t retry_after_ms = 0);
 
 /**
  * Evaluate @p q against the model. Pure and thread-safe: no mutable

@@ -140,6 +140,16 @@ parseQueryRequest(const JsonValue &v)
                 " (expected 40, 32, 22, 16, or 11)");
     }
 
+    if (const JsonValue *deadline = v.find("deadlineMs")) {
+        if (!deadline->isNumber())
+            return RequestParse::failure("'deadlineMs' must be a number");
+        double ms = deadline->asNumber();
+        if (!(ms > 0.0))
+            return RequestParse::failure(
+                "'deadlineMs' must be > 0, got " + std::to_string(ms));
+        q.deadlineNs = static_cast<std::uint64_t>(ms * 1e6);
+    }
+
     if (const JsonValue *device = v.find("device")) {
         if (!device->isString())
             return RequestParse::failure("'device' must be a string");

@@ -10,7 +10,8 @@
  *    "f": 0.99,                            // parallel fraction
  *    "scenario": "baseline" | ...,         // Section 6.2 names
  *    "node": 40|32|22|16|11,               // ignored by projection
- *    "device": "gtx285"|"gtx480"|"r5870"|"lx760"|"asic"}  // optional
+ *    "device": "gtx285"|"gtx480"|"r5870"|"lx760"|"asic",  // optional
+ *    "deadlineMs": 250}   // optional per-request deadline (> 0)
  */
 
 #ifndef HCM_SVC_REQUEST_HH

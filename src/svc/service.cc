@@ -93,6 +93,15 @@ runServe(std::istream &in, std::ostream &out, QueryEngine &engine)
                 }
                 if (type && type->isString() &&
                     type->asString() == "trace") {
+                    // Only JSON exists for traces; reject anything
+                    // else instead of silently ignoring the field.
+                    const JsonValue *format = doc->find("format");
+                    if (format && (!format->isString() ||
+                                   format->asString() != "json")) {
+                        writeErrorLine(out, "trace format must be json");
+                        out << std::flush;
+                        continue;
+                    }
                     // The accumulated Chrome trace as one response
                     // line (empty traceEvents when tracing is off).
                     obs::Tracer::instance().writeChromeTrace(out);
@@ -101,6 +110,14 @@ runServe(std::istream &in, std::ostream &out, QueryEngine &engine)
                 }
                 if (type && type->isString() &&
                     type->asString() == "profile") {
+                    const JsonValue *format = doc->find("format");
+                    if (format && (!format->isString() ||
+                                   format->asString() != "json")) {
+                        writeErrorLine(out,
+                                       "profile format must be json");
+                        out << std::flush;
+                        continue;
+                    }
                     // The aggregated profile tree as one JSON line
                     // (empty roots when profiling is off).
                     prof::Profiler::instance().writeJson(out);
@@ -113,8 +130,12 @@ runServe(std::istream &in, std::ostream &out, QueryEngine &engine)
             continue;
         }
         QueryEngine::ResultPtr result = engine.evaluate(parsed.query);
+        // Error results are one structured {"error":...,"type":...}
+        // line (the engine never hangs a request); only successfully
+        // served queries count.
         out << result->toJson() << "\n" << std::flush;
-        ++served;
+        if (result->ok())
+            ++served;
     }
     hcm_inform("serve session ended", logField("served", served),
                logField("cacheHitRate",

@@ -5,12 +5,14 @@
  *
  *  - runBatch(): evaluate one JSON batch document and emit a single
  *    response {"results": [...], "metrics": {...}} — every result in
- *    input order, metrics covering latency per query type and cache
- *    hit rate.
+ *    input order (failed queries render as in-place error objects),
+ *    metrics covering latency per query type and cache hit rate.
  *  - runServe(): line-delimited JSON loop — one request per input
  *    line, one response per output line; {"type": "metrics"} returns
  *    the metrics document; malformed requests get {"error": ...}
- *    without ending the session.
+ *    without ending the session, and failed evaluations (thrown,
+ *    deadline-exceeded, shed by admission control) get a structured
+ *    {"error": ..., "type": ...} line instead of hanging the loop.
  */
 
 #ifndef HCM_SVC_SERVICE_HH
@@ -28,7 +30,8 @@ namespace svc {
 /**
  * Evaluate the batch document in @p text through @p engine, writing
  * the response JSON to @p out. Returns false (with @p error set) when
- * the document does not parse; evaluation itself cannot fail.
+ * the document does not parse; a failing evaluation renders as an
+ * error object at its input-order position, not a document failure.
  */
 bool runBatch(const std::string &text, QueryEngine &engine,
               std::ostream &out, std::string *error);
@@ -36,7 +39,8 @@ bool runBatch(const std::string &text, QueryEngine &engine,
 /**
  * Serve line-delimited JSON requests from @p in until EOF, one
  * response line each. Returns the number of successfully served
- * queries.
+ * queries; parse failures and error results answer with an error line
+ * and do not count.
  */
 std::size_t runServe(std::istream &in, std::ostream &out,
                      QueryEngine &engine);

@@ -26,9 +26,18 @@ ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
 
 ThreadPool::~ThreadPool()
 {
+    shutdown();
+}
+
+void
+ThreadPool::shutdown()
+{
     {
         std::lock_guard<std::mutex> lock(_mu);
         _stopping = true;
+        if (_joined)
+            return;
+        _joined = true;
     }
     _notEmpty.notify_all();
     _notFull.notify_all();
@@ -36,7 +45,21 @@ ThreadPool::~ThreadPool()
         w.join();
 }
 
+bool
+ThreadPool::stopping() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    return _stopping;
+}
+
 void
+ThreadPool::enqueueLocked(std::function<void()> &&task)
+{
+    _queue.push_back(std::move(task));
+    _queueDepth.set(static_cast<std::int64_t>(_queue.size()));
+}
+
+bool
 ThreadPool::submit(std::function<void()> task)
 {
     hcm_assert(task, "submitted an empty task");
@@ -45,11 +68,37 @@ ThreadPool::submit(std::function<void()> task)
         _notFull.wait(lock, [this] {
             return _queue.size() < _capacity || _stopping;
         });
-        hcm_assert(!_stopping, "submit() on a stopping ThreadPool");
-        _queue.push_back(std::move(task));
-        _queueDepth.set(static_cast<std::int64_t>(_queue.size()));
+        if (_stopping)
+            return false; // reject, never crash, on a shutdown race
+        enqueueLocked(std::move(task));
     }
     _notEmpty.notify_one();
+    return true;
+}
+
+bool
+ThreadPool::trySubmit(std::function<void()> task, std::uint64_t wait_ns)
+{
+    hcm_assert(task, "submitted an empty task");
+    {
+        std::unique_lock<std::mutex> lock(_mu);
+        auto admissible = [this] {
+            return _queue.size() < _capacity || _stopping;
+        };
+        if (wait_ns == 0) {
+            if (!admissible())
+                return false;
+        } else if (!_notFull.wait_for(
+                       lock, std::chrono::nanoseconds(wait_ns),
+                       admissible)) {
+            return false; // still full after the bounded wait
+        }
+        if (_stopping)
+            return false;
+        enqueueLocked(std::move(task));
+    }
+    _notEmpty.notify_one();
+    return true;
 }
 
 std::size_t

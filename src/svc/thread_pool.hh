@@ -2,9 +2,11 @@
  * @file
  * Fixed-size worker pool with a bounded task queue — the execution
  * substrate of the query engine. Submission blocks when the queue is
- * full (backpressure instead of unbounded memory growth); destruction
- * drains every queued task before joining, so submitted work always
- * runs exactly once.
+ * full (backpressure instead of unbounded memory growth), or waits a
+ * caller-chosen bound via trySubmit(); destruction drains every queued
+ * task before joining, so accepted work always runs exactly once.
+ * Submission after shutdown begins is a rejection (false), never a
+ * crash — a serve loop racing its own teardown must degrade, not die.
  */
 
 #ifndef HCM_SVC_THREAD_POOL_HH
@@ -12,6 +14,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -35,17 +38,35 @@ class ThreadPool
     explicit ThreadPool(std::size_t threads,
                         std::size_t queue_capacity = kDefaultQueueCapacity);
 
-    /** Drains the queue, then joins every worker. */
+    /** shutdown(): drains the queue, then joins every worker. */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /**
-     * Enqueue @p task; blocks while the queue is at capacity. Panics
-     * when called after shutdown began.
+     * Enqueue @p task; blocks while the queue is at capacity. Returns
+     * false — the task is dropped — when shutdown began instead.
      */
-    void submit(std::function<void()> task);
+    bool submit(std::function<void()> task);
+
+    /**
+     * submit() with a bounded wait: give up after @p wait_ns
+     * nanoseconds at a full queue (0 = don't wait at all). Returns
+     * false when the task was not accepted — queue still full or pool
+     * stopping — so callers can shed load instead of stalling.
+     */
+    bool trySubmit(std::function<void()> task, std::uint64_t wait_ns);
+
+    /**
+     * Begin shutdown: already-queued tasks still run ("drain-aware"),
+     * new submissions are rejected, workers are joined. Idempotent;
+     * called by the destructor.
+     */
+    void shutdown();
+
+    /** True once shutdown() began; submissions will be rejected. */
+    bool stopping() const;
 
     std::size_t threadCount() const { return _workers.size(); }
 
@@ -57,6 +78,9 @@ class ThreadPool
   private:
     void workerLoop();
 
+    /** Locked: push the task and publish the new depth. */
+    void enqueueLocked(std::function<void()> &&task);
+
     mutable std::mutex _mu;
     std::condition_variable _notEmpty;
     std::condition_variable _notFull;
@@ -64,6 +88,7 @@ class ThreadPool
     std::vector<std::thread> _workers;
     std::size_t _capacity;
     bool _stopping = false;
+    bool _joined = false;
 
     /** Process-wide pool instruments (all pools share the series). */
     obs::Gauge &_queueDepth;

@@ -352,6 +352,75 @@ TEST(CliTest, ServeMetricsVerbSupportsPromFormat)
         << bad_out;
 }
 
+// The acceptance path for the lifecycle fix, end to end: a throwing
+// evaluation answers with a structured error line instead of hanging
+// the serve loop, and the very next identical query evaluates fine.
+TEST(CliTest, ServeRecoversFromInjectedEvaluationFailure)
+{
+    std::string query =
+        "'{\"type\":\"optimize\",\"workload\":\"mmm\","
+        "\"f\":0.9,\"node\":22}'";
+    std::string cmd = std::string("printf '%s\\n' ") + query + " " +
+                      query + " | " + HCM_CLI_PATH +
+                      " serve --fault-spec eval:throw=boom:nth=1";
+    auto [code, out] = runShell(cmd);
+    EXPECT_EQ(code, 0) << out;
+    std::istringstream lines(out);
+    std::string first, second;
+    // Skip log lines (the fault-armed warning, eval-failed warning).
+    while (std::getline(lines, first) &&
+           (first.empty() || first[0] != '{')) {
+    }
+    while (std::getline(lines, second) &&
+           (second.empty() || second[0] != '{')) {
+    }
+    EXPECT_NE(first.find("\"error\":\"boom\""), std::string::npos)
+        << out;
+    EXPECT_NE(first.find("\"type\":\"evaluation_failed\""),
+              std::string::npos)
+        << out;
+    EXPECT_NE(second.find("\"rows\":"), std::string::npos) << out;
+}
+
+TEST(CliTest, BatchRendersInjectedErrorInOrder)
+{
+    std::string requests = batchRequestsFile();
+    auto [code, out] = runCli("batch " + requests +
+                              " --fault-spec eval:throw:nth=1");
+    EXPECT_EQ(code, 0) << out;
+    // One error object inside the results array, sibling results fine,
+    // and the failure surfaced in the batch metrics document.
+    EXPECT_NE(out.find("\"type\":\"evaluation_failed\""),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("\"rows\":"), std::string::npos) << out;
+    EXPECT_NE(out.find("\"errors\":1,"), std::string::npos) << out;
+}
+
+TEST(CliTest, DeadlineFlagShedsSlowQueries)
+{
+    std::string query =
+        "'{\"type\":\"optimize\",\"workload\":\"mmm\","
+        "\"f\":0.9,\"node\":22}'";
+    std::string cmd = std::string("printf '%s\\n' ") + query + " | " +
+                      HCM_CLI_PATH +
+                      " serve --deadline-ms 5 --fault-spec eval:delay=60";
+    auto [code, out] = runShell(cmd);
+    EXPECT_EQ(code, 0) << out;
+    EXPECT_NE(out.find("\"type\":\"deadline_exceeded\""),
+              std::string::npos)
+        << out;
+    EXPECT_EQ(out.find("\"rows\":"), std::string::npos) << out;
+}
+
+TEST(CliTest, BadFaultSpecFailsFast)
+{
+    auto [code, out] = runCli("serve --fault-spec eval:frobnicate");
+    EXPECT_EQ(code, 1);
+    EXPECT_NE(out.find("unknown fault action"), std::string::npos)
+        << out;
+}
+
 TEST(CliTest, ServeProfileVerbReturnsJsonTree)
 {
     std::string cmd =

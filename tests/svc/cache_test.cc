@@ -50,6 +50,21 @@ TEST(QueryCacheTest, PeekDoesNotCount)
     EXPECT_EQ(stats.misses, 0u);
 }
 
+// Regression: peek() used to splice its entry to the MRU position,
+// silently distorting eviction order on the engine's double-check
+// path. A peeked-at entry must remain the eviction victim.
+TEST(QueryCacheTest, PeekDoesNotPromote)
+{
+    QueryCache cache(2, 1); // one shard so LRU order is global
+    cache.put("a", resultNamed("A"));
+    cache.put("b", resultNamed("B")); // order: b (MRU), a (LRU)
+    EXPECT_NE(cache.peek("a"), nullptr);
+    cache.put("c", resultNamed("C")); // must evict "a", not "b"
+    EXPECT_EQ(cache.get("a"), nullptr);
+    EXPECT_NE(cache.get("b"), nullptr);
+    EXPECT_NE(cache.get("c"), nullptr);
+}
+
 TEST(QueryCacheTest, EvictsLeastRecentlyUsed)
 {
     QueryCache cache(2, 1); // one shard so LRU order is global
@@ -97,8 +112,25 @@ TEST(QueryCacheTest, CapacityHoldsAcrossShards)
     QueryCache cache(16, 4);
     for (int i = 0; i < 200; ++i)
         cache.put("key" + std::to_string(i), resultNamed("X"));
-    EXPECT_LE(cache.stats().entries, 16u);
-    EXPECT_GE(cache.stats().evictions, 200u - 16u);
+    CacheStats stats = cache.stats();
+    EXPECT_LE(stats.entries, stats.capacity);
+    EXPECT_LE(stats.entries, 16u);
+    EXPECT_GE(stats.evictions, 200u - 16u);
+}
+
+// 10 entries over 4 shards rounds up to 3 per shard, so the cache can
+// really admit 12; stats() must report that effective total, not the
+// requested one, or "entries <= capacity" breaks for observers.
+TEST(QueryCacheTest, StatsReportEffectiveRoundedUpCapacity)
+{
+    QueryCache cache(10, 4);
+    EXPECT_EQ(cache.requestedCapacity(), 10u);
+    EXPECT_EQ(cache.capacity(), 12u);
+    for (int i = 0; i < 200; ++i)
+        cache.put("key" + std::to_string(i), resultNamed("X"));
+    CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.capacity, 12u);
+    EXPECT_LE(stats.entries, stats.capacity);
 }
 
 TEST(QueryCacheTest, ClearKeepsCounters)

@@ -1,6 +1,8 @@
 /** @file Tests for the batch engine: ordering, memoization, in-flight
- *  dedup, metrics plumbing, and cross-configuration determinism. */
+ *  dedup, metrics plumbing, cross-configuration determinism, and the
+ *  request-lifecycle failure paths (errors, deadlines, overload). */
 
+#include <chrono>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -9,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "svc/engine.hh"
+#include "svc/fault.hh"
 #include "util/json_parse.hh"
 #include "util/logging.hh"
 
@@ -282,6 +285,182 @@ TEST(QueryEngineTest, SlowQueryLogDisabledByDefault)
     engine.evaluateBatch(mixedQueries());
     EXPECT_EQ(engine.metrics().slowQueries(), 0u);
     EXPECT_EQ(capture.text().find("slow query"), std::string::npos);
+}
+
+/** Lifecycle tests share the process-wide injector; disarm around each. */
+class QueryEngineLifecycleTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        FaultInjector::instance().reset();
+        // The engine warns on injected failures; keep test output quiet.
+        _previousThreshold = logThreshold();
+        setLogThreshold(LogLevel::Fatal);
+    }
+
+    void TearDown() override
+    {
+        FaultInjector::instance().reset();
+        setLogThreshold(_previousThreshold);
+    }
+
+  private:
+    LogLevel _previousThreshold = LogLevel::Inform;
+};
+
+// The seed bug this layer fixes: a throwing evaluation left the
+// promise unset and the in-flight entry behind, hanging every waiter
+// forever. Now it must resolve to a structured error, drain the
+// in-flight map, and leave the key clean for a retry.
+TEST_F(QueryEngineLifecycleTest, ThrowingEvaluationResolvesToError)
+{
+    ASSERT_TRUE(
+        FaultInjector::instance().configure("eval:throw=model exploded"));
+    QueryEngine engine(options(2, 64));
+    Query q; // default optimize query
+    auto result = engine.evaluate(q); // must return, not hang
+    ASSERT_NE(result, nullptr);
+    EXPECT_FALSE(result->ok());
+    EXPECT_EQ(result->errorKind, QueryErrorKind::EvaluationFailed);
+    EXPECT_EQ(result->error, "model exploded");
+    EXPECT_TRUE(result->rows.empty());
+    EXPECT_EQ(engine.inflightCount(), 0u);
+    EXPECT_EQ(engine.metrics().errors(), 1u);
+    std::string json = result->toJson();
+    EXPECT_NE(json.find("\"error\":\"model exploded\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"type\":\"evaluation_failed\""),
+              std::string::npos);
+
+    // Errors are never cached: disarmed, the same key evaluates fine.
+    FaultInjector::instance().reset();
+    auto retry = engine.evaluate(q);
+    ASSERT_NE(retry, nullptr);
+    EXPECT_TRUE(retry->ok());
+    EXPECT_FALSE(retry->rows.empty());
+    EXPECT_EQ(engine.cacheStats().hits, 0u); // both passes were misses
+}
+
+TEST_F(QueryEngineLifecycleTest, PiggybackedWaitersShareTheError)
+{
+    ASSERT_TRUE(FaultInjector::instance().configure("eval:throw"));
+    QueryEngine engine(options(4, 64));
+    Query q;
+    std::vector<Query> queries(8, q);
+    auto results = engine.evaluateBatch(queries);
+    ASSERT_EQ(results.size(), 8u);
+    for (const auto &result : results) {
+        EXPECT_EQ(result, results[0]); // one shared error object
+        EXPECT_EQ(result->errorKind, QueryErrorKind::EvaluationFailed);
+    }
+    // Dedup held: the fault site saw exactly one evaluation attempt.
+    EXPECT_EQ(FaultInjector::instance().callCount("eval"), 1u);
+    EXPECT_EQ(engine.inflightCount(), 0u);
+    EXPECT_EQ(engine.cacheStats().entries, 0u);
+}
+
+TEST_F(QueryEngineLifecycleTest, DeadlineAfterEvaluationStillCaches)
+{
+    // First evaluation sleeps 60ms against a 10ms deadline: the waiter
+    // gets deadline_exceeded, but the computed value stays cached.
+    ASSERT_TRUE(
+        FaultInjector::instance().configure("eval:delay=60:nth=1"));
+    QueryEngine engine(options(2, 64));
+    Query q;
+    q.deadlineNs = 10'000'000; // 10ms
+    auto late = engine.evaluate(q);
+    ASSERT_NE(late, nullptr);
+    EXPECT_EQ(late->errorKind, QueryErrorKind::DeadlineExceeded);
+    EXPECT_NE(late->error.find("deadline exceeded"), std::string::npos);
+    EXPECT_EQ(engine.metrics().deadlineExceeded(), 1u);
+    EXPECT_NE(late->toJson().find("\"type\":\"deadline_exceeded\""),
+              std::string::npos);
+
+    Query retry; // same key: the deadline is not part of identity
+    EXPECT_EQ(retry.canonicalKey(), q.canonicalKey());
+    auto hit = engine.evaluate(retry);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_TRUE(hit->ok());
+    EXPECT_EQ(engine.cacheStats().hits, 1u);
+}
+
+TEST_F(QueryEngineLifecycleTest, DeadlineCheckedAtDequeue)
+{
+    // One worker, first task sleeps 100ms: the second query's 1ms
+    // deadline has long lapsed when it is dequeued, so the worker
+    // sheds it without evaluating.
+    ASSERT_TRUE(
+        FaultInjector::instance().configure("eval:delay=100:nth=1"));
+    QueryEngine engine(options(1, 64));
+    Query slow;
+    slow.f = 0.5;
+    Query doomed;
+    doomed.f = 0.9;
+    doomed.deadlineNs = 1'000'000; // 1ms
+    auto results = engine.evaluateBatch({slow, doomed});
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0]->ok());
+    EXPECT_EQ(results[1]->errorKind, QueryErrorKind::DeadlineExceeded);
+    EXPECT_NE(results[1]->error.find("while queued"), std::string::npos);
+    // The doomed query never reached evaluation.
+    EXPECT_EQ(FaultInjector::instance().callCount("eval"), 1u);
+    EXPECT_EQ(engine.metrics().deadlineExceeded(), 1u);
+}
+
+TEST_F(QueryEngineLifecycleTest, PerQueryDeadlineOverridesEngineDefault)
+{
+    ASSERT_TRUE(FaultInjector::instance().configure("eval:delay=60"));
+    EngineOptions opts = options(2, 64);
+    opts.deadlineNs = 5'000'000; // 5ms default: every query times out
+    QueryEngine engine(opts);
+
+    Query defaulted;
+    defaulted.f = 0.5;
+    auto timed_out = engine.evaluate(defaulted);
+    EXPECT_EQ(timed_out->errorKind, QueryErrorKind::DeadlineExceeded);
+
+    Query patient;
+    patient.f = 0.9;
+    patient.deadlineNs = 10'000'000'000; // 10s: own deadline wins
+    auto ok = engine.evaluate(patient);
+    EXPECT_TRUE(ok->ok());
+}
+
+TEST_F(QueryEngineLifecycleTest, SaturatedQueueShedsWithRetryHint)
+{
+    // One worker (held busy 250ms per task) and a one-slot queue with
+    // zero admission wait: the third distinct query must be shed with
+    // an overloaded error instead of blocking the caller.
+    ASSERT_TRUE(FaultInjector::instance().configure("eval:delay=250"));
+    EngineOptions opts = options(1, 64);
+    opts.queueCapacity = 1;
+    opts.admissionWaitNs = 0;
+    QueryEngine engine(opts);
+
+    Query q1, q2, q3;
+    q1.f = 0.5;
+    q2.f = 0.9;
+    q3.f = 0.99;
+    QueryEngine::ResultPtr r1, r2;
+    std::thread c1([&] { r1 = engine.evaluate(q1); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::thread c2([&] { r2 = engine.evaluate(q2); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    // Worker busy on q1, queue slot held by q2: q3 is rejected now.
+    auto r3 = engine.evaluate(q3);
+    ASSERT_NE(r3, nullptr);
+    EXPECT_EQ(r3->errorKind, QueryErrorKind::Overloaded);
+    EXPECT_EQ(r3->error, "worker queue is full");
+    EXPECT_GE(r3->retryAfterMs, 1u);
+    EXPECT_NE(r3->toJson().find("\"retryAfterMs\":"), std::string::npos);
+    EXPECT_GE(engine.metrics().rejected(), 1u);
+
+    c1.join();
+    c2.join();
+    EXPECT_TRUE(r1->ok());
+    EXPECT_TRUE(r2->ok());
+    EXPECT_EQ(engine.inflightCount(), 0u);
 }
 
 } // namespace

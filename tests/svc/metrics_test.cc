@@ -175,8 +175,10 @@ TEST(MetricsRegistryTest, JsonExportHasFullSchema)
 // Golden file: the exact bytes the seed implementation produced for
 // this recording sequence, captured before the registry migration. The
 // wire format is consumed by external tooling, so changes must be
-// additive and deliberate. Deliberate change so far: the slow-query
-// subsystem added "slowQueries" right after "totalQueries".
+// additive and deliberate. Deliberate changes so far: the slow-query
+// subsystem added "slowQueries" right after "totalQueries", and the
+// request-lifecycle work added "errors", "deadlineExceeded", and
+// "rejected" right after "slowQueries".
 TEST(MetricsRegistryTest, JsonExportMatchesGoldenBytes)
 {
     MetricsRegistry reg;
@@ -197,7 +199,8 @@ TEST(MetricsRegistryTest, JsonExportMatchesGoldenBytes)
         reg.writeJson(json, &cache);
     }
     const std::string golden =
-        "{\"totalQueries\":4,\"slowQueries\":0,\"queryTypes\":{"
+        "{\"totalQueries\":4,\"slowQueries\":0,\"errors\":0,"
+        "\"deadlineExceeded\":0,\"rejected\":0,\"queryTypes\":{"
         "\"optimize\":{\"count\":2,\"cacheHits\":1,\"latencyMs\":{"
         "\"mean\":0.00225,\"p50\":0.002048,\"p95\":0.0038912,"
         "\"p99\":0.00405504}},"
@@ -282,6 +285,50 @@ TEST(MetricsRegistryTest, SlowQueriesCountAndExport)
     std::ostringstream prom;
     reg.writePrometheus(prom);
     EXPECT_NE(prom.str().find("hcm_svc_slow_queries_total 2\n"),
+              std::string::npos);
+}
+
+TEST(MetricsRegistryTest, FailureCountersCountAndExport)
+{
+    MetricsRegistry reg;
+    EXPECT_EQ(reg.errors(), 0u);
+    EXPECT_EQ(reg.deadlineExceeded(), 0u);
+    EXPECT_EQ(reg.rejected(), 0u);
+    reg.recordError();
+    reg.recordError();
+    reg.recordDeadlineExceeded();
+    reg.recordRejected();
+    reg.recordRejected();
+    reg.recordRejected();
+    EXPECT_EQ(reg.errors(), 2u);
+    EXPECT_EQ(reg.deadlineExceeded(), 1u);
+    EXPECT_EQ(reg.rejected(), 3u);
+
+    std::ostringstream oss;
+    {
+        JsonWriter json(oss);
+        reg.writeJson(json);
+    }
+    auto doc = JsonValue::parse(oss.str());
+    ASSERT_TRUE(doc);
+    EXPECT_DOUBLE_EQ(doc->find("errors")->asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(doc->find("deadlineExceeded")->asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(doc->find("rejected")->asNumber(), 3.0);
+
+    std::ostringstream prom;
+    reg.writePrometheus(prom);
+    std::string text = prom.str();
+    EXPECT_NE(text.find("# TYPE hcm_svc_errors_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("hcm_svc_errors_total 2\n"), std::string::npos);
+    EXPECT_NE(
+        text.find("# TYPE hcm_svc_deadline_exceeded_total counter\n"),
+        std::string::npos);
+    EXPECT_NE(text.find("hcm_svc_deadline_exceeded_total 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE hcm_svc_rejected_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("hcm_svc_rejected_total 3\n"),
               std::string::npos);
 }
 

@@ -67,6 +67,46 @@ TEST(RequestParseTest, RejectsBadInputsWithSpecificErrors)
     }
 }
 
+TEST(RequestParseTest, DeadlineMsParsesToNanoseconds)
+{
+    RequestParse parsed = parseQueryRequestText(
+        R"({"type":"optimize","deadlineMs":250})");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.query.deadlineNs, 250'000'000u);
+
+    // Sub-millisecond deadlines survive the conversion.
+    parsed = parseQueryRequestText(
+        R"({"type":"optimize","deadlineMs":0.5})");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.query.deadlineNs, 500'000u);
+
+    // Absent means no per-request deadline.
+    parsed = parseQueryRequestText(R"({"type":"optimize"})");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.query.deadlineNs, 0u);
+}
+
+TEST(RequestParseTest, DeadlineMsRejectsNonPositiveAndNonNumeric)
+{
+    struct Case
+    {
+        const char *text;
+        const char *needle;
+    };
+    const Case cases[] = {
+        {R"({"type":"optimize","deadlineMs":"fast"})",
+         "must be a number"},
+        {R"({"type":"optimize","deadlineMs":0})", "must be > 0"},
+        {R"({"type":"optimize","deadlineMs":-10})", "must be > 0"},
+    };
+    for (const Case &c : cases) {
+        RequestParse parsed = parseQueryRequestText(c.text);
+        EXPECT_FALSE(parsed.ok) << c.text;
+        EXPECT_NE(parsed.error.find(c.needle), std::string::npos)
+            << c.text << " -> " << parsed.error;
+    }
+}
+
 TEST(RequestParseTest, WorkloadSpecsMatchCliVocabulary)
 {
     std::string error;

@@ -103,6 +103,86 @@ TEST(ThreadPoolTest, PendingTasksDrainToZero)
     EXPECT_EQ(pool.pendingTasks(), 0u);
 }
 
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejectedNotFatal)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    EXPECT_FALSE(pool.stopping());
+    EXPECT_TRUE(pool.submit([&ran] { ++ran; }));
+    pool.shutdown(); // drains the accepted task, joins the workers
+    EXPECT_TRUE(pool.stopping());
+    EXPECT_EQ(ran.load(), 1);
+    // Late submissions are dropped with a false return, not a crash.
+    EXPECT_FALSE(pool.submit([&ran] { ++ran; }));
+    EXPECT_FALSE(pool.trySubmit([&ran] { ++ran; }, 1'000'000));
+    EXPECT_EQ(ran.load(), 1);
+    pool.shutdown(); // idempotent
+}
+
+TEST(ThreadPoolTest, TrySubmitGivesUpAtAFullQueue)
+{
+    // One stalled worker and a one-slot queue: with the slot taken,
+    // a zero-wait trySubmit must fail fast and a bounded-wait one must
+    // return within its budget instead of blocking indefinitely.
+    std::atomic<bool> gate{false};
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(1, 1);
+        pool.submit([&] {
+            while (!gate.load())
+                std::this_thread::yield();
+            ++ran;
+        });
+        // Occupy the single queue slot once the worker holds task 1.
+        while (pool.pendingTasks() > 0)
+            std::this_thread::yield();
+        EXPECT_TRUE(pool.trySubmit([&ran] { ++ran; }, 0));
+        EXPECT_FALSE(pool.trySubmit([&ran] { ++ran; }, 0));
+        auto start = std::chrono::steady_clock::now();
+        EXPECT_FALSE(pool.trySubmit([&ran] { ++ran; }, 20'000'000));
+        auto waited =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start);
+        EXPECT_GE(waited.count(), 15); // honored (most of) the bound
+        gate.store(true);
+        // With the queue drained the bounded wait succeeds again.
+        while (pool.pendingTasks() > 0)
+            std::this_thread::yield();
+        EXPECT_TRUE(pool.trySubmit([&ran] { ++ran; }, 100'000'000));
+    }
+    EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPoolTest, ShutdownRacingSubmittersNeverCrashes)
+{
+    // Producers hammer submit() while shutdown() runs on the live
+    // pool: every accepted task must still run exactly once, every
+    // rejected submission must report false, and nothing may crash
+    // (the seed asserted — and died — on this race).
+    ThreadPool pool(2, 8);
+    std::atomic<int> ran{0};
+    std::atomic<int> accepted{0};
+    std::atomic<int> rejected{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p)
+        producers.emplace_back([&] {
+            for (int i = 0; i < 200; ++i) {
+                if (pool.submit([&ran] { ++ran; }))
+                    ++accepted;
+                else
+                    ++rejected;
+            }
+        });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    pool.shutdown();
+    for (std::thread &t : producers)
+        t.join();
+    EXPECT_EQ(ran.load(), accepted.load());
+    EXPECT_EQ(accepted.load() + rejected.load(), 800);
+    // Shutdown mid-storm must have turned at least some away.
+    EXPECT_FALSE(pool.submit([&ran] { ++ran; }));
+}
+
 } // namespace
 } // namespace svc
 } // namespace hcm

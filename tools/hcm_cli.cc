@@ -29,6 +29,7 @@
 #include "prof/profiler.hh"
 #include "sim/simulator.hh"
 #include "svc/engine.hh"
+#include "svc/fault.hh"
 #include "svc/service.hh"
 #include "util/format.hh"
 #include "util/json_parse.hh"
@@ -100,6 +101,18 @@ options (batch/serve):
   --slow-query-ms <ms>        log queries slower than this (queue wait
                               + eval) and count them in
                               hcm_svc_slow_queries_total (default: off)
+  --deadline-ms <ms>          default per-query deadline; late queries
+                              answer {"error":...,"type":
+                              "deadline_exceeded"} (per-request
+                              "deadlineMs" wins; default: none)
+  --admission-wait-ms <ms>    how long a query may wait at a full
+                              worker queue before an "overloaded"
+                              error with a retryAfterMs hint (0 =
+                              reject immediately; default 5000)
+  --fault-spec <spec>         deterministic fault injection for
+                              testing, e.g. eval:throw:nth=2 or
+                              eval:delay=50 (sites: eval, dequeue;
+                              comma-separate rules)
 
 options (bench/bench-diff):
   --bench-dir <dir>           directory with the gbench binaries and
@@ -158,6 +171,9 @@ struct Options
     std::size_t cacheEntries = 4096;
     bool noCache = false;
     double slowQueryMs = 0.0;
+    double deadlineMs = 0.0;
+    double admissionWaitMs = 5000.0;
+    std::string faultSpec;
     std::string traceOut;
     std::string profileOut;
     std::string profileFormat = "collapsed";
@@ -253,6 +269,12 @@ parseOptions(const std::vector<std::string> &args, std::size_t start)
             opts.noCache = true;
         else if (a == "--slow-query-ms")
             opts.slowQueryMs = std::stod(next());
+        else if (a == "--deadline-ms")
+            opts.deadlineMs = std::stod(next());
+        else if (a == "--admission-wait-ms")
+            opts.admissionWaitMs = std::stod(next());
+        else if (a == "--fault-spec")
+            opts.faultSpec = next();
         else if (a == "--trace-out")
             opts.traceOut = next();
         else if (a == "--profile-out")
@@ -290,6 +312,10 @@ parseOptions(const std::vector<std::string> &args, std::size_t start)
                   opts.profileFormat, "'");
     if (opts.slowQueryMs < 0.0)
         hcm_fatal("--slow-query-ms must be >= 0");
+    if (opts.deadlineMs < 0.0)
+        hcm_fatal("--deadline-ms must be >= 0");
+    if (opts.admissionWaitMs < 0.0)
+        hcm_fatal("--admission-wait-ms must be >= 0");
     return opts;
 }
 
@@ -795,7 +821,23 @@ engineOptions(const Options &opts)
     eopts.cacheCapacity = opts.noCache ? 0 : opts.cacheEntries;
     eopts.slowQueryNs =
         static_cast<std::uint64_t>(opts.slowQueryMs * 1e6);
+    eopts.deadlineNs = static_cast<std::uint64_t>(opts.deadlineMs * 1e6);
+    eopts.admissionWaitNs =
+        static_cast<std::uint64_t>(opts.admissionWaitMs * 1e6);
     return eopts;
+}
+
+/** Arm the fault injector from --fault-spec (fatal on a bad spec). */
+void
+applyFaultSpec(const Options &opts)
+{
+    if (opts.faultSpec.empty())
+        return;
+    std::string error;
+    if (!svc::FaultInjector::instance().configure(opts.faultSpec,
+                                                  &error))
+        hcm_fatal("--fault-spec: ", error);
+    hcm_warn("fault injection armed", logField("spec", opts.faultSpec));
 }
 
 int
@@ -808,6 +850,7 @@ cmdBatch(const std::string &path, const Options &opts)
     buffer << in.rdbuf();
 
     applyLogOptions(opts, false);
+    applyFaultSpec(opts);
     TraceSession trace(opts);
     ProfileSession profile(opts);
     svc::QueryEngine engine(engineOptions(opts));
@@ -824,6 +867,7 @@ cmdServe(const Options &opts)
     // Quiet by default: stdout carries the wire protocol, and stderr
     // chatter is noise for a supervised daemon (satellite: Warn).
     applyLogOptions(opts, true);
+    applyFaultSpec(opts);
     TraceSession trace(opts);
     ProfileSession profile(opts);
     svc::QueryEngine engine(engineOptions(opts));
