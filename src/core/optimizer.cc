@@ -13,19 +13,6 @@ namespace core {
 
 namespace {
 
-/** Minimum parallel headroom (n - r) for organizations that need it. */
-constexpr double kMinParallel = 1e-9;
-
-/** True when the organization runs parallel work on resources beyond r. */
-bool
-needsParallelHeadroom(const Organization &org, double f)
-{
-    if (f <= 0.0)
-        return false;
-    return org.kind == OrgKind::AsymmetricCmp ||
-           org.kind == OrgKind::Heterogeneous;
-}
-
 /** Evaluate a candidate r; nullopt when the design cannot be built. */
 std::optional<DesignPoint>
 evaluateAtR(const Organization &org, double f, double r,
@@ -35,7 +22,7 @@ evaluateAtR(const Organization &org, double f, double r,
     double n = pb.n;
     if (n < r)
         return std::nullopt; // the sequential core alone overflows a bound
-    if (needsParallelHeadroom(org, f) && n - r < kMinParallel)
+    if (needsParallelHeadroom(org, f) && n - r < kMinParallelHeadroom)
         return std::nullopt;
 
     DesignPoint dp;
@@ -93,6 +80,28 @@ optimizeDynamic(const Organization &org, double f, const Budget &budget,
 
 } // namespace
 
+bool
+needsParallelHeadroom(const Organization &org, double f)
+{
+    if (f <= 0.0)
+        return false;
+    return org.kind == OrgKind::AsymmetricCmp ||
+           org.kind == OrgKind::Heterogeneous;
+}
+
+std::vector<double>
+rCandidateGrid(double cap)
+{
+    std::vector<double> candidates;
+    if (cap < 1.0)
+        return candidates;
+    for (double r = 1.0; r <= std::floor(cap); r += 1.0)
+        candidates.push_back(r);
+    if (cap > candidates.back())
+        candidates.push_back(cap);
+    return candidates;
+}
+
 double
 evaluateSpeedup(const Organization &org, double f, double r, double n)
 {
@@ -129,16 +138,9 @@ optimize(const Organization &org, double f, const Budget &budget,
     best.f = f;
 
     double cap = std::min(opts.rMax, serialRCap(budget, opts.alpha));
-    if (cap < 1.0)
+    std::vector<double> candidates = rCandidateGrid(cap);
+    if (candidates.empty())
         return best; // even a single-BCE core violates the serial bounds
-
-    // The paper's discrete sweep: r = 1 .. floor(cap), plus the
-    // fractional cap itself (the largest core the serial bounds allow).
-    std::vector<double> candidates;
-    for (double r = 1.0; r <= std::floor(cap); r += 1.0)
-        candidates.push_back(r);
-    if (cap > candidates.back())
-        candidates.push_back(cap);
 
     for (double r : candidates) {
         auto dp = evaluateAtR(org, f, r, budget, opts);

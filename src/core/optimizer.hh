@@ -10,6 +10,8 @@
 #ifndef HCM_CORE_OPTIMIZER_HH
 #define HCM_CORE_OPTIMIZER_HH
 
+#include <vector>
+
 #include "core/bounds.hh"
 #include "core/energy.hh"
 #include "core/organization.hh"
@@ -22,6 +24,13 @@ enum class Objective {
     MaxSpeedup,
     MinEnergy,
 };
+
+/**
+ * Minimum parallel headroom (n - r) required of organizations that run
+ * parallel work on resources beyond the sequential core. Shared by the
+ * optimizer and the Pareto enumerator so both agree on feasibility.
+ */
+constexpr double kMinParallelHeadroom = 1e-9;
 
 /** Optimizer knobs. */
 struct OptimizerOptions
@@ -57,6 +66,22 @@ struct DesignPoint
  */
 double evaluateSpeedup(const Organization &org, double f, double r,
                        double n);
+
+/**
+ * True when @p org runs parallel work on resources beyond the
+ * sequential core, so a feasible design needs n - r >=
+ * kMinParallelHeadroom (false whenever f == 0: nothing parallel runs).
+ */
+bool needsParallelHeadroom(const Organization &org, double f);
+
+/**
+ * The paper's discrete r sweep for a serial cap of @p cap:
+ * r = 1 .. floor(cap) plus the fractional cap itself (the largest core
+ * the serial bounds allow). Empty when @p cap < 1 — not even a
+ * single-BCE core fits. Both optimize() and enumerateDesigns() draw
+ * their candidates from here, so the two paths can never diverge.
+ */
+std::vector<double> rCandidateGrid(double cap);
 
 /** Best design for @p org under @p budget at parallel fraction @p f. */
 DesignPoint optimize(const Organization &org, double f,

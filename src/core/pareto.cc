@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/logging.hh"
 
@@ -33,24 +34,16 @@ enumerateDesigns(const wl::Workload &w, double f,
     Budget budget = makeBudget(node, w, scenario, calib);
 
     std::vector<ParetoPoint> points;
+    double cap = std::min(opts.rMax, serialRCap(budget, opts.alpha));
+    std::vector<double> candidates = rCandidateGrid(cap);
     for (const Organization &org : paperOrganizations(w, calib)) {
-        double cap = std::min(opts.rMax, serialRCap(budget, opts.alpha));
-        if (cap < 1.0)
-            continue;
-        std::vector<double> candidates;
-        for (double r = 1.0; r <= std::floor(cap); r += 1.0)
-            candidates.push_back(r);
-        if (cap > candidates.back())
-            candidates.push_back(cap);
         for (double r : candidates) {
             // Evaluate the design at exactly this r.
             ParallelBound pb = parallelBound(org, r, budget, opts.alpha);
             if (pb.n < r)
                 continue;
-            bool needs_headroom =
-                f > 0.0 && (org.kind == OrgKind::AsymmetricCmp ||
-                            org.kind == OrgKind::Heterogeneous);
-            if (needs_headroom && pb.n - r < 1e-9)
+            if (needsParallelHeadroom(org, f) &&
+                pb.n - r < kMinParallelHeadroom)
                 continue;
 
             ParetoPoint pt;
@@ -74,19 +67,57 @@ enumerateDesigns(const wl::Workload &w, double f,
 std::vector<ParetoPoint>
 paretoFrontier(std::vector<ParetoPoint> points)
 {
-    std::vector<ParetoPoint> frontier;
-    for (const ParetoPoint &candidate : points) {
-        bool dominated = false;
-        for (const ParetoPoint &other : points) {
-            if (&other == &candidate)
-                continue;
-            if (other.dominates(candidate)) {
-                dominated = true;
-                break;
-            }
+    // Dominance scan in O(n log n): view the points sorted by speedup
+    // descending (ties: energy ascending). p dominates c exactly when
+    //   (p.s >  c.s + eps && p.e <= c.e + eps)   [speedup win]
+    // or (p.s >= c.s - eps && p.e <  c.e - eps)  [energy win]
+    // — the expansion of dominates() — and walking candidates in that
+    // order makes the points satisfying either speedup condition two
+    // growing prefixes of the same order, so a running minimum energy
+    // per prefix answers both existence tests in O(1) per candidate.
+    std::vector<std::size_t> order(points.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (points[a].design.speedup != points[b].design.speedup)
+                      return points[a].design.speedup >
+                             points[b].design.speedup;
+                  return points[a].energyNormalized <
+                         points[b].energyNormalized;
+              });
+
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<char> dominated(points.size(), 0);
+    std::size_t strict = 0; // prefix with p.s >  c.s + eps
+    std::size_t band = 0;   // prefix with p.s >= c.s - eps
+    double min_e_strict = kInf;
+    double min_e_band = kInf;
+    for (std::size_t k = 0; k < order.size(); ++k) {
+        const ParetoPoint &c = points[order[k]];
+        double s = c.design.speedup;
+        while (strict < order.size() &&
+               points[order[strict]].design.speedup > s + kTieEps) {
+            min_e_strict = std::min(min_e_strict,
+                                    points[order[strict]].energyNormalized);
+            ++strict;
         }
-        if (dominated)
+        while (band < order.size() &&
+               points[order[band]].design.speedup >= s - kTieEps) {
+            min_e_band = std::min(min_e_band,
+                                  points[order[band]].energyNormalized);
+            ++band;
+        }
+        if (min_e_strict <= c.energyNormalized + kTieEps ||
+            min_e_band < c.energyNormalized - kTieEps)
+            dominated[order[k]] = 1;
+    }
+
+    std::vector<ParetoPoint> frontier;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (dominated[i])
             continue;
+        const ParetoPoint &candidate = points[i];
         // Collapse exact ties (same speedup and energy).
         bool duplicate = false;
         for (const ParetoPoint &kept : frontier) {

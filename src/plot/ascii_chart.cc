@@ -15,6 +15,14 @@ namespace {
 
 constexpr const char *kGlyphs = "*o+x#@%&$~^=";
 
+/** True when @p p cannot be placed on the chart's scales: log axes
+ *  have no coordinate for non-positive values, on x just like y. */
+bool
+unplottable(const Point &p, const Axis &x, const Axis &y)
+{
+    return (x.log && p.x <= 0.0) || (y.log && p.y <= 0.0);
+}
+
 /** Transform a coordinate for the axis scale. */
 double
 scaleCoord(double v, bool log)
@@ -78,7 +86,7 @@ AsciiChart::render() const
     double xlo = 0, xhi = 1, ylo = 0, yhi = 1;
     for (const Series &s : _series) {
         for (const Point &p : s.points) {
-            if (_y.log && p.y <= 0.0)
+            if (unplottable(p, _x, _y))
                 continue;
             if (!any) {
                 xlo = xhi = p.x;
@@ -120,7 +128,7 @@ AsciiChart::render() const
         for (std::size_t i = 0; i + 1 < s.points.size(); ++i) {
             const Point &a = s.points[i];
             const Point &b = s.points[i + 1];
-            if (_y.log && (a.y <= 0.0 || b.y <= 0.0))
+            if (unplottable(a, _x, _y) || unplottable(b, _x, _y))
                 continue;
             double fx0 = toXFrac(a.x, xlo, xhi);
             double fy0 = toYFrac(a.y, ylo, yhi);
@@ -139,7 +147,7 @@ AsciiChart::render() const
         }
         // Always mark the data points themselves.
         for (const Point &p : s.points) {
-            if (_y.log && p.y <= 0.0)
+            if (unplottable(p, _x, _y))
                 continue;
             plotCell(toXFrac(p.x, xlo, xhi), toYFrac(p.y, ylo, yhi), g);
         }
@@ -169,7 +177,12 @@ AsciiChart::render() const
 
     // X tick labels: ends and middle, or categorical labels.
     std::string xrow(w, ' ');
-    auto place = [&](double frac, const std::string &text) {
+    auto place = [&](double frac, const std::string &label) {
+        // A label wider than the plot must be cut to the grid, or the
+        // clamp below degenerates to pos = 0 with text.size() > w and
+        // the writes run past xrow's end.
+        std::string text = label.substr(
+            0, static_cast<std::size_t>(w));
         int pos = static_cast<int>(frac * (w - 1)) -
                   static_cast<int>(text.size()) / 2;
         pos = std::max(0, std::min(pos, w - static_cast<int>(text.size())));

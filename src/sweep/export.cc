@@ -1,0 +1,118 @@
+#include "export.hh"
+
+#include <sstream>
+
+#include "core/bounds.hh"
+#include "util/csv.hh"
+#include "util/json.hh"
+
+namespace hcm {
+namespace sweep {
+
+namespace {
+
+/** Full-precision numeric cell (matches CsvWriter::writeNumericRow). */
+std::string
+num(double v)
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << v;
+    return oss.str();
+}
+
+void
+writeCsvRow(std::ostream &out, const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            out << ",";
+        out << CsvWriter::escape(cells[i]);
+    }
+    out << "\n";
+}
+
+} // namespace
+
+void
+writeSweepCsv(std::ostream &out, const SweepResult &result)
+{
+    writeCsvRow(out, {"workload", "f", "scenario", "organization",
+                      "paperIndex", "node", "year", "feasible", "r", "n",
+                      "speedup", "limiter", "energyNormalized",
+                      "budgetArea", "budgetPower", "budgetBandwidth"});
+    for (const SweepRow &row : result.rows) {
+        for (const SweepCell &cell : row.cells) {
+            std::vector<std::string> cells = {
+                row.workload,
+                num(row.f),
+                row.scenario,
+                row.organization,
+                std::to_string(row.paperIndex),
+                cell.node.label(),
+                std::to_string(cell.node.year),
+                cell.design.feasible ? "1" : "0",
+            };
+            if (cell.design.feasible) {
+                cells.push_back(num(cell.design.r));
+                cells.push_back(num(cell.design.n));
+                cells.push_back(num(cell.design.speedup));
+                cells.push_back(core::limiterName(cell.design.limiter));
+                cells.push_back(num(cell.energyNormalized));
+            } else {
+                cells.insert(cells.end(), 5, "");
+            }
+            cells.push_back(num(cell.budget.area));
+            cells.push_back(num(cell.budget.power));
+            cells.push_back(num(cell.budget.bandwidth));
+            writeCsvRow(out, cells);
+        }
+    }
+}
+
+void
+writeSweepJson(std::ostream &out, const SweepResult &result)
+{
+    JsonWriter json(out);
+    json.beginObject();
+    json.key("rows").beginArray();
+    for (const SweepRow &row : result.rows) {
+        json.beginObject();
+        json.kv("workload", row.workload);
+        json.kv("f", row.f);
+        json.kv("scenario", row.scenario);
+        json.kv("organization", row.organization);
+        json.kv("paperIndex", row.paperIndex);
+        json.key("points").beginArray();
+        for (const SweepCell &cell : row.cells) {
+            json.beginObject();
+            json.kv("node", cell.node.label());
+            json.kv("year", cell.node.year);
+            json.kv("feasible", cell.design.feasible);
+            if (cell.design.feasible) {
+                json.kv("r", cell.design.r);
+                json.kv("n", cell.design.n);
+                json.kv("speedup", cell.design.speedup);
+                json.kv("limiter",
+                        core::limiterName(cell.design.limiter));
+                json.kv("energyNormalized", cell.energyNormalized);
+            }
+            json.key("budget").beginObject();
+            json.kv("area", cell.budget.area);
+            json.kv("power", cell.budget.power);
+            json.kv("bandwidth", cell.budget.bandwidth);
+            json.endObject();
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    json.kv("units", result.units);
+    json.kv("jobs", result.jobs);
+    json.endObject();
+    out << "\n";
+}
+
+} // namespace sweep
+} // namespace hcm

@@ -1,0 +1,174 @@
+#include "spec.hh"
+
+#include <stdexcept>
+
+#include "core/paper.hh"
+#include "util/format.hh"
+
+namespace hcm {
+namespace sweep {
+
+namespace {
+
+/** Workload from a CLI token; nullopt on an unknown spelling. */
+std::optional<wl::Workload>
+workloadFromToken(const std::string &token)
+{
+    if (iequals(token, "mmm"))
+        return wl::Workload::mmm();
+    if (iequals(token, "bs") || iequals(token, "blackscholes"))
+        return wl::Workload::blackScholes();
+    if (iequals(token, "fft"))
+        return wl::Workload::fft(1024);
+    if (token.rfind("fft:", 0) == 0 || token.rfind("FFT:", 0) == 0) {
+        std::size_t n = 0;
+        try {
+            n = std::stoul(token.substr(4));
+        } catch (const std::exception &) {
+            return std::nullopt;
+        }
+        if (n < 2 || (n & (n - 1)) != 0)
+            return std::nullopt; // FFT sizes are powers of two
+        return wl::Workload::fft(n);
+    }
+    return std::nullopt;
+}
+
+/** Scenario by name without panicking on unknown input. */
+const core::Scenario *
+scenarioFromToken(const std::string &token)
+{
+    static const core::Scenario baseline = core::baselineScenario();
+    if (token == baseline.name)
+        return &baseline;
+    for (const core::Scenario &s : core::alternativeScenarios())
+        if (s.name == token)
+            return &s;
+    return nullptr;
+}
+
+std::vector<std::string>
+tokens(const std::string &spec)
+{
+    std::vector<std::string> out;
+    for (const std::string &t : split(spec, ','))
+        if (!t.empty())
+            out.push_back(t);
+    return out;
+}
+
+void
+setError(std::string *error, const std::string &msg)
+{
+    if (error)
+        *error = msg;
+}
+
+} // namespace
+
+SweepSpec
+paperSweep()
+{
+    SweepSpec spec;
+    spec.workloads = {wl::Workload::mmm(), wl::Workload::blackScholes(),
+                      wl::Workload::fft(1024)};
+    spec.fractions = core::paper::standardFractions();
+    spec.scenarios = {core::baselineScenario()};
+    return spec;
+}
+
+std::optional<std::vector<wl::Workload>>
+parseWorkloadList(const std::string &spec, std::string *error)
+{
+    std::vector<wl::Workload> out;
+    for (const std::string &t : tokens(spec)) {
+        auto w = workloadFromToken(t);
+        if (!w) {
+            setError(error, "unknown workload '" + t +
+                                "' (expected mmm, bs, or fft:N with N a "
+                                "power of two)");
+            return std::nullopt;
+        }
+        out.push_back(*w);
+    }
+    if (out.empty()) {
+        setError(error, "workload list is empty");
+        return std::nullopt;
+    }
+    return out;
+}
+
+std::optional<std::vector<double>>
+parseFractionList(const std::string &spec, std::string *error)
+{
+    std::vector<double> out;
+    for (const std::string &t : tokens(spec)) {
+        double f = 0.0;
+        try {
+            std::size_t used = 0;
+            f = std::stod(t, &used);
+            if (used != t.size())
+                throw std::invalid_argument(t);
+        } catch (const std::exception &) {
+            setError(error, "bad fraction '" + t + "'");
+            return std::nullopt;
+        }
+        if (f < 0.0 || f > 1.0) {
+            setError(error, "fraction " + t + " outside [0, 1]");
+            return std::nullopt;
+        }
+        out.push_back(f);
+    }
+    if (out.empty()) {
+        setError(error, "fraction list is empty");
+        return std::nullopt;
+    }
+    return out;
+}
+
+std::optional<std::vector<core::Scenario>>
+parseScenarioList(const std::string &spec, std::string *error)
+{
+    std::vector<core::Scenario> out;
+    for (const std::string &t : tokens(spec)) {
+        if (iequals(t, "all")) {
+            out.push_back(core::baselineScenario());
+            for (const core::Scenario &s : core::alternativeScenarios())
+                out.push_back(s);
+            continue;
+        }
+        const core::Scenario *s = scenarioFromToken(t);
+        if (!s) {
+            setError(error, "unknown scenario '" + t + "'");
+            return std::nullopt;
+        }
+        out.push_back(*s);
+    }
+    if (out.empty()) {
+        setError(error, "scenario list is empty");
+        return std::nullopt;
+    }
+    return out;
+}
+
+std::optional<SweepSpec>
+parseSweepSpec(const SpecStrings &strings, std::string *error)
+{
+    SweepSpec spec;
+    auto workloads = parseWorkloadList(strings.workloads, error);
+    if (!workloads)
+        return std::nullopt;
+    auto fractions = parseFractionList(strings.fractions, error);
+    if (!fractions)
+        return std::nullopt;
+    auto scenarios = parseScenarioList(strings.scenarios, error);
+    if (!scenarios)
+        return std::nullopt;
+    spec.workloads = std::move(*workloads);
+    spec.fractions = std::move(*fractions);
+    spec.scenarios = std::move(*scenarios);
+    return spec;
+}
+
+} // namespace sweep
+} // namespace hcm

@@ -1,0 +1,265 @@
+#include "sweep.hh"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "svc/thread_pool.hh"
+#include "util/logging.hh"
+
+namespace hcm {
+namespace sweep {
+
+namespace {
+
+/** One schedulable unit: everything it reads outlives the pool. */
+struct Unit
+{
+    std::size_t row = 0;
+    const wl::Workload *workload = nullptr;
+    double f = 0.0;
+    const core::Scenario *scenario = nullptr;
+    const core::Organization *org = nullptr;
+    /** Per-node budgets shared by every unit of (workload, scenario). */
+    const std::vector<core::Budget> *budgets = nullptr;
+};
+
+/** Completion bookkeeping shared by the workers and the caller. */
+struct Progress
+{
+    std::mutex mu;
+    std::size_t done = 0;
+    std::exception_ptr firstError;
+};
+
+void
+validate(const SweepSpec &spec)
+{
+    if (spec.workloads.empty())
+        throw std::invalid_argument("sweep: workload list is empty");
+    if (spec.fractions.empty())
+        throw std::invalid_argument("sweep: fraction list is empty");
+    if (spec.scenarios.empty())
+        throw std::invalid_argument("sweep: scenario list is empty");
+    for (double f : spec.fractions)
+        if (f < 0.0 || f > 1.0)
+            throw std::invalid_argument(
+                "sweep: fraction outside [0, 1]");
+}
+
+/** Evaluate one unit into @p row (pure: no shared mutable state). */
+void
+evaluateUnit(const SweepSpec &spec, const Unit &unit, SweepRow &row)
+{
+    obs::Span span("sweep.unit", "sweep");
+    span.arg("workload", row.workload);
+    span.arg("f", row.f);
+    span.arg("scenario", row.scenario);
+    span.arg("organization", row.organization);
+
+    core::OptimizerOptions opts = spec.opts;
+    opts.alpha = unit.scenario->alpha;
+    const std::vector<itrs::NodeParams> &nodes = itrs::nodeTable();
+    row.cells.clear();
+    row.cells.reserve(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        SweepCell cell;
+        cell.node = nodes[i];
+        cell.budget = (*unit.budgets)[i];
+        cell.design = core::optimize(*unit.org, unit.f, cell.budget,
+                                     opts);
+        cell.energyNormalized =
+            cell.design.feasible
+                ? core::normalizedEnergy(
+                      cell.design.energy,
+                      cell.node.relPowerPerTransistor)
+                : 0.0;
+        row.cells.push_back(cell);
+    }
+}
+
+/** Run @p unit with instrumentation and completion accounting. */
+void
+runUnit(const SweepSpec &spec, const Unit &unit, SweepRow &row,
+        Progress &progress, std::size_t total,
+        const SweepOptions &opts)
+{
+    static obs::Counter &units_total =
+        obs::globalRegistry().counter("hcm_sweep_units_total");
+    static obs::Gauge &active =
+        obs::globalRegistry().gauge("hcm_sweep_active_units");
+    active.add(1);
+    try {
+        evaluateUnit(spec, unit, row);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(progress.mu);
+        if (!progress.firstError)
+            progress.firstError = std::current_exception();
+    }
+    active.add(-1);
+    units_total.add(1);
+    std::lock_guard<std::mutex> lock(progress.mu);
+    ++progress.done;
+    if (opts.progress)
+        opts.progress(progress.done, total);
+}
+
+} // namespace
+
+std::size_t
+countUnits(const SweepSpec &spec)
+{
+    std::size_t per_workload_combos =
+        spec.fractions.size() * spec.scenarios.size();
+    std::size_t units = 0;
+    for (const wl::Workload &w : spec.workloads)
+        units += core::paperOrganizations(w, spec.calib).size() *
+                 per_workload_combos;
+    return units;
+}
+
+SweepResult
+runSweep(const SweepSpec &spec, const SweepOptions &opts)
+{
+    validate(spec);
+
+    // Shared read-only inputs, derived once: the organization list per
+    // workload and the budget table per (workload, scenario) — units
+    // never re-derive either (the serial path re-made budgets for every
+    // organization).
+    const std::vector<itrs::NodeParams> &nodes = itrs::nodeTable();
+    std::vector<std::vector<core::Organization>> orgs;
+    orgs.reserve(spec.workloads.size());
+    for (const wl::Workload &w : spec.workloads)
+        orgs.push_back(core::paperOrganizations(w, spec.calib));
+    std::vector<std::vector<core::Budget>> budgets;
+    budgets.reserve(spec.workloads.size() * spec.scenarios.size());
+    for (const wl::Workload &w : spec.workloads) {
+        for (const core::Scenario &s : spec.scenarios) {
+            std::vector<core::Budget> per_node;
+            per_node.reserve(nodes.size());
+            for (const itrs::NodeParams &node : nodes)
+                per_node.push_back(
+                    core::makeBudget(node, w, s, spec.calib));
+            budgets.push_back(std::move(per_node));
+        }
+    }
+
+    // Canonical decomposition: one unit per (workload, f, scenario,
+    // organization), row index == unit index.
+    std::vector<Unit> units;
+    SweepResult result;
+    for (std::size_t wi = 0; wi < spec.workloads.size(); ++wi) {
+        std::string workload_name = spec.workloads[wi].name();
+        for (std::size_t fi = 0; fi < spec.fractions.size(); ++fi) {
+            for (std::size_t si = 0; si < spec.scenarios.size(); ++si) {
+                for (const core::Organization &org : orgs[wi]) {
+                    Unit unit;
+                    unit.row = units.size();
+                    unit.workload = &spec.workloads[wi];
+                    unit.f = spec.fractions[fi];
+                    unit.scenario = &spec.scenarios[si];
+                    unit.org = &org;
+                    unit.budgets =
+                        &budgets[wi * spec.scenarios.size() + si];
+                    units.push_back(unit);
+
+                    SweepRow row;
+                    row.workload = workload_name;
+                    row.f = unit.f;
+                    row.scenario = unit.scenario->name;
+                    row.organization = org.name;
+                    row.paperIndex = org.paperIndex;
+                    result.rows.push_back(std::move(row));
+                }
+            }
+        }
+    }
+
+    std::size_t jobs = opts.jobs > 0
+                           ? opts.jobs
+                           : std::max(1u,
+                                      std::thread::hardware_concurrency());
+    obs::Span run_span("sweep.run", "sweep");
+    run_span.arg("units", units.size());
+    run_span.arg("jobs", jobs);
+
+    Progress progress;
+    if (jobs == 1) {
+        // Inline serial path: identical code, no pool — `--jobs 1`
+        // output is the byte-for-byte reference.
+        for (const Unit &unit : units)
+            runUnit(spec, unit, result.rows[unit.row], progress,
+                    units.size(), opts);
+    } else {
+        // Units are a few microseconds each, so submitting them
+        // one-per-task would spend comparable time in the pool's queue.
+        // Chunk contiguous blocks — enough per worker for load balance,
+        // few enough that scheduling cost amortizes away. Determinism
+        // is untouched: every unit still writes its preassigned row.
+        std::size_t total = units.size();
+        std::size_t blocks = std::min(total, jobs * 8);
+        std::size_t per_block = (total + blocks - 1) / blocks;
+        // The pool destructor drains every queued task before joining,
+        // so pool scope exit is the completion barrier; the joins
+        // publish each worker's row writes to this thread. `units` and
+        // `result` are declared before the pool, so they outlive it.
+        svc::ThreadPool pool(jobs);
+        for (std::size_t begin = 0; begin < total; begin += per_block) {
+            std::size_t end = std::min(begin + per_block, total);
+            bool accepted = pool.submit([&spec, &units, &result,
+                                         &progress, &opts, begin, end,
+                                         total] {
+                for (std::size_t i = begin; i < end; ++i)
+                    runUnit(spec, units[i], result.rows[units[i].row],
+                            progress, total, opts);
+            });
+            hcm_assert(accepted, "sweep pool rejected a unit block");
+        }
+    }
+
+    if (progress.firstError)
+        std::rethrow_exception(progress.firstError);
+    result.units = units.size();
+    result.jobs = jobs;
+    return result;
+}
+
+SweepResult
+projectionReference(const wl::Workload &w, double f,
+                    const core::Scenario &scenario,
+                    core::OptimizerOptions opts,
+                    const core::BceCalibration &calib)
+{
+    SweepResult result;
+    for (const core::ProjectionSeries &series :
+         core::projectAll(w, f, scenario, opts, calib)) {
+        SweepRow row;
+        row.workload = w.name();
+        row.f = f;
+        row.scenario = scenario.name;
+        row.organization = series.org.name;
+        row.paperIndex = series.org.paperIndex;
+        row.cells.reserve(series.points.size());
+        for (const core::NodePoint &pt : series.points) {
+            SweepCell cell;
+            cell.node = pt.node;
+            cell.budget = pt.budget;
+            cell.design = pt.design;
+            cell.energyNormalized =
+                pt.design.feasible ? pt.energyNormalized() : 0.0;
+            row.cells.push_back(cell);
+        }
+        result.rows.push_back(std::move(row));
+    }
+    result.units = result.rows.size();
+    result.jobs = 1;
+    return result;
+}
+
+} // namespace sweep
+} // namespace hcm

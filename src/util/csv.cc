@@ -81,7 +81,8 @@ parseCsvLine(const std::string &line)
             cells.push_back(cur);
             cur.clear();
         } else if (c == '\r') {
-            // Tolerate CRLF input.
+            // Tolerate CRLF input (outside quotes only: a quoted \r is
+            // data and was handled by the branch above).
         } else {
             cur += c;
         }
@@ -96,10 +97,57 @@ readCsv(const std::string &path)
     std::ifstream in(path);
     if (!in)
         hcm_fatal("cannot open '", path, "' for reading");
+
+    // Quote-aware record scanner: a newline inside quotes continues the
+    // current cell (the writer quotes embedded newlines, so reading
+    // line-by-line would split one logical row into two mangled ones);
+    // a newline outside quotes ends the record.
     std::vector<std::vector<std::string>> rows;
-    std::string line;
-    while (std::getline(in, line))
-        rows.push_back(parseCsvLine(line));
+    std::vector<std::string> cells;
+    std::string cur;
+    bool quoted = false;
+    bool pending = false; // any character consumed since the last record
+    char c;
+    while (in.get(c)) {
+        if (quoted) {
+            if (c == '"') {
+                if (in.peek() == '"') {
+                    cur += '"';
+                    in.get();
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cur += c; // newlines and \r inside quotes are data
+            }
+            pending = true;
+        } else if (c == '"') {
+            quoted = true;
+            pending = true;
+        } else if (c == ',') {
+            cells.push_back(cur);
+            cur.clear();
+            pending = true;
+        } else if (c == '\n') {
+            cells.push_back(cur);
+            cur.clear();
+            rows.push_back(std::move(cells));
+            cells.clear();
+            pending = false;
+        } else if (c == '\r') {
+            // Tolerate CRLF record separators.
+            pending = true;
+        } else {
+            cur += c;
+            pending = true;
+        }
+    }
+    if (pending || !cells.empty()) {
+        // Final record without a trailing newline (or an unterminated
+        // quote at EOF — parse what we have rather than lose it).
+        cells.push_back(cur);
+        rows.push_back(std::move(cells));
+    }
     return rows;
 }
 

@@ -43,7 +43,12 @@ class CsvWriter
 /** Parse one CSV line into unescaped cells. */
 std::vector<std::string> parseCsvLine(const std::string &line);
 
-/** Read a whole CSV file into rows of cells; fatal() on open failure. */
+/**
+ * Read a whole CSV file into rows of cells; fatal() on open failure.
+ * Records continue across physical lines while inside quotes, so cells
+ * written with embedded newlines round-trip through CsvWriter intact;
+ * CRLF record separators are tolerated, and \r inside quotes is data.
+ */
 std::vector<std::vector<std::string>> readCsv(const std::string &path);
 
 } // namespace hcm

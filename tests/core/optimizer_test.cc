@@ -154,6 +154,31 @@ TEST(OptimizerTest, RMaxIsRespected)
     EXPECT_DOUBLE_EQ(dp.r, 4.0);
 }
 
+TEST(OptimizerTest, RCandidateGridCoversIntegersPlusFractionalCap)
+{
+    EXPECT_EQ(rCandidateGrid(3.5),
+              (std::vector<double>{1.0, 2.0, 3.0, 3.5}));
+    // An integral cap is not duplicated.
+    EXPECT_EQ(rCandidateGrid(3.0), (std::vector<double>{1.0, 2.0, 3.0}));
+    EXPECT_EQ(rCandidateGrid(1.0), (std::vector<double>{1.0}));
+    EXPECT_TRUE(rCandidateGrid(0.5).empty());
+    EXPECT_TRUE(rCandidateGrid(-2.0).empty());
+}
+
+TEST(OptimizerTest, ParallelHeadroomAppliesToSharedSerialCoreOrgs)
+{
+    // AsymCMP and HET run the parallel phase beside a serial core, so
+    // they need n - r headroom whenever there is parallel work at all;
+    // SymCMP's cores are the parallel fabric, so it never does.
+    Organization ucore = het(10.0, 1.0);
+    EXPECT_TRUE(needsParallelHeadroom(ucore, 0.5));
+    EXPECT_TRUE(needsParallelHeadroom(asymmetricCmp(), 0.5));
+    EXPECT_FALSE(needsParallelHeadroom(symmetricCmp(), 0.5));
+    // A fully serial workload has no parallel phase to make room for.
+    EXPECT_FALSE(needsParallelHeadroom(ucore, 0.0));
+    EXPECT_FALSE(needsParallelHeadroom(asymmetricCmp(), 0.0));
+}
+
 TEST(OptimizerDeathTest, RejectsBadFraction)
 {
     EXPECT_DEATH(optimize(symmetricCmp(), 1.5, budget(1, 1, 1)),

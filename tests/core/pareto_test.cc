@@ -1,5 +1,8 @@
 /** @file Tests for the speedup/energy Pareto explorer. */
 
+#include <algorithm>
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "core/pareto.hh"
@@ -108,6 +111,90 @@ TEST(ParetoTest, NoFrontierPointIsDominated)
             EXPECT_FALSE(p.dominates(f))
                 << p.orgName << " dominates frontier point "
                 << f.orgName;
+}
+
+/** The O(n^2) all-pairs reference the sorted scan must reproduce. */
+std::vector<ParetoPoint>
+bruteFrontier(const std::vector<ParetoPoint> &points)
+{
+    std::vector<ParetoPoint> frontier;
+    for (const ParetoPoint &candidate : points) {
+        bool dominated = false;
+        for (const ParetoPoint &p : points)
+            if (p.dominates(candidate)) {
+                dominated = true;
+                break;
+            }
+        if (dominated)
+            continue;
+        bool duplicate = false;
+        for (const ParetoPoint &kept : frontier)
+            if (std::fabs(kept.design.speedup -
+                          candidate.design.speedup) <= 1e-12 &&
+                std::fabs(kept.energyNormalized -
+                          candidate.energyNormalized) <= 1e-12) {
+                duplicate = true;
+                break;
+            }
+        if (!duplicate)
+            frontier.push_back(candidate);
+    }
+    std::sort(frontier.begin(), frontier.end(),
+              [](const ParetoPoint &a, const ParetoPoint &b) {
+                  return a.design.speedup < b.design.speedup;
+              });
+    return frontier;
+}
+
+void
+expectSameFrontier(const std::vector<ParetoPoint> &points)
+{
+    auto fast = paretoFrontier(points);
+    auto slow = bruteFrontier(points);
+    ASSERT_EQ(fast.size(), slow.size());
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+        EXPECT_EQ(fast[i].orgName, slow[i].orgName) << "index " << i;
+        EXPECT_DOUBLE_EQ(fast[i].design.speedup,
+                         slow[i].design.speedup);
+        EXPECT_DOUBLE_EQ(fast[i].energyNormalized,
+                         slow[i].energyNormalized);
+    }
+}
+
+TEST(ParetoTest, SortedScanMatchesAllPairsOnRealEnumerations)
+{
+    for (const wl::Workload &w :
+         {wl::Workload::mmm(), wl::Workload::blackScholes(),
+          wl::Workload::fft(1024)})
+        for (double f : {0.5, 0.9, 0.99, 0.999})
+            expectSameFrontier(enumerateDesigns(w, f, node22));
+}
+
+TEST(ParetoTest, SortedScanMatchesAllPairsOnAdversarialTies)
+{
+    // Exact duplicates, eps-band near-ties on each axis, and points
+    // whose dominator sits later in the input.
+    std::vector<ParetoPoint> pts = {
+        point(5.0, 1.0),
+        point(5.0, 1.0),               // exact duplicate
+        point(5.0, 1.0 + 5e-13),       // inside the tie band
+        point(5.0 + 5e-13, 1.0),       // speedup tie band
+        point(5.0, 0.5),               // dominates the group above
+        point(10.0, 0.5),              // dominates everything before it
+        point(10.0 - 5e-13, 0.5),      // ties with the best
+        point(2.0, 0.1),
+        point(2.0, 0.1 + 2e-12),       // just outside the band
+        point(1.0, 2.0),               // dominated on both axes
+    };
+    expectSameFrontier(pts);
+}
+
+TEST(ParetoTest, SingleAndEmptyInputs)
+{
+    EXPECT_TRUE(paretoFrontier(std::vector<ParetoPoint>{}).empty());
+    auto one = paretoFrontier({point(3.0, 0.5)});
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_DOUBLE_EQ(one[0].design.speedup, 3.0);
 }
 
 } // namespace

@@ -79,6 +79,55 @@ TEST(AsciiChartTest, LogYSkipsNonPositivePoints)
     EXPECT_NO_THROW({ chart.render(); });
 }
 
+TEST(AsciiChartTest, LogXSkipsNonPositivePoints)
+{
+    // Symmetric with the log-y guard: a zero or negative x under a log
+    // x-axis is skipped, not fed to log10 (which used to crash the
+    // bounds pass).
+    AsciiChart chart("logx", Axis{"x", true, {}}, Axis{});
+    Series s("mixed");
+    s.add(0.0, 1.0);
+    s.add(-5.0, 2.0);
+    s.add(1.0, 3.0);
+    s.add(100.0, 4.0);
+    chart.add(s);
+    std::string out;
+    EXPECT_NO_THROW({ out = chart.render(); });
+    EXPECT_NE(out.find("(log)"), std::string::npos);
+}
+
+TEST(AsciiChartTest, LogXAllNonPositiveRendersNoData)
+{
+    AsciiChart chart("logx", Axis{"x", true, {}}, Axis{});
+    Series s("bad");
+    s.add(0.0, 1.0);
+    s.add(-1.0, 2.0);
+    chart.add(s);
+    std::string out;
+    EXPECT_NO_THROW({ out = chart.render(); });
+    EXPECT_NE(out.find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiChartTest, LongCategoryLabelIsTruncatedToGridWidth)
+{
+    ChartOptions opts;
+    opts.width = 24;
+    opts.height = 8;
+    std::string monster(200, 'Z');
+    Axis x{"node", false, {monster, "ok"}};
+    AsciiChart chart("t", x, Axis{}, opts);
+    Series s("a");
+    s.add(0, 1.0);
+    s.add(1, 2.0);
+    chart.add(s);
+    std::string out;
+    EXPECT_NO_THROW({ out = chart.render(); }); // used to write OOB
+    // The label appears truncated: some Zs survive, but never more
+    // than the grid is wide.
+    EXPECT_NE(out.find("ZZZ"), std::string::npos);
+    EXPECT_EQ(out.find(std::string(30, 'Z')), std::string::npos);
+}
+
 TEST(AsciiChartTest, CategoricalXLabels)
 {
     Axis x{"node", false, {"40nm", "32nm", "22nm"}};

@@ -1,0 +1,101 @@
+/** @file Unit tests for the sweep spec list parsers. */
+
+#include <gtest/gtest.h>
+
+#include "core/paper.hh"
+#include "sweep/spec.hh"
+
+namespace hcm {
+namespace sweep {
+namespace {
+
+TEST(SweepSpecTest, ParsesWorkloadList)
+{
+    std::string error;
+    auto list = parseWorkloadList("mmm,bs,fft:256", &error);
+    ASSERT_TRUE(list.has_value()) << error;
+    ASSERT_EQ(list->size(), 3u);
+    EXPECT_EQ((*list)[0].name(), wl::Workload::mmm().name());
+    EXPECT_EQ((*list)[1].name(), wl::Workload::blackScholes().name());
+    EXPECT_EQ((*list)[2].name(), wl::Workload::fft(256).name());
+}
+
+TEST(SweepSpecTest, RejectsUnknownWorkload)
+{
+    std::string error;
+    EXPECT_FALSE(parseWorkloadList("mmm,quicksort", &error));
+    EXPECT_NE(error.find("quicksort"), std::string::npos);
+}
+
+TEST(SweepSpecTest, RejectsNonPowerOfTwoFft)
+{
+    std::string error;
+    EXPECT_FALSE(parseWorkloadList("fft:1000", &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(SweepSpecTest, ParsesFractionList)
+{
+    std::string error;
+    auto list = parseFractionList("0.5,0.99,1", &error);
+    ASSERT_TRUE(list.has_value()) << error;
+    EXPECT_EQ(*list, (std::vector<double>{0.5, 0.99, 1.0}));
+}
+
+TEST(SweepSpecTest, RejectsFractionOutOfRange)
+{
+    std::string error;
+    EXPECT_FALSE(parseFractionList("0.5,1.5", &error));
+    EXPECT_FALSE(parseFractionList("-0.1", &error));
+    EXPECT_FALSE(parseFractionList("0.5x", &error));
+}
+
+TEST(SweepSpecTest, ParsesScenarioListAndAll)
+{
+    std::string error;
+    auto two = parseScenarioList("baseline,power-10w", &error);
+    ASSERT_TRUE(two.has_value()) << error;
+    ASSERT_EQ(two->size(), 2u);
+    EXPECT_EQ((*two)[1].name, "power-10w");
+
+    auto all = parseScenarioList("all", &error);
+    ASSERT_TRUE(all.has_value()) << error;
+    // baseline + every Section 6.2 alternative.
+    EXPECT_EQ(all->size(), 1u + core::alternativeScenarios().size());
+    EXPECT_EQ((*all)[0].name, "baseline");
+}
+
+TEST(SweepSpecTest, RejectsUnknownScenarioAndEmptyLists)
+{
+    std::string error;
+    EXPECT_FALSE(parseScenarioList("baseline,warp-drive", &error));
+    EXPECT_NE(error.find("warp-drive"), std::string::npos);
+    EXPECT_FALSE(parseWorkloadList("", &error));
+    EXPECT_FALSE(parseFractionList("", &error));
+    EXPECT_FALSE(parseScenarioList("", &error));
+}
+
+TEST(SweepSpecTest, DefaultSpecStringsMatchPaperSweep)
+{
+    std::string error;
+    auto spec = parseSweepSpec(SpecStrings{}, &error);
+    ASSERT_TRUE(spec.has_value()) << error;
+    SweepSpec paper = paperSweep();
+    EXPECT_EQ(spec->workloads.size(), paper.workloads.size());
+    EXPECT_EQ(spec->fractions, paper.fractions);
+    ASSERT_EQ(spec->scenarios.size(), paper.scenarios.size());
+    EXPECT_EQ(spec->scenarios[0].name, paper.scenarios[0].name);
+}
+
+TEST(SweepSpecTest, ParseSweepSpecReportsFirstBadList)
+{
+    SpecStrings strings;
+    strings.fractions = "2.0";
+    std::string error;
+    EXPECT_FALSE(parseSweepSpec(strings, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+} // namespace
+} // namespace sweep
+} // namespace hcm

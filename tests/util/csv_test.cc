@@ -79,6 +79,59 @@ TEST(CsvTest, WriteThenReadRoundTrip)
     std::remove(path.c_str());
 }
 
+TEST(CsvTest, RoundTripsCellsWithNewlinesCommasQuotesAndCrlf)
+{
+    std::string path = tempPath("hcm_csv_multiline.csv");
+    std::vector<std::string> nasty = {
+        "line1\nline2",       // embedded record separator
+        "a,b",                // embedded field separator
+        "say \"hi\"",         // embedded quotes
+        "crlf\r\ntail",       // embedded CRLF is data, not a separator
+        "",                   // empty cell
+    };
+    {
+        CsvWriter w(path);
+        w.writeRow(nasty);
+        w.writeRow({"next", "row"});
+    }
+    auto rows = readCsv(path);
+    ASSERT_EQ(rows.size(), 2u); // quoted newlines don't split records
+    ASSERT_EQ(rows[0].size(), nasty.size());
+    for (std::size_t i = 0; i < nasty.size(); ++i)
+        EXPECT_EQ(rows[0][i], nasty[i]) << "cell " << i;
+    EXPECT_EQ(rows[1], (std::vector<std::string>{"next", "row"}));
+    std::remove(path.c_str());
+}
+
+TEST(CsvTest, QuotedCellSpansPhysicalLines)
+{
+    std::string path = tempPath("hcm_csv_span.csv");
+    {
+        std::ofstream out(path);
+        out << "\"a\nb\",c\r\nd,e\n";
+    }
+    auto rows = readCsv(path);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0], (std::vector<std::string>{"a\nb", "c"}));
+    EXPECT_EQ(rows[1], (std::vector<std::string>{"d", "e"}));
+    std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadKeepsBlankLinesAndFinalUnterminatedRecord)
+{
+    std::string path = tempPath("hcm_csv_blank.csv");
+    {
+        std::ofstream out(path);
+        out << "a\n\nb"; // blank line row; no trailing newline
+    }
+    auto rows = readCsv(path);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0][0], "a");
+    EXPECT_EQ(rows[1], (std::vector<std::string>{""}));
+    EXPECT_EQ(rows[2][0], "b");
+    std::remove(path.c_str());
+}
+
 TEST(CsvTest, NumericRowPreservesPrecision)
 {
     std::string path = tempPath("hcm_csv_precision.csv");

@@ -31,6 +31,9 @@
 #include "svc/engine.hh"
 #include "svc/fault.hh"
 #include "svc/service.hh"
+#include "sweep/export.hh"
+#include "sweep/spec.hh"
+#include "sweep/sweep.hh"
 #include "util/format.hh"
 #include "util/json_parse.hh"
 #include "util/logging.hh"
@@ -48,6 +51,9 @@ commands:
   figure <2-10>           print a paper figure (ASCII) and write
                           CSV/gnuplot files under --out (default bench_out)
   project                 projection rows across ITRS nodes
+  sweep                   parallel design-space sweep: workload set x
+                          f-grid x scenario set x organization x node,
+                          fanned across worker threads (CSV/JSON out)
   optimize                one design point at one node
   pareto                  speedup/energy Pareto frontier at one node
   simulate                cross-check one design on the event simulator
@@ -85,6 +91,9 @@ options (project/optimize/scenarios):
                               (gtx285|gtx480|r5870|lx760|asic)
   --energy                    report normalized energy instead of speedup
   --json                      project: emit JSON instead of a table
+  --csv                       project: emit the sweep CSV schema via the
+                              serial projection path (the byte-exact
+                              reference for `hcm sweep`)
   --chunks <count>            parallel chunks for simulate (default 20000)
   --cache <KiB>               on-chip capacity for traffic (default 64)
   --slot <dev:workload:frac>  mixed: one kernel slot, e.g.
@@ -93,6 +102,20 @@ options (project/optimize/scenarios):
   --target <ratio>            crossover: required HET/CMP margin
                               (default 1.5)
   --out <dir>                 output directory for figure files
+
+options (sweep):
+  --workloads <list>          comma-separated workload set, e.g.
+                              mmm,bs,fft:1024 (default mmm,bs,fft:1024)
+  --fractions <list>          comma-separated parallel fractions in
+                              [0,1] (default 0.5,0.9,0.99,0.999)
+  --scenarios <list>          comma-separated scenario names, or "all"
+                              for baseline + every Section 6.2
+                              alternative (default baseline)
+  --jobs <n>                  worker threads (default: hardware;
+                              1 = run serially inline)
+  --progress                  report completed/total units on stderr
+  --format <csv|json>         output format (default csv)
+  --output <file>             write results there instead of stdout
 
 options (batch/serve):
   --threads <n>               worker threads (default: hardware)
@@ -187,6 +210,12 @@ struct Options
     std::string results = "BENCH_RESULTS.json";
     double tolerancePct = 10.0;
     double minTimeNs = 0.0;
+    bool csv = false;
+    sweep::SpecStrings sweepSpec;
+    std::size_t jobs = 0;
+    bool progress = false;
+    std::string format = "csv";
+    std::string output;
 };
 
 wl::Workload
@@ -249,6 +278,22 @@ parseOptions(const std::vector<std::string> &args, std::size_t start)
             opts.energy = true;
         else if (a == "--json")
             opts.json = true;
+        else if (a == "--csv")
+            opts.csv = true;
+        else if (a == "--workloads")
+            opts.sweepSpec.workloads = next();
+        else if (a == "--fractions")
+            opts.sweepSpec.fractions = next();
+        else if (a == "--scenarios")
+            opts.sweepSpec.scenarios = next();
+        else if (a == "--jobs")
+            opts.jobs = std::stoul(next());
+        else if (a == "--progress")
+            opts.progress = true;
+        else if (a == "--format")
+            opts.format = next();
+        else if (a == "--output")
+            opts.output = next();
         else if (a == "--chunks")
             opts.chunks = std::stoul(next());
         else if (a == "--cache")
@@ -316,6 +361,9 @@ parseOptions(const std::vector<std::string> &args, std::size_t start)
         hcm_fatal("--deadline-ms must be >= 0");
     if (opts.admissionWaitMs < 0.0)
         hcm_fatal("--admission-wait-ms must be >= 0");
+    if (opts.format != "csv" && opts.format != "json")
+        hcm_fatal("--format must be csv or json, not '", opts.format,
+                  "'");
     return opts;
 }
 
@@ -510,6 +558,12 @@ int
 cmdProject(const Options &opts)
 {
     const core::Scenario &scenario = core::scenarioByName(opts.scenario);
+    if (opts.csv) {
+        sweep::SweepResult reference =
+            sweep::projectionReference(opts.workload, opts.f, scenario);
+        sweep::writeSweepCsv(std::cout, reference);
+        return 0;
+    }
     if (opts.json) {
         core::exportProjectionJson(std::cout, opts.workload, {opts.f},
                                    scenario);
@@ -544,6 +598,47 @@ cmdProject(const Options &opts)
     }
     std::cout << t
               << "limiters: (a) area, (p) power, (b) bandwidth\n";
+    return 0;
+}
+
+int
+cmdSweep(const Options &opts)
+{
+    applyLogOptions(opts, false);
+    TraceSession trace(opts);
+    ProfileSession profile(opts);
+    std::string error;
+    auto spec = sweep::parseSweepSpec(opts.sweepSpec, &error);
+    if (!spec)
+        hcm_fatal("sweep: ", error);
+
+    sweep::SweepOptions sopts;
+    sopts.jobs = opts.jobs;
+    if (opts.progress)
+        sopts.progress = [](std::size_t done, std::size_t total) {
+            std::cerr << "\rsweep: " << done << "/" << total
+                      << " units" << (done == total ? "\n" : "")
+                      << std::flush;
+        };
+
+    sweep::SweepResult result = sweep::runSweep(*spec, sopts);
+
+    std::ofstream file;
+    if (!opts.output.empty()) {
+        file.open(opts.output);
+        if (!file)
+            hcm_fatal("cannot write output file '", opts.output, "'");
+    }
+    std::ostream &out = opts.output.empty() ? std::cout : file;
+    if (opts.format == "json")
+        sweep::writeSweepJson(out, result);
+    else
+        sweep::writeSweepCsv(out, result);
+    if (!opts.output.empty())
+        hcm_inform("sweep written", logField("file", opts.output),
+                   logField("rows", result.rows.size()),
+                   logField("jobs", result.jobs));
+    writeMetricsFile(opts, nullptr);
     return 0;
 }
 
@@ -977,6 +1072,8 @@ main(int argc, char **argv)
     }
     if (cmd == "project")
         return cmdProject(parseOptions(args, 1));
+    if (cmd == "sweep")
+        return cmdSweep(parseOptions(args, 1));
     if (cmd == "optimize")
         return cmdOptimize(parseOptions(args, 1));
     if (cmd == "pareto")
