@@ -1,0 +1,62 @@
+#include "framing.hh"
+
+#include "util/logging.hh"
+
+namespace hcm {
+namespace net {
+
+std::string
+encodeFrame(const std::string &payload)
+{
+    hcm_assert(payload.size() <= UINT32_MAX, "frame payload too large");
+    std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    std::string frame;
+    frame.reserve(kFrameHeaderBytes + payload.size());
+    frame.push_back(static_cast<char>((len >> 24) & 0xff));
+    frame.push_back(static_cast<char>((len >> 16) & 0xff));
+    frame.push_back(static_cast<char>((len >> 8) & 0xff));
+    frame.push_back(static_cast<char>(len & 0xff));
+    frame += payload;
+    return frame;
+}
+
+void
+FrameDecoder::feed(const char *data, std::size_t len)
+{
+    if (_failed)
+        return;
+    _buffer.append(data, len);
+}
+
+bool
+FrameDecoder::next(std::string *payload)
+{
+    if (_failed || _buffer.size() < kFrameHeaderBytes)
+        return false;
+    const unsigned char *p =
+        reinterpret_cast<const unsigned char *>(_buffer.data());
+    std::uint32_t len = (static_cast<std::uint32_t>(p[0]) << 24) |
+                        (static_cast<std::uint32_t>(p[1]) << 16) |
+                        (static_cast<std::uint32_t>(p[2]) << 8) |
+                        static_cast<std::uint32_t>(p[3]);
+    if (len > _maxFrameBytes) {
+        // Poison, don't allocate: the declared length is untrusted
+        // input, and a 4 GiB "frame" must become a structured error,
+        // not an allocation.
+        _failed = true;
+        _error = "frame length " + std::to_string(len) +
+                 " exceeds the maximum of " +
+                 std::to_string(_maxFrameBytes) + " bytes";
+        _buffer.clear();
+        _buffer.shrink_to_fit();
+        return false;
+    }
+    if (_buffer.size() < kFrameHeaderBytes + len)
+        return false; // partial trailing frame: wait for more bytes
+    payload->assign(_buffer, kFrameHeaderBytes, len);
+    _buffer.erase(0, kFrameHeaderBytes + len);
+    return true;
+}
+
+} // namespace net
+} // namespace hcm

@@ -1,0 +1,401 @@
+#include "front_door.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "svc/backpressure.hh"
+#include "svc/request.hh"
+#include "util/logging.hh"
+
+namespace hcm {
+namespace net {
+namespace {
+
+std::string
+errorBody(const std::string &why)
+{
+    std::ostringstream oss;
+    {
+        JsonWriter json(oss);
+        json.beginObject();
+        json.kv("error", why);
+        json.endObject();
+    }
+    return oss.str();
+}
+
+/**
+ * Error taxonomy of a response payload, resolved cheaply: success
+ * bodies never start with {"error": (writeJson leads errors with the
+ * machine-readable fields), so only error bodies pay for a parse.
+ */
+std::string
+responseErrorType(const std::string &body)
+{
+    if (body.rfind("{\"error\":", 0) != 0)
+        return "";
+    auto doc = JsonValue::parse(body, nullptr);
+    if (!doc || !doc->isObject())
+        return "";
+    const JsonValue *type = doc->find("type");
+    return type && type->isString() ? type->asString() : "";
+}
+
+} // namespace
+
+TcpShardBackend::TcpShardBackend(const std::string &host,
+                                 std::uint16_t port,
+                                 std::uint64_t timeout_ms,
+                                 std::uint32_t max_frame_bytes)
+    : _host(host),
+      _port(port),
+      _timeoutMs(timeout_ms),
+      _maxFrameBytes(max_frame_bytes),
+      _name(host + ":" + std::to_string(port))
+{
+}
+
+bool
+TcpShardBackend::ensureConnectedLocked(std::string *error)
+{
+    if (_sock.valid())
+        return true;
+    Socket sock = connectTo(_host, _port, _timeoutMs, error);
+    if (!sock.valid())
+        return false;
+    if (_timeoutMs > 0 && !sock.setIoTimeoutMs(_timeoutMs, error))
+        return false;
+    _sock = std::move(sock);
+    return true;
+}
+
+bool
+TcpShardBackend::roundTrip(const std::string &request,
+                           std::string *response, std::string *error)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    if (!ensureConnectedLocked(error))
+        return false;
+    std::string frame = encodeFrame(request);
+    if (!_sock.sendAll(frame.data(), frame.size(), error)) {
+        // The connection died since the last round trip (shard
+        // restarted, idle reset). One fresh connect attempt before
+        // declaring the shard lost.
+        _sock.close();
+        if (!ensureConnectedLocked(error) ||
+            !_sock.sendAll(frame.data(), frame.size(), error))
+            return false;
+    }
+    FrameDecoder decoder(_maxFrameBytes);
+    char buf[64 * 1024];
+    while (true) {
+        if (decoder.next(response))
+            return true;
+        if (decoder.failed()) {
+            if (error)
+                *error = decoder.error();
+            _sock.close();
+            return false;
+        }
+        long n = _sock.recvSome(buf, sizeof(buf), error);
+        if (n <= 0) {
+            if (n == 0 && error)
+                *error = "shard closed the connection mid-response";
+            _sock.close(); // timeouts poison request/response pairing
+            return false;
+        }
+        decoder.feed(buf, static_cast<std::size_t>(n));
+    }
+}
+
+bool
+parseHostPort(const std::string &spec, std::string *host,
+              std::uint16_t *port, std::string *error)
+{
+    std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= spec.size()) {
+        if (error)
+            *error = "expected host:port, got '" + spec + "'";
+        return false;
+    }
+    char *end = nullptr;
+    unsigned long value =
+        std::strtoul(spec.c_str() + colon + 1, &end, 10);
+    if (*end != '\0' || value == 0 || value > 65535) {
+        if (error)
+            *error = "bad port in '" + spec + "'";
+        return false;
+    }
+    *host = spec.substr(0, colon);
+    *port = static_cast<std::uint16_t>(value);
+    return true;
+}
+
+/**
+ * The front door internals: the ring, the backends, a small fan-out
+ * pool for batch requests, and the net routing metrics.
+ */
+class FrontDoor::Impl
+{
+  public:
+    Impl(std::vector<std::unique_ptr<ShardBackend>> backends,
+         FrontDoorOptions opts)
+        : _backends(std::move(backends)),
+          _ring(opts.ringReplicas),
+          _routed(obs::globalRegistry().counter(
+              "hcm_net_routed_total")),
+          _shed(obs::globalRegistry().counter("hcm_net_shed_total")),
+          _shardUnavailable(obs::globalRegistry().counter(
+              "hcm_net_shard_unavailable_total"))
+    {
+        hcm_assert(!_backends.empty(),
+                   "front door needs at least one shard backend");
+        for (const auto &backend : _backends)
+            _ring.addShard(backend->name());
+        hcm_assert(_ring.shardCount() == _backends.size(),
+                   "shard backend names must be unique");
+        std::size_t threads = opts.fanoutThreads > 0
+                                  ? opts.fanoutThreads
+                                  : _backends.size();
+        for (std::size_t i = 0; i < threads; ++i)
+            _workers.emplace_back([this] { workerLoop(); });
+    }
+
+    ~Impl()
+    {
+        {
+            std::lock_guard<std::mutex> lock(_mu);
+            _stopping = true;
+        }
+        _wake.notify_all();
+        for (std::thread &w : _workers)
+            w.join();
+    }
+
+    std::string
+    handle(const std::string &request)
+    {
+        obs::Span span("net.route", "net");
+        // Single query: the common case, worth resolving first.
+        svc::RequestParse parsed = svc::parseQueryRequestText(request);
+        if (parsed.ok) {
+            span.arg("kind", "query");
+            return dispatch(parsed.query, request);
+        }
+        auto doc = JsonValue::parse(request, nullptr);
+        if (doc && (doc->isArray() ||
+                    (doc->isObject() && doc->find("requests")))) {
+            span.arg("kind", "batch");
+            return handleBatch(request);
+        }
+        if (doc && doc->isObject()) {
+            const JsonValue *type = doc->find("type");
+            if (type && type->isString() &&
+                type->asString() == "metrics")
+                return handleMetrics(*doc);
+        }
+        span.arg("kind", "error");
+        return errorBody(parsed.error);
+    }
+
+    const std::string *
+    shardForKey(const std::string &key) const
+    {
+        return _ring.shardFor(key);
+    }
+
+  private:
+    /** Route one parsed query (forwarding its raw @p request text). */
+    std::string
+    dispatch(const svc::Query &q, const std::string &request)
+    {
+        std::size_t index = _ring.shardIndexFor(q.canonicalKey());
+        ShardBackend &backend = *_backends[index];
+        _routed.add(1);
+        std::string response;
+        std::string error;
+        if (!backend.roundTrip(request, &response, &error)) {
+            _shardUnavailable.add(1);
+            hcm_warn("shard unavailable",
+                     logField("shard", backend.name()),
+                     logField("error", error));
+            std::size_t outstanding =
+                _outstanding.load(std::memory_order_relaxed);
+            return svc::makeQueryError(
+                       q, svc::QueryErrorKind::ShardUnavailable,
+                       "shard " + backend.name() +
+                           " unavailable: " + error,
+                       svc::backoffHintMs(svc::kDefaultPerTaskMs,
+                                          outstanding + 1, 1))
+                .toJson();
+        }
+        if (responseErrorType(response) == "overloaded")
+            _shed.add(1);
+        return response;
+    }
+
+    std::string
+    handleBatch(const std::string &request)
+    {
+        // Validate the whole document first — parseBatchDocument
+        // rejects any malformed member, mirroring `hcm batch` — then
+        // slice out the raw request texts so shards receive the
+        // original bytes (re-serialization would round doubles).
+        std::string error;
+        auto queries = svc::parseBatchDocument(request, &error);
+        if (!queries)
+            return errorBody(error);
+        auto texts = svc::splitBatchRequestTexts(request);
+        hcm_assert(texts && texts->size() == queries->size(),
+                   "batch splitter disagrees with batch parser");
+
+        std::vector<std::string> responses(queries->size());
+        std::atomic<std::size_t> next{0};
+        std::size_t count = queries->size();
+        auto work = [&]() {
+            while (true) {
+                std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= count)
+                    return;
+                _outstanding.fetch_add(1, std::memory_order_relaxed);
+                responses[i] =
+                    dispatch((*queries)[i], (*texts)[i]);
+                _outstanding.fetch_sub(1, std::memory_order_relaxed);
+            }
+        };
+        runFanout(work, count);
+
+        // Merge in input order. Response texts concatenate into the
+        // exact document a single-process engine would emit, because
+        // each element is the same writeJson() byte stream.
+        std::string body = "{\"results\":[";
+        for (std::size_t i = 0; i < responses.size(); ++i) {
+            if (i > 0)
+                body += ",";
+            body += responses[i];
+        }
+        body += "]}";
+        return body;
+    }
+
+    std::string
+    handleMetrics(const JsonValue &doc)
+    {
+        const JsonValue *format = doc.find("format");
+        std::string fmt = "json";
+        if (format) {
+            if (!format->isString() ||
+                (format->asString() != "json" &&
+                 format->asString() != "prom"))
+                return errorBody("metrics format must be json or prom");
+            fmt = format->asString();
+        }
+        std::ostringstream oss;
+        if (fmt == "prom") {
+            obs::globalRegistry().writePrometheus(oss);
+        } else {
+            JsonWriter json(oss);
+            obs::globalRegistry().writeJson(json);
+        }
+        return oss.str();
+    }
+
+    /**
+     * Run @p work on the fan-out pool (up to @p count instances) and
+     * on the calling thread, returning once every item completed. The
+     * caller participating guarantees progress even with a busy pool.
+     */
+    void
+    runFanout(const std::function<void()> &work, std::size_t count)
+    {
+        std::size_t helpers =
+            std::min(count > 0 ? count - 1 : 0, _workers.size());
+        std::mutex done_mu;
+        std::condition_variable done_cv;
+        std::size_t remaining = helpers; // guarded by done_mu
+        {
+            std::lock_guard<std::mutex> lock(_mu);
+            for (std::size_t i = 0; i < helpers; ++i) {
+                _tasks.push_back([&] {
+                    work();
+                    // Count down under done_mu and notify while still
+                    // holding it: the waiter cannot wake, see zero,
+                    // and destroy these locals before we are done
+                    // touching them.
+                    std::lock_guard<std::mutex> done_lock(done_mu);
+                    if (--remaining == 0)
+                        done_cv.notify_one();
+                });
+            }
+        }
+        _wake.notify_all();
+        work();
+        std::unique_lock<std::mutex> done_lock(done_mu);
+        done_cv.wait(done_lock, [&] { return remaining == 0; });
+    }
+
+    void
+    workerLoop()
+    {
+        while (true) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(_mu);
+                _wake.wait(lock, [this] {
+                    return _stopping || !_tasks.empty();
+                });
+                if (_tasks.empty())
+                    return; // stopping
+                task = std::move(_tasks.front());
+                _tasks.pop_front();
+            }
+            task();
+        }
+    }
+
+    std::vector<std::unique_ptr<ShardBackend>> _backends;
+    HashRing _ring;
+    obs::Counter &_routed;
+    obs::Counter &_shed;
+    obs::Counter &_shardUnavailable;
+    std::atomic<std::size_t> _outstanding{0};
+
+    std::mutex _mu;
+    std::condition_variable _wake;
+    std::deque<std::function<void()>> _tasks;
+    std::vector<std::thread> _workers;
+    bool _stopping = false;
+};
+
+FrontDoor::FrontDoor(std::vector<std::unique_ptr<ShardBackend>> backends,
+                     FrontDoorOptions opts)
+    : _impl(std::make_unique<Impl>(std::move(backends), opts))
+{
+}
+
+FrontDoor::~FrontDoor() = default;
+
+std::string
+FrontDoor::handle(const std::string &request)
+{
+    return _impl->handle(request);
+}
+
+const std::string *
+FrontDoor::shardForKey(const std::string &key) const
+{
+    return _impl->shardForKey(key);
+}
+
+} // namespace net
+} // namespace hcm

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Load generator for the networked serving tier: replays a recorded
+ * query mix against one endpoint (a shard or a front door) at a
+ * target rate and reports the latency distribution plus the error
+ * taxonomy of the responses.
+ *
+ * A mix is either JSONL (one request payload per line, exactly the
+ * stdin protocol `hcm serve` speaks) or a batch document (a top-level
+ * array or {"requests": [...]}). Either way the individual payloads
+ * are replayed VERBATIM — the engine's canonical memoization keys are
+ * derived from the request bytes, and re-serializing doubles through
+ * the %.12g writer would silently change them.
+ *
+ * Responses are retained in input order, so with --repeat 1 the
+ * concatenation written by LoadGenOptions::outputPath is
+ * byte-identical to `hcm batch --results-only` over the same mix —
+ * the property the e2e smoke test checks with cmp(1).
+ */
+
+#ifndef HCM_NET_LOADGEN_HH
+#define HCM_NET_LOADGEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hcm {
+namespace net {
+
+/** Knobs for one load-generation run. */
+struct LoadGenOptions
+{
+    /** Endpoint to replay against. */
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+
+    /** Target aggregate request rate in queries/sec; 0 = max speed. */
+    double rate = 0.0;
+
+    /** Concurrent connections, each replaying its share of the mix. */
+    std::size_t concurrency = 4;
+
+    /** How many times to replay the whole mix. */
+    std::size_t repeat = 1;
+
+    /** Per-operation I/O timeout; the run can never hang. */
+    std::uint64_t timeoutMs = 5000;
+
+    /**
+     * When non-empty, write {"results":[...]} (responses joined in
+     * input order, trailing newline) to this path.
+     */
+    std::string outputPath;
+};
+
+/** What one run measured. */
+struct LoadGenReport
+{
+    std::uint64_t sent = 0;      ///< requests attempted
+    std::uint64_t ok = 0;        ///< well-formed non-error responses
+    std::uint64_t errors = 0;    ///< error responses of any kind
+    std::uint64_t shed = 0;      ///< ... of which "overloaded"
+    std::uint64_t shardUnavailable = 0; ///< ... "shard_unavailable"
+    std::uint64_t transportFailures = 0; ///< no response at all
+
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double meanMs = 0.0;
+    double maxMs = 0.0;
+
+    double elapsedSec = 0.0;
+    double achievedRate = 0.0; ///< sent / elapsedSec
+};
+
+/**
+ * Parse a mix file's text into raw request payloads (JSONL or batch
+ * document; see file comment). Empty result + @p error on a mix that
+ * is neither.
+ */
+std::vector<std::string> parseMixText(const std::string &text,
+                                      std::string *error);
+
+/**
+ * Replay @p requests against the endpoint in @p opts. Fills
+ * @p report; false + @p error only for setup failures (bad output
+ * path, nothing to send) — per-request transport failures are data,
+ * counted in the report, not run failures.
+ */
+bool runLoadGen(const std::vector<std::string> &requests,
+                const LoadGenOptions &opts, LoadGenReport *report,
+                std::string *error);
+
+/** Render @p report as a JSON document (the `hcm loadgen` output). */
+std::string formatLoadGenReport(const LoadGenReport &report);
+
+} // namespace net
+} // namespace hcm
+
+#endif // HCM_NET_LOADGEN_HH

@@ -1,0 +1,226 @@
+#include "socket.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace hcm {
+namespace net {
+namespace {
+
+std::string
+errnoMessage(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+/** Parse a dotted-quad host into @p addr (no DNS: loopback tier). */
+bool
+makeAddress(const std::string &host, std::uint16_t port,
+            sockaddr_in *addr, std::string *error)
+{
+    std::memset(addr, 0, sizeof(*addr));
+    addr->sin_family = AF_INET;
+    addr->sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+        if (error)
+            *error = "bad IPv4 address '" + host + "'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+Socket::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+}
+
+void
+Socket::shutdownBoth()
+{
+    if (_fd >= 0)
+        ::shutdown(_fd, SHUT_RDWR);
+}
+
+bool
+Socket::sendAll(const void *data, std::size_t len,
+                std::string *error) const
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not
+        // kill the process with SIGPIPE.
+        ssize_t n = ::send(_fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = errnoMessage("send");
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+long
+Socket::recvSome(void *data, std::size_t len, std::string *error) const
+{
+    while (true) {
+        ssize_t n = ::recv(_fd, data, len, 0);
+        if (n >= 0)
+            return static_cast<long>(n);
+        if (errno == EINTR)
+            continue;
+        if (error)
+            *error = (errno == EAGAIN || errno == EWOULDBLOCK)
+                         ? "receive timed out"
+                         : errnoMessage("recv");
+        return -1;
+    }
+}
+
+bool
+Socket::setIoTimeoutMs(std::uint64_t ms, std::string *error) const
+{
+    timeval tv;
+    tv.tv_sec = static_cast<time_t>(ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+    if (::setsockopt(_fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) <
+            0 ||
+        ::setsockopt(_fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) <
+            0) {
+        if (error)
+            *error = errnoMessage("setsockopt(timeout)");
+        return false;
+    }
+    return true;
+}
+
+std::pair<Socket, std::uint16_t>
+listenOn(const std::string &host, std::uint16_t port, std::string *error)
+{
+    sockaddr_in addr;
+    if (!makeAddress(host, port, &addr, error))
+        return {Socket(), 0};
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid()) {
+        if (error)
+            *error = errnoMessage("socket");
+        return {Socket(), 0};
+    }
+    int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    if (::bind(sock.fd(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        if (error)
+            *error = errnoMessage("bind");
+        return {Socket(), 0};
+    }
+    if (::listen(sock.fd(), 128) < 0) {
+        if (error)
+            *error = errnoMessage("listen");
+        return {Socket(), 0};
+    }
+    // Report the actually-bound port so tests can listen on port 0.
+    sockaddr_in bound;
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr *>(&bound),
+                      &bound_len) < 0) {
+        if (error)
+            *error = errnoMessage("getsockname");
+        return {Socket(), 0};
+    }
+    return {std::move(sock), ntohs(bound.sin_port)};
+}
+
+Socket
+acceptOn(const Socket &listener, std::string *error)
+{
+    while (true) {
+        int fd = ::accept(listener.fd(), nullptr, nullptr);
+        if (fd >= 0)
+            return Socket(fd);
+        if (errno == EINTR)
+            continue;
+        if (error)
+            *error = errnoMessage("accept");
+        return Socket();
+    }
+}
+
+Socket
+connectTo(const std::string &host, std::uint16_t port,
+          std::uint64_t timeout_ms, std::string *error)
+{
+    sockaddr_in addr;
+    if (!makeAddress(host, port, &addr, error))
+        return Socket();
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid()) {
+        if (error)
+            *error = errnoMessage("socket");
+        return Socket();
+    }
+    if (timeout_ms == 0) {
+        if (::connect(sock.fd(), reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) < 0) {
+            if (error)
+                *error = errnoMessage("connect");
+            return Socket();
+        }
+        return sock;
+    }
+    // Bounded connect: non-blocking connect + poll for writability.
+    int flags = ::fcntl(sock.fd(), F_GETFL, 0);
+    ::fcntl(sock.fd(), F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(sock.fd(), reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    if (rc < 0 && errno != EINPROGRESS) {
+        if (error)
+            *error = errnoMessage("connect");
+        return Socket();
+    }
+    if (rc < 0) {
+        pollfd pfd{sock.fd(), POLLOUT, 0};
+        int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+        if (ready <= 0) {
+            if (error)
+                *error = ready == 0 ? "connect timed out"
+                                    : errnoMessage("poll");
+            return Socket();
+        }
+        int so_error = 0;
+        socklen_t len = sizeof(so_error);
+        if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &so_error,
+                         &len) < 0 ||
+            so_error != 0) {
+            if (error)
+                *error = std::string("connect: ") +
+                         std::strerror(so_error != 0 ? so_error
+                                                     : errno);
+            return Socket();
+        }
+    }
+    ::fcntl(sock.fd(), F_SETFL, flags);
+    return sock;
+}
+
+} // namespace net
+} // namespace hcm

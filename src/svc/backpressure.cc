@@ -1,0 +1,24 @@
+#include "backpressure.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hcm {
+namespace svc {
+
+std::uint64_t
+backoffHintMs(double per_task_ms, std::size_t depth,
+              std::size_t workers)
+{
+    if (!std::isfinite(per_task_ms) || per_task_ms <= 0.0)
+        per_task_ms = kDefaultPerTaskMs;
+    double d = static_cast<double>(std::max<std::size_t>(1, depth));
+    double w = static_cast<double>(std::max<std::size_t>(1, workers));
+    double hint = per_task_ms * d / w;
+    return static_cast<std::uint64_t>(
+        std::min(static_cast<double>(kMaxBackoffMs),
+                 std::max(static_cast<double>(kMinBackoffMs), hint)));
+}
+
+} // namespace svc
+} // namespace hcm

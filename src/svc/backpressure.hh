@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The load-shedding backoff heuristic, shared by the query engine
+ * (admission control rejections) and the net front door (shard-level
+ * shedding hints). Hoisted out of QueryEngine so the estimate — how
+ * long until roughly `depth` tasks drain through `workers` workers at
+ * `per_task_ms` each — has one named, unit-tested definition instead
+ * of living inline in whichever component needs it.
+ */
+
+#ifndef HCM_SVC_BACKPRESSURE_HH
+#define HCM_SVC_BACKPRESSURE_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hcm {
+namespace svc {
+
+/** Assumed task cost when no latency has been observed yet. */
+constexpr double kDefaultPerTaskMs = 5.0;
+
+/** Hints are clamped to [kMinBackoffMs, kMaxBackoffMs] milliseconds. */
+constexpr std::uint64_t kMinBackoffMs = 1;
+constexpr std::uint64_t kMaxBackoffMs = 10'000;
+
+/**
+ * Client retry hint in milliseconds: when will `depth` tasks, each
+ * taking `per_task_ms` milliseconds, have drained through `workers`
+ * workers? Deliberately coarse — the point is "come back later, and
+ * later scales with how far behind we are", not a promise. Non-finite
+ * or non-positive @p per_task_ms falls back to kDefaultPerTaskMs;
+ * @p depth and @p workers are clamped to at least 1; the result is
+ * clamped to [kMinBackoffMs, kMaxBackoffMs].
+ */
+std::uint64_t backoffHintMs(double per_task_ms, std::size_t depth,
+                            std::size_t workers);
+
+} // namespace svc
+} // namespace hcm
+
+#endif // HCM_SVC_BACKPRESSURE_HH

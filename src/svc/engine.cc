@@ -6,6 +6,7 @@
 
 #include "obs/trace.hh"
 #include "prof/profiler.hh"
+#include "svc/backpressure.hh"
 #include "svc/fault.hh"
 #include "util/logging.hh"
 
@@ -58,7 +59,7 @@ QueryEngine::QueryEngine(EngineOptions opts)
                  ? std::make_unique<QueryCache>(opts.cacheCapacity,
                                                 opts.cacheShards)
                  : nullptr),
-      _pool(opts.threads, opts.queueCapacity)
+      _pool(opts.threads, opts.queueCapacity, opts.shardLabel)
 {
 }
 
@@ -83,7 +84,8 @@ std::uint64_t
 QueryEngine::retryAfterMsHint() const
 {
     // Pending depth x mean latency / workers estimates when the queue
-    // will have drained; deliberately coarse (clamped to [1ms, 10s]).
+    // will have drained; the shared backoffHintMs() heuristic does the
+    // clamping (deliberately coarse, [1ms, 10s]).
     double mean_ns = 0.0;
     std::uint64_t count = 0;
     for (QueryType type : allQueryTypes()) {
@@ -93,13 +95,10 @@ QueryEngine::retryAfterMsHint() const
         count += stats.queries;
     }
     double per_task_ms =
-        count > 0 ? mean_ns / static_cast<double>(count) / 1e6 : 5.0;
-    double workers = static_cast<double>(
-        std::max<std::size_t>(1, _pool.threadCount()));
-    double depth = static_cast<double>(_pool.pendingTasks() + 1);
-    double hint = per_task_ms * depth / workers;
-    return static_cast<std::uint64_t>(
-        std::min(10'000.0, std::max(1.0, hint)));
+        count > 0 ? mean_ns / static_cast<double>(count) / 1e6
+                  : kDefaultPerTaskMs;
+    return backoffHintMs(per_task_ms, _pool.pendingTasks() + 1,
+                         _pool.threadCount());
 }
 
 std::size_t

@@ -66,6 +66,13 @@ struct EngineOptions
      * caller indefinitely. 0 rejects immediately when full.
      */
     std::uint64_t admissionWaitNs = 5'000'000'000;
+    /**
+     * Net-shard identity: when non-empty, this engine's thread-pool
+     * instruments carry a {shard=<label>} label so per-shard
+     * saturation is distinguishable when several engine instances
+     * share one process/registry. Empty keeps the unlabeled series.
+     */
+    std::string shardLabel;
 };
 
 /** Thread-pooled, memoizing evaluator of model queries. */

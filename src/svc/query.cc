@@ -160,6 +160,8 @@ queryErrorKindName(QueryErrorKind kind)
         return "deadline_exceeded";
       case QueryErrorKind::Overloaded:
         return "overloaded";
+      case QueryErrorKind::ShardUnavailable:
+        return "shard_unavailable";
     }
     hcm_panic("bad QueryErrorKind ", static_cast<int>(kind));
 }

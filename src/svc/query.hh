@@ -90,10 +90,11 @@ enum class QueryErrorKind {
     EvaluationFailed, ///< evaluateQuery threw
     DeadlineExceeded, ///< deadline passed before delivery
     Overloaded,       ///< admission rejected (queue full or shutdown)
+    ShardUnavailable, ///< owning net shard unreachable or lost
 };
 
-/** Wire name ("evaluation_failed", "deadline_exceeded", "overloaded");
- *  empty for None. */
+/** Wire name ("evaluation_failed", "deadline_exceeded", "overloaded",
+ *  "shard_unavailable"); empty for None. */
 std::string queryErrorKindName(QueryErrorKind kind);
 
 /** The answer to one query: rows on success, a structured error

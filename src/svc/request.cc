@@ -217,5 +217,116 @@ parseBatchDocument(const std::string &text, std::string *error)
     return queries;
 }
 
+namespace {
+
+/** First index >= @p i of a non-whitespace byte (JSON whitespace). */
+std::size_t
+skipJsonSpace(const std::string &s, std::size_t i)
+{
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' ||
+                            s[i] == '\n' || s[i] == '\r'))
+        ++i;
+    return i;
+}
+
+/**
+ * Index one past the end of the JSON value starting at @p i, found by
+ * bracket counting with string/escape awareness. Assumes the text is
+ * well-formed (validated by a full parse beforehand).
+ */
+std::size_t
+jsonValueEnd(const std::string &s, std::size_t i)
+{
+    int depth = 0;
+    bool in_string = false;
+    bool escaped = false;
+    for (; i < s.size(); ++i) {
+        char c = s[i];
+        if (in_string) {
+            if (escaped) {
+                escaped = false;
+            } else if (c == '\\') {
+                escaped = true;
+            } else if (c == '"') {
+                in_string = false;
+                if (depth == 0)
+                    return i + 1; // bare string value ends here
+            }
+            continue;
+        }
+        if (c == '"') {
+            in_string = true;
+        } else if (c == '{' || c == '[') {
+            ++depth;
+        } else if (c == '}' || c == ']') {
+            --depth;
+            if (depth == 0)
+                return i + 1;
+        } else if (depth == 0 && (c == ',' || c == '}' || c == ']')) {
+            return i; // scalar value ends at the delimiter
+        }
+    }
+    return s.size();
+}
+
+} // namespace
+
+std::optional<std::vector<std::string>>
+splitBatchRequestTexts(const std::string &text)
+{
+    // Locate the requests array: the document itself when it is a
+    // top-level array, otherwise the value of the "requests" member.
+    std::size_t i = skipJsonSpace(text, 0);
+    if (i >= text.size())
+        return std::nullopt;
+    if (text[i] == '{') {
+        // Walk the object's members for the "requests" key.
+        ++i;
+        while (true) {
+            i = skipJsonSpace(text, i);
+            if (i >= text.size() || text[i] == '}')
+                return std::nullopt;
+            if (text[i] != '"')
+                return std::nullopt;
+            std::size_t key_end = jsonValueEnd(text, i);
+            std::string key = text.substr(i, key_end - i);
+            i = skipJsonSpace(text, key_end);
+            if (i >= text.size() || text[i] != ':')
+                return std::nullopt;
+            i = skipJsonSpace(text, i + 1);
+            if (i >= text.size())
+                return std::nullopt;
+            std::size_t value_end = jsonValueEnd(text, i);
+            if (key == "\"requests\"")
+                break;
+            i = skipJsonSpace(text, value_end);
+            if (i < text.size() && text[i] == ',')
+                ++i;
+            else
+                return std::nullopt; // no "requests" member
+        }
+    }
+    if (i >= text.size() || text[i] != '[')
+        return std::nullopt;
+
+    std::vector<std::string> items;
+    i = skipJsonSpace(text, i + 1);
+    if (i < text.size() && text[i] == ']')
+        return items; // empty batch
+    while (i < text.size()) {
+        std::size_t end = jsonValueEnd(text, i);
+        items.push_back(text.substr(i, end - i));
+        i = skipJsonSpace(text, end);
+        if (i >= text.size())
+            return std::nullopt;
+        if (text[i] == ']')
+            return items;
+        if (text[i] != ',')
+            return std::nullopt;
+        i = skipJsonSpace(text, i + 1);
+    }
+    return std::nullopt;
+}
+
 } // namespace svc
 } // namespace hcm

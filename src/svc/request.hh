@@ -56,6 +56,18 @@ RequestParse parseQueryRequestText(const std::string &text);
 std::optional<std::vector<Query>> parseBatchDocument(
     const std::string &text, std::string *error);
 
+/**
+ * Slice a batch document into the raw byte spans of its request
+ * objects, in order. The net front door forwards these verbatim to
+ * shards: re-serializing through JsonWriter would round doubles to 12
+ * significant digits, silently changing canonical keys, so the
+ * original bytes are the only faithful representation. @p text must
+ * be a batch document that parseBatchDocument() accepts (call it
+ * first); malformed input returns nullopt.
+ */
+std::optional<std::vector<std::string>> splitBatchRequestTexts(
+    const std::string &text);
+
 /** Workload spec parser shared with the CLI ("mmm", "bs", "fft:N"). */
 std::optional<wl::Workload> parseWorkloadSpec(const std::string &spec,
                                               std::string *error);

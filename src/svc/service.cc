@@ -2,32 +2,17 @@
 
 #include <sstream>
 
-#include "obs/metrics.hh"
-#include "obs/trace.hh"
-#include "prof/profiler.hh"
 #include "svc/request.hh"
+#include "svc/router.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
 
 namespace hcm {
 namespace svc {
-namespace {
-
-void
-writeErrorLine(std::ostream &out, const std::string &why)
-{
-    JsonWriter json(out);
-    json.beginObject();
-    json.kv("error", why);
-    json.endObject();
-    out << "\n";
-}
-
-} // namespace
 
 bool
 runBatch(const std::string &text, QueryEngine &engine, std::ostream &out,
-         std::string *error)
+         std::string *error, bool results_only)
 {
     auto queries = parseBatchDocument(text, error);
     if (!queries)
@@ -42,8 +27,10 @@ runBatch(const std::string &text, QueryEngine &engine, std::ostream &out,
     for (const QueryEngine::ResultPtr &result : results)
         result->writeJson(json);
     json.endArray();
-    json.key("metrics");
-    engine.writeMetricsJson(json);
+    if (!results_only) {
+        json.key("metrics");
+        engine.writeMetricsJson(json);
+    }
     json.endObject();
     out << "\n";
     hcm_debug("batch served", logField("queries", queries->size()),
@@ -54,88 +41,18 @@ runBatch(const std::string &text, QueryEngine &engine, std::ostream &out,
 std::size_t
 runServe(std::istream &in, std::ostream &out, QueryEngine &engine)
 {
+    // One dispatch path for every transport: the stdin loop only adds
+    // line framing around the shared RequestRouter (the TCP server
+    // adds length-prefixed frames around the same router).
+    RequestRouter router(engine);
     std::size_t served = 0;
     std::string line;
     while (std::getline(in, line)) {
         if (trim(line).empty())
             continue;
-        RequestParse parsed = parseQueryRequestText(line);
-        if (!parsed.ok) {
-            // "metrics", "trace", and "profile" are control verbs, not
-            // query types, so they fail normal parsing; intercept here.
-            auto doc = JsonValue::parse(line, nullptr);
-            if (doc && doc->isObject()) {
-                const JsonValue *type = doc->find("type");
-                if (type && type->isString() &&
-                    type->asString() == "metrics") {
-                    const JsonValue *format = doc->find("format");
-                    if (format && format->isString() &&
-                        format->asString() == "prom") {
-                        // Prometheus text is multi-line; a blank line
-                        // terminates the block so line-oriented clients
-                        // know where the response ends.
-                        engine.writeMetricsProm(out);
-                        obs::globalRegistry().writePrometheus(out);
-                        out << "\n" << std::flush;
-                        continue;
-                    }
-                    if (format && (!format->isString() ||
-                                   format->asString() != "json")) {
-                        writeErrorLine(
-                            out, "metrics format must be json or prom");
-                        out << std::flush;
-                        continue;
-                    }
-                    JsonWriter json(out);
-                    engine.writeMetricsJson(json);
-                    out << "\n" << std::flush;
-                    continue;
-                }
-                if (type && type->isString() &&
-                    type->asString() == "trace") {
-                    // Only JSON exists for traces; reject anything
-                    // else instead of silently ignoring the field.
-                    const JsonValue *format = doc->find("format");
-                    if (format && (!format->isString() ||
-                                   format->asString() != "json")) {
-                        writeErrorLine(out, "trace format must be json");
-                        out << std::flush;
-                        continue;
-                    }
-                    // The accumulated Chrome trace as one response
-                    // line (empty traceEvents when tracing is off).
-                    obs::Tracer::instance().writeChromeTrace(out);
-                    out << "\n" << std::flush;
-                    continue;
-                }
-                if (type && type->isString() &&
-                    type->asString() == "profile") {
-                    const JsonValue *format = doc->find("format");
-                    if (format && (!format->isString() ||
-                                   format->asString() != "json")) {
-                        writeErrorLine(out,
-                                       "profile format must be json");
-                        out << std::flush;
-                        continue;
-                    }
-                    // The aggregated profile tree as one JSON line
-                    // (empty roots when profiling is off).
-                    prof::Profiler::instance().writeJson(out);
-                    out << "\n" << std::flush;
-                    continue;
-                }
-            }
-            writeErrorLine(out, parsed.error);
-            out << std::flush;
-            continue;
-        }
-        QueryEngine::ResultPtr result = engine.evaluate(parsed.query);
-        // Error results are one structured {"error":...,"type":...}
-        // line (the engine never hangs a request); only successfully
-        // served queries count.
-        out << result->toJson() << "\n" << std::flush;
-        if (result->ok())
-            ++served;
+        RouteReply reply = router.route(line);
+        out << reply.body << "\n" << std::flush;
+        served += reply.served;
     }
     hcm_inform("serve session ended", logField("served", served),
                logField("cacheHitRate",

@@ -32,13 +32,19 @@ namespace svc {
  * the response JSON to @p out. Returns false (with @p error set) when
  * the document does not parse; a failing evaluation renders as an
  * error object at its input-order position, not a document failure.
+ * With @p results_only the metrics member is omitted, leaving exactly
+ * {"results": [...]} — byte-comparable against a net front door's
+ * response to the same batch (the CI sharding smoke relies on this).
  */
 bool runBatch(const std::string &text, QueryEngine &engine,
-              std::ostream &out, std::string *error);
+              std::ostream &out, std::string *error,
+              bool results_only = false);
 
 /**
  * Serve line-delimited JSON requests from @p in until EOF, one
- * response line each. Returns the number of successfully served
+ * response line each (dispatch shared with the TCP transport via
+ * RequestRouter, so batch documents on one line answer
+ * {"results": [...]}). Returns the number of successfully served
  * queries; parse failures and error results answer with an error line
  * and do not count.
  */

@@ -7,12 +7,28 @@
 namespace hcm {
 namespace svc {
 
-ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
+namespace {
+
+/** {shard=<label>} when labeled, no labels otherwise. */
+obs::Labels
+poolLabels(const std::string &shard_label)
+{
+    if (shard_label.empty())
+        return {};
+    return {{"shard", shard_label}};
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity,
+                       const std::string &shard_label)
     : _capacity(queue_capacity > 0 ? queue_capacity : 1),
-      _queueDepth(obs::globalRegistry().gauge("hcm_pool_queue_depth")),
-      _tasksRun(obs::globalRegistry().counter("hcm_pool_tasks_total")),
-      _taskLatencyNs(
-          obs::globalRegistry().histogram("hcm_pool_task_latency_ns"))
+      _queueDepth(obs::globalRegistry().gauge(
+          "hcm_pool_queue_depth", poolLabels(shard_label))),
+      _tasksRun(obs::globalRegistry().counter(
+          "hcm_pool_tasks_total", poolLabels(shard_label))),
+      _taskLatencyNs(obs::globalRegistry().histogram(
+          "hcm_pool_task_latency_ns", poolLabels(shard_label)))
 {
     if (threads == 0) {
         threads = std::thread::hardware_concurrency();

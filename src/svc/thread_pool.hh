@@ -18,6 +18,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -33,10 +34,16 @@ class ThreadPool
     /**
      * Start @p threads workers (0 selects the hardware concurrency).
      * @p queue_capacity bounds the number of tasks waiting to run;
-     * submit() blocks once the bound is reached.
+     * submit() blocks once the bound is reached. A non-empty
+     * @p shard_label attaches {shard=<label>} to this pool's
+     * instruments so multiple engine instances (one per net shard)
+     * export distinguishable series instead of colliding on one
+     * unlabeled gauge/histogram; empty keeps the historical unlabeled
+     * series.
      */
     explicit ThreadPool(std::size_t threads,
-                        std::size_t queue_capacity = kDefaultQueueCapacity);
+                        std::size_t queue_capacity = kDefaultQueueCapacity,
+                        const std::string &shard_label = "");
 
     /** shutdown(): drains the queue, then joins every worker. */
     ~ThreadPool();

@@ -1,0 +1,136 @@
+#include "net/loadgen.hh"
+
+#include <gtest/gtest.h>
+
+#include "net/server.hh"
+
+namespace hcm {
+namespace net {
+namespace {
+
+TEST(ParseMixTest, SplitsJsonlIntoLines)
+{
+    std::string error;
+    auto requests = parseMixText("{\"type\":\"optimize\"}\n"
+                                 "\n"
+                                 "  {\"type\":\"energy\"}  \r\n",
+                                 &error);
+    ASSERT_EQ(requests.size(), 2u);
+    EXPECT_EQ(requests[0], "{\"type\":\"optimize\"}");
+    EXPECT_EQ(requests[1], "{\"type\":\"energy\"}");
+}
+
+TEST(ParseMixTest, SlicesBatchArrayVerbatim)
+{
+    // The raw member bytes must survive untouched — f re-serialized
+    // through the %.12g writer would be a different query.
+    std::string error;
+    auto requests = parseMixText(
+        R"([{"type":"optimize","f":0.123456789012345678},)"
+        R"({"type":"energy"}])",
+        &error);
+    ASSERT_EQ(requests.size(), 2u);
+    EXPECT_EQ(requests[0],
+              R"({"type":"optimize","f":0.123456789012345678})");
+    EXPECT_EQ(requests[1], R"({"type":"energy"})");
+}
+
+TEST(ParseMixTest, AcceptsRequestsWrapperDocument)
+{
+    std::string error;
+    auto requests = parseMixText(
+        R"({"requests":[{"type":"optimize"},{"type":"pareto"}]})",
+        &error);
+    ASSERT_EQ(requests.size(), 2u);
+    EXPECT_EQ(requests[1], R"({"type":"pareto"})");
+}
+
+TEST(ParseMixTest, EmptyInputIsAnError)
+{
+    std::string error;
+    auto requests = parseMixText("\n  \n", &error);
+    EXPECT_TRUE(requests.empty());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(LoadGenTest, ReplaysAgainstAServerAndCounts)
+{
+    TcpServer server(TcpServerOptions{},
+                     [](const std::string &request) {
+                         // Pretend every other request overloads.
+                         if (request.find("\"f\":0.5") !=
+                             std::string::npos)
+                             return std::string(
+                                 R"({"error":"queue full",)"
+                                 R"("type":"overloaded",)"
+                                 R"("retryAfterMs":5})");
+                         return R"({"rows":[]})" + std::string();
+                     });
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    std::vector<std::string> requests = {
+        R"({"type":"optimize","f":0.9})",
+        R"({"type":"optimize","f":0.5})",
+        R"({"type":"optimize","f":0.9})",
+        R"({"type":"optimize","f":0.5})",
+    };
+    LoadGenOptions opts;
+    opts.port = server.port();
+    opts.concurrency = 2;
+    opts.repeat = 2;
+    LoadGenReport report;
+    ASSERT_TRUE(runLoadGen(requests, opts, &report, &error)) << error;
+    server.stop();
+
+    EXPECT_EQ(report.sent, 8u);
+    EXPECT_EQ(report.ok, 4u);
+    EXPECT_EQ(report.errors, 4u);
+    EXPECT_EQ(report.shed, 4u);
+    EXPECT_EQ(report.shardUnavailable, 0u);
+    EXPECT_EQ(report.transportFailures, 0u);
+    EXPECT_GT(report.p50Ms, 0.0);
+    EXPECT_GE(report.p99Ms, report.p50Ms);
+    EXPECT_GE(report.maxMs, report.p99Ms);
+    EXPECT_GT(report.elapsedSec, 0.0);
+}
+
+TEST(LoadGenTest, DeadEndpointCountsTransportFailures)
+{
+    // Grab-and-release a port so nothing is listening there.
+    std::string error;
+    auto [probe, port] = listenOn("127.0.0.1", 0, &error);
+    ASSERT_TRUE(probe.valid()) << error;
+    probe.close();
+
+    LoadGenOptions opts;
+    opts.port = port;
+    opts.concurrency = 1;
+    opts.timeoutMs = 500;
+    LoadGenReport report;
+    std::vector<std::string> requests = {R"({"type":"optimize"})"};
+    ASSERT_TRUE(runLoadGen(requests, opts, &report, &error));
+    EXPECT_EQ(report.sent, 1u);
+    EXPECT_EQ(report.transportFailures, 1u);
+    EXPECT_EQ(report.errors, 1u);
+    EXPECT_EQ(report.ok, 0u);
+}
+
+TEST(LoadGenTest, ReportFormatsAsJson)
+{
+    LoadGenReport report;
+    report.sent = 10;
+    report.ok = 9;
+    report.errors = 1;
+    report.shed = 1;
+    report.p50Ms = 1.5;
+    std::string text = formatLoadGenReport(report);
+    EXPECT_EQ(text.rfind("{\"sent\":10,", 0), 0u);
+    EXPECT_NE(text.find("\"latencyMs\":{\"p50\":1.5"),
+              std::string::npos);
+    EXPECT_EQ(text.back(), '\n');
+}
+
+} // namespace
+} // namespace net
+} // namespace hcm

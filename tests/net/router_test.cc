@@ -1,0 +1,220 @@
+#include "svc/router.hh"
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/front_door.hh"
+#include "svc/engine.hh"
+
+namespace hcm {
+namespace net {
+namespace {
+
+svc::EngineOptions
+smallEngine()
+{
+    svc::EngineOptions opts;
+    opts.threads = 2;
+    return opts;
+}
+
+/** A backend whose shard is permanently gone. */
+class DeadBackend : public ShardBackend
+{
+  public:
+    explicit DeadBackend(std::string name) : _name(std::move(name)) {}
+
+    const std::string &name() const override { return _name; }
+
+    bool
+    roundTrip(const std::string &, std::string *,
+              std::string *error) override
+    {
+        if (error)
+            *error = "connection refused (test)";
+        return false;
+    }
+
+  private:
+    std::string _name;
+};
+
+TEST(RequestRouterTest, RoutesSingleQuery)
+{
+    svc::QueryEngine engine(smallEngine());
+    svc::RequestRouter router(engine);
+    svc::RouteReply reply =
+        router.route(R"({"type":"optimize","workload":"mmm"})");
+    EXPECT_EQ(reply.served, 1u);
+    EXPECT_EQ(reply.body.find("{\"error\""), std::string::npos);
+    EXPECT_NE(reply.body.find("\"workload\":\"MMM\""),
+              std::string::npos);
+}
+
+TEST(RequestRouterTest, RoutesBatchDocument)
+{
+    svc::QueryEngine engine(smallEngine());
+    svc::RequestRouter router(engine);
+    svc::RouteReply reply = router.route(
+        R"([{"type":"optimize","workload":"mmm"},)"
+        R"({"type":"energy","workload":"bs"}])");
+    EXPECT_EQ(reply.served, 2u);
+    EXPECT_EQ(reply.body.rfind("{\"results\":[", 0), 0u);
+}
+
+TEST(RequestRouterTest, AnswersMetricsVerb)
+{
+    svc::QueryEngine engine(smallEngine());
+    svc::RequestRouter router(engine);
+    svc::RouteReply json = router.route(R"({"type":"metrics"})");
+    EXPECT_EQ(json.body.rfind("{", 0), 0u);
+    svc::RouteReply prom =
+        router.route(R"({"type":"metrics","format":"prom"})");
+    EXPECT_NE(prom.body.find("# TYPE"), std::string::npos);
+    svc::RouteReply bad =
+        router.route(R"({"type":"metrics","format":"xml"})");
+    EXPECT_NE(bad.body.find("metrics format must be json or prom"),
+              std::string::npos);
+}
+
+TEST(RequestRouterTest, MalformedRequestAnswersError)
+{
+    svc::QueryEngine engine(smallEngine());
+    svc::RequestRouter router(engine);
+    svc::RouteReply reply = router.route("not json at all");
+    EXPECT_EQ(reply.served, 0u);
+    EXPECT_EQ(reply.body.rfind("{\"error\":", 0), 0u);
+}
+
+TEST(FrontDoorTest, SingleQueryMatchesDirectEngine)
+{
+    // The front door over local shards must answer the same bytes a
+    // lone engine does (modulo which shard's cache warmed).
+    svc::QueryEngine reference(smallEngine());
+    svc::RequestRouter direct(reference);
+
+    svc::QueryEngine e0(smallEngine());
+    svc::QueryEngine e1(smallEngine());
+    std::vector<std::unique_ptr<ShardBackend>> backends;
+    backends.push_back(
+        std::make_unique<LocalShardBackend>("shard-0", e0));
+    backends.push_back(
+        std::make_unique<LocalShardBackend>("shard-1", e1));
+    FrontDoor front(std::move(backends));
+
+    const std::string request =
+        R"({"type":"optimize","workload":"mmm","f":0.97})";
+    EXPECT_EQ(front.handle(request), direct.route(request).body);
+}
+
+TEST(FrontDoorTest, BatchMergesInInputOrderByteIdentically)
+{
+    svc::QueryEngine reference(smallEngine());
+    svc::RequestRouter direct(reference);
+
+    svc::QueryEngine e0(smallEngine());
+    svc::QueryEngine e1(smallEngine());
+    svc::QueryEngine e2(smallEngine());
+    std::vector<std::unique_ptr<ShardBackend>> backends;
+    backends.push_back(
+        std::make_unique<LocalShardBackend>("shard-0", e0));
+    backends.push_back(
+        std::make_unique<LocalShardBackend>("shard-1", e1));
+    backends.push_back(
+        std::make_unique<LocalShardBackend>("shard-2", e2));
+    FrontDoor front(std::move(backends));
+
+    const std::string batch =
+        R"([{"type":"optimize","workload":"mmm","f":0.97},)"
+        R"({"type":"energy","workload":"bs","f":0.5},)"
+        R"({"type":"pareto","workload":"fft:1024","f":0.999},)"
+        R"({"type":"optimize","workload":"mmm","f":0.123456789012345},)"
+        R"({"type":"projection","workload":"bs","f":0.9}])";
+    EXPECT_EQ(front.handle(batch), direct.route(batch).body);
+}
+
+TEST(FrontDoorTest, ShardPlacementIsDisjointAndTotal)
+{
+    svc::QueryEngine e0(smallEngine());
+    svc::QueryEngine e1(smallEngine());
+    std::vector<std::unique_ptr<ShardBackend>> backends;
+    backends.push_back(
+        std::make_unique<LocalShardBackend>("shard-0", e0));
+    backends.push_back(
+        std::make_unique<LocalShardBackend>("shard-1", e1));
+    FrontDoor front(std::move(backends));
+
+    std::set<std::string> seen;
+    for (int i = 0; i < 50; ++i) {
+        const std::string *owner = front.shardForKey(
+            "optimize|MMM|0." + std::to_string(i) + "|baseline|22");
+        ASSERT_NE(owner, nullptr);
+        seen.insert(*owner);
+    }
+    // Every key has exactly one owner; with 50 keys both shards
+    // should appear (97 virtual points each).
+    EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(FrontDoorTest, DeadShardYieldsStructuredUnavailable)
+{
+    std::vector<std::unique_ptr<ShardBackend>> backends;
+    backends.push_back(std::make_unique<DeadBackend>("shard-0"));
+    FrontDoor front(std::move(backends));
+
+    std::string body =
+        front.handle(R"({"type":"optimize","workload":"mmm"})");
+    EXPECT_EQ(body.rfind("{\"error\":", 0), 0u);
+    EXPECT_NE(body.find("\"type\":\"shard_unavailable\""),
+              std::string::npos);
+    EXPECT_NE(body.find("\"retryAfterMs\":"), std::string::npos);
+    EXPECT_NE(body.find("connection refused (test)"),
+              std::string::npos);
+}
+
+TEST(FrontDoorTest, BatchDegradesPerQueryNotWholesale)
+{
+    // One dead shard: its queries answer shard_unavailable, the
+    // healthy shard's queries still answer normally, order holds.
+    svc::QueryEngine healthy(smallEngine());
+    std::vector<std::unique_ptr<ShardBackend>> backends;
+    backends.push_back(
+        std::make_unique<LocalShardBackend>("shard-0", healthy));
+    backends.push_back(std::make_unique<DeadBackend>("shard-1"));
+    FrontDoor front(std::move(backends));
+
+    std::string batch = "[";
+    for (int i = 0; i < 20; ++i) {
+        if (i > 0)
+            batch += ",";
+        batch += R"({"type":"optimize","workload":"mmm","f":0.9)" +
+                 std::to_string(i) + "}";
+    }
+    batch += "]";
+    std::string body = front.handle(batch);
+    EXPECT_EQ(body.rfind("{\"results\":[", 0), 0u);
+    EXPECT_NE(body.find("\"type\":\"shard_unavailable\""),
+              std::string::npos)
+        << "expected some queries on the dead shard";
+    EXPECT_NE(body.find("\"speedup\""), std::string::npos)
+        << "expected some queries to still succeed";
+}
+
+TEST(FrontDoorTest, MalformedBatchMemberAnswersErrorBody)
+{
+    svc::QueryEngine e0(smallEngine());
+    std::vector<std::unique_ptr<ShardBackend>> backends;
+    backends.push_back(
+        std::make_unique<LocalShardBackend>("shard-0", e0));
+    FrontDoor front(std::move(backends));
+    std::string body =
+        front.handle(R"([{"type":"optimize"},{"type":17}])");
+    EXPECT_EQ(body.rfind("{\"error\":", 0), 0u);
+}
+
+} // namespace
+} // namespace net
+} // namespace hcm

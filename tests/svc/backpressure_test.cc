@@ -1,0 +1,65 @@
+#include "svc/backpressure.hh"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace hcm {
+namespace svc {
+namespace {
+
+TEST(BackoffHintTest, ScalesWithQueueDepthOverWorkers)
+{
+    // 10ms per task, 8 queued, 4 workers: the queue drains in about
+    // 10 * 8 / 4 = 20ms, so that is the hint.
+    EXPECT_EQ(backoffHintMs(10.0, 8, 4), 20u);
+}
+
+TEST(BackoffHintTest, MoreWorkersShrinkTheHint)
+{
+    EXPECT_GT(backoffHintMs(10.0, 16, 2), backoffHintMs(10.0, 16, 8));
+}
+
+TEST(BackoffHintTest, DeeperQueueGrowsTheHint)
+{
+    EXPECT_LE(backoffHintMs(10.0, 4, 4), backoffHintMs(10.0, 64, 4));
+}
+
+TEST(BackoffHintTest, NeverBelowMinimum)
+{
+    EXPECT_EQ(backoffHintMs(0.001, 1, 64), kMinBackoffMs);
+}
+
+TEST(BackoffHintTest, CapsAtMaximum)
+{
+    EXPECT_EQ(backoffHintMs(1e6, 10000, 1), kMaxBackoffMs);
+}
+
+TEST(BackoffHintTest, NonPositivePerTaskFallsBackToDefault)
+{
+    // No latency data yet (cold engine): assume the default cost
+    // rather than answering an always-1ms hint.
+    EXPECT_EQ(backoffHintMs(0.0, 4, 2),
+              backoffHintMs(kDefaultPerTaskMs, 4, 2));
+    EXPECT_EQ(backoffHintMs(-3.0, 4, 2),
+              backoffHintMs(kDefaultPerTaskMs, 4, 2));
+}
+
+TEST(BackoffHintTest, NonFinitePerTaskFallsBackToDefault)
+{
+    EXPECT_EQ(backoffHintMs(std::nan(""), 4, 2),
+              backoffHintMs(kDefaultPerTaskMs, 4, 2));
+    EXPECT_EQ(backoffHintMs(std::numeric_limits<double>::infinity(), 4,
+                            2),
+              backoffHintMs(kDefaultPerTaskMs, 4, 2));
+}
+
+TEST(BackoffHintTest, ZeroDepthAndWorkersClampToOne)
+{
+    EXPECT_EQ(backoffHintMs(10.0, 0, 0), backoffHintMs(10.0, 1, 1));
+}
+
+} // namespace
+} // namespace svc
+} // namespace hcm

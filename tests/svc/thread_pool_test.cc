@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hh"
 #include "svc/thread_pool.hh"
 
 namespace hcm {
@@ -181,6 +182,35 @@ TEST(ThreadPoolTest, ShutdownRacingSubmittersNeverCrashes)
     EXPECT_EQ(accepted.load() + rejected.load(), 800);
     // Shutdown mid-storm must have turned at least some away.
     EXPECT_FALSE(pool.submit([&ran] { ++ran; }));
+}
+
+TEST(ThreadPoolTest, ShardLabelTagsTheMetricSeries)
+{
+    // A labeled pool must report through its own {shard=...} series —
+    // the sharded serving tier relies on per-shard queue depth and
+    // latency being distinguishable in one process.
+    obs::Labels labels = {{"shard", "tp-label-test"}};
+    obs::Counter &tasks = obs::globalRegistry().counter(
+        "hcm_pool_tasks_total", labels);
+    obs::Histogram &latency = obs::globalRegistry().histogram(
+        "hcm_pool_task_latency_ns", labels);
+    std::int64_t tasks_before = tasks.value();
+    std::uint64_t samples_before = latency.count();
+    {
+        ThreadPool pool(2, ThreadPool::kDefaultQueueCapacity,
+                        "tp-label-test");
+        for (int i = 0; i < 10; ++i)
+            pool.submit([] {});
+    }
+    EXPECT_EQ(tasks.value(), tasks_before + 10);
+    EXPECT_EQ(latency.count(), samples_before + 10);
+    // The unlabeled series must NOT have absorbed the labeled runs:
+    // same name, different labels, different instrument.
+    ThreadPool unlabeled(1);
+    unlabeled.submit([] {});
+    unlabeled.shutdown();
+    EXPECT_NE(&tasks, &obs::globalRegistry().counter(
+                          "hcm_pool_tasks_total"));
 }
 
 } // namespace

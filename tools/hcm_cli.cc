@@ -6,11 +6,15 @@
  * vocabulary. See `hcm help` for usage.
  */
 
+#include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/crossover.hh"
@@ -28,8 +32,12 @@
 #include "prof/bench_results.hh"
 #include "prof/profiler.hh"
 #include "sim/simulator.hh"
+#include "net/front_door.hh"
+#include "net/loadgen.hh"
+#include "net/server.hh"
 #include "svc/engine.hh"
 #include "svc/fault.hh"
+#include "svc/router.hh"
 #include "svc/service.hh"
 #include "sweep/export.hh"
 #include "sweep/spec.hh"
@@ -65,11 +73,22 @@ commands:
   scenarios               Section 6.2 scenario summary
   batch <requests.json>   evaluate a batch of JSON queries on the
                           thread-pooled engine; emits results + metrics
-  serve                   line-delimited JSON request/response loop on
-                          stdin/stdout ({"type":"metrics"} for stats,
-                          optionally with "format":"prom";
+                          (--results-only: just {"results":[...]})
+  serve                   JSON request/response loop ({"type":"metrics"}
+                          for stats, optionally with "format":"prom";
                           {"type":"trace"} for the collected trace;
-                          {"type":"profile"} for the profile tree)
+                          {"type":"profile"} for the profile tree);
+                          line-delimited on stdin/stdout by default,
+                          length-prefixed frames on TCP with --port
+                          (--shards N serves N engines behind an
+                          in-process consistent-hash front door)
+  front                   TCP front door over remote shards: routes
+                          queries by canonical key across --shard-addrs,
+                          fans batches out, degrades to structured
+                          shard_unavailable errors when a shard is lost
+  loadgen <mix>           replay a query mix (JSONL or batch document)
+                          against --connect at --rate; reports
+                          p50/p95/p99 latency and error/shed counts
   bench                   run the google-benchmark suites and merge
                           their results into one BENCH_RESULTS.json
   bench-diff <old> <new>  compare two bench results files; exit 1 when
@@ -136,6 +155,32 @@ options (batch/serve):
                               testing, e.g. eval:throw:nth=2 or
                               eval:delay=50 (sites: eval, dequeue;
                               comma-separate rules)
+  --results-only              batch: emit exactly {"results":[...]}
+                              with no metrics member (the byte-exact
+                              reference for loadgen --output)
+
+options (serve/front/loadgen — networked tier):
+  --port <n>                  serve/front: listen on this TCP port
+                              (0 = ephemeral; serve without --port
+                              keeps the stdin/stdout loop)
+  --host <addr>               listen/connect address (default
+                              127.0.0.1)
+  --shards <n>                serve --port: shard the key space across
+                              n engines behind one in-process front
+                              door (default 1)
+  --shard-id <label>          serve: tag this engine's thread-pool
+                              metrics with a shard label
+  --shard-addrs <list>        front: comma-separated host:port shard
+                              endpoints (ring order independent)
+  --connect <host:port>       loadgen: endpoint to replay against
+  --rate <qps>                loadgen: target request rate
+                              (default 0 = as fast as possible)
+  --concurrency <n>           loadgen: concurrent connections
+                              (default 4)
+  --repeat <n>                loadgen: replay the mix n times
+                              (default 1)
+  --timeout-ms <ms>           net I/O timeout: every connect/read/write
+                              is bounded by this (default 5000)
 
 options (bench/bench-diff):
   --bench-dir <dir>           directory with the gbench binaries and
@@ -216,6 +261,17 @@ struct Options
     bool progress = false;
     std::string format = "csv";
     std::string output;
+    bool resultsOnly = false;
+    int port = -1; // -1 = no TCP; 0 = ephemeral
+    std::string host = "127.0.0.1";
+    std::size_t shards = 1;
+    std::string shardId;
+    std::string shardAddrs;
+    std::string connect;
+    double rate = 0.0;
+    std::size_t concurrency = 4;
+    std::size_t repeat = 1;
+    double timeoutMs = 5000.0;
 };
 
 wl::Workload
@@ -346,6 +402,28 @@ parseOptions(const std::vector<std::string> &args, std::size_t start)
             opts.tolerancePct = std::stod(next());
         else if (a == "--min-time-ns")
             opts.minTimeNs = std::stod(next());
+        else if (a == "--results-only")
+            opts.resultsOnly = true;
+        else if (a == "--port")
+            opts.port = std::stoi(next());
+        else if (a == "--host")
+            opts.host = next();
+        else if (a == "--shards")
+            opts.shards = std::stoul(next());
+        else if (a == "--shard-id")
+            opts.shardId = next();
+        else if (a == "--shard-addrs")
+            opts.shardAddrs = next();
+        else if (a == "--connect")
+            opts.connect = next();
+        else if (a == "--rate")
+            opts.rate = std::stod(next());
+        else if (a == "--concurrency")
+            opts.concurrency = std::stoul(next());
+        else if (a == "--repeat")
+            opts.repeat = std::stoul(next());
+        else if (a == "--timeout-ms")
+            opts.timeoutMs = std::stod(next());
         else
             hcm_fatal("unknown option '", a, "' (see hcm help)");
     }
@@ -364,6 +442,14 @@ parseOptions(const std::vector<std::string> &args, std::size_t start)
     if (opts.format != "csv" && opts.format != "json")
         hcm_fatal("--format must be csv or json, not '", opts.format,
                   "'");
+    if (opts.port > 65535)
+        hcm_fatal("--port must be in [0, 65535]");
+    if (opts.shards == 0)
+        hcm_fatal("--shards must be >= 1");
+    if (opts.rate < 0.0)
+        hcm_fatal("--rate must be >= 0");
+    if (opts.timeoutMs < 0.0)
+        hcm_fatal("--timeout-ms must be >= 0");
     return opts;
 }
 
@@ -950,10 +1036,29 @@ cmdBatch(const std::string &path, const Options &opts)
     ProfileSession profile(opts);
     svc::QueryEngine engine(engineOptions(opts));
     std::string error;
-    if (!svc::runBatch(buffer.str(), engine, std::cout, &error))
+    if (!svc::runBatch(buffer.str(), engine, std::cout, &error,
+                       opts.resultsOnly))
         hcm_fatal(path, ": ", error);
     writeMetricsFile(opts, &engine);
     return 0;
+}
+
+volatile std::sig_atomic_t g_shutdownRequested = 0;
+
+extern "C" void
+handleShutdownSignal(int)
+{
+    g_shutdownRequested = 1;
+}
+
+/** Block until SIGINT/SIGTERM (or @p stop_fd-style polling hooks). */
+void
+waitForShutdownSignal()
+{
+    std::signal(SIGINT, handleShutdownSignal);
+    std::signal(SIGTERM, handleShutdownSignal);
+    while (!g_shutdownRequested)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
 }
 
 int
@@ -965,10 +1070,158 @@ cmdServe(const Options &opts)
     applyFaultSpec(opts);
     TraceSession trace(opts);
     ProfileSession profile(opts);
-    svc::QueryEngine engine(engineOptions(opts));
-    svc::runServe(std::cin, std::cout, engine);
-    writeMetricsFile(opts, &engine);
+
+    if (opts.port < 0) {
+        // The historical stdin/stdout loop.
+        svc::EngineOptions eopts = engineOptions(opts);
+        eopts.shardLabel = opts.shardId;
+        svc::QueryEngine engine(eopts);
+        svc::runServe(std::cin, std::cout, engine);
+        writeMetricsFile(opts, &engine);
+        return 0;
+    }
+
+    // TCP mode: one engine, or --shards engines behind an in-process
+    // front door that owns the key-space partition.
+    std::vector<std::unique_ptr<svc::QueryEngine>> engines;
+    for (std::size_t s = 0; s < opts.shards; ++s) {
+        svc::EngineOptions eopts = engineOptions(opts);
+        if (opts.shards > 1)
+            eopts.shardLabel = !opts.shardId.empty()
+                                   ? opts.shardId + "-" +
+                                         std::to_string(s)
+                                   : std::to_string(s);
+        else
+            eopts.shardLabel = opts.shardId;
+        engines.push_back(
+            std::make_unique<svc::QueryEngine>(eopts));
+    }
+
+    std::unique_ptr<svc::RequestRouter> router;
+    std::unique_ptr<net::FrontDoor> front;
+    net::TcpServer::Handler handler;
+    if (opts.shards == 1) {
+        router = std::make_unique<svc::RequestRouter>(*engines[0]);
+        handler = [&router](const std::string &request) {
+            return router->route(request).body;
+        };
+    } else {
+        std::vector<std::unique_ptr<net::ShardBackend>> backends;
+        for (std::size_t s = 0; s < opts.shards; ++s)
+            backends.push_back(std::make_unique<net::LocalShardBackend>(
+                "shard-" + std::to_string(s), *engines[s]));
+        front = std::make_unique<net::FrontDoor>(std::move(backends));
+        handler = [&front](const std::string &request) {
+            return front->handle(request);
+        };
+    }
+
+    net::TcpServerOptions sopts;
+    sopts.host = opts.host;
+    sopts.port = static_cast<std::uint16_t>(opts.port);
+    net::TcpServer server(sopts, std::move(handler));
+    std::string error;
+    if (!server.start(&error))
+        hcm_fatal("serve: ", error);
+    // The kernel assigns ephemeral ports; print the real one so
+    // scripts using --port 0 can find us.
+    std::cout << "listening " << opts.host << ":" << server.port()
+              << "\n"
+              << std::flush;
+    waitForShutdownSignal();
+    server.stop();
+    writeMetricsFile(opts, engines.size() == 1 ? engines[0].get()
+                                               : nullptr);
     return 0;
+}
+
+int
+cmdFront(const Options &opts)
+{
+    applyLogOptions(opts, true);
+    TraceSession trace(opts);
+    ProfileSession profile(opts);
+    if (opts.port < 0)
+        hcm_fatal("front: --port is required");
+    if (opts.shardAddrs.empty())
+        hcm_fatal("front: --shard-addrs is required");
+
+    std::vector<std::unique_ptr<net::ShardBackend>> backends;
+    std::istringstream specs(opts.shardAddrs);
+    std::string spec;
+    while (std::getline(specs, spec, ',')) {
+        if (spec.empty())
+            continue;
+        std::string host;
+        std::uint16_t port = 0;
+        std::string error;
+        if (!net::parseHostPort(spec, &host, &port, &error))
+            hcm_fatal("front: --shard-addrs: ", error);
+        backends.push_back(std::make_unique<net::TcpShardBackend>(
+            host, port,
+            static_cast<std::uint64_t>(opts.timeoutMs)));
+    }
+    if (backends.empty())
+        hcm_fatal("front: --shard-addrs named no shards");
+
+    net::FrontDoor front(std::move(backends));
+    net::TcpServerOptions sopts;
+    sopts.host = opts.host;
+    sopts.port = static_cast<std::uint16_t>(opts.port);
+    net::TcpServer server(sopts, [&front](const std::string &request) {
+        return front.handle(request);
+    });
+    std::string error;
+    if (!server.start(&error))
+        hcm_fatal("front: ", error);
+    std::cout << "listening " << opts.host << ":" << server.port()
+              << "\n"
+              << std::flush;
+    waitForShutdownSignal();
+    server.stop();
+    writeMetricsFile(opts, nullptr);
+    return 0;
+}
+
+int
+cmdLoadgen(const std::string &mix_path, const Options &opts)
+{
+    applyLogOptions(opts, false);
+    if (opts.connect.empty())
+        hcm_fatal("loadgen: --connect <host:port> is required");
+    std::string host;
+    std::uint16_t port = 0;
+    std::string error;
+    if (!net::parseHostPort(opts.connect, &host, &port, &error))
+        hcm_fatal("loadgen: --connect: ", error);
+
+    std::ifstream in(mix_path);
+    if (!in)
+        hcm_fatal("cannot open '", mix_path, "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto requests = net::parseMixText(buffer.str(), &error);
+    if (requests.empty())
+        hcm_fatal(mix_path, ": ", error);
+
+    net::LoadGenOptions lopts;
+    lopts.host = host;
+    lopts.port = port;
+    lopts.rate = opts.rate;
+    lopts.concurrency = opts.concurrency;
+    lopts.repeat = opts.repeat;
+    lopts.timeoutMs = static_cast<std::uint64_t>(opts.timeoutMs);
+    lopts.outputPath = opts.output;
+    net::LoadGenReport report;
+    if (!net::runLoadGen(requests, lopts, &report, &error))
+        hcm_fatal("loadgen: ", error);
+    std::cout << net::formatLoadGenReport(report);
+    writeMetricsFile(opts, nullptr);
+    // A run where nothing got through is a failed run: scripts keying
+    // on the exit code should not need to parse the report.
+    return report.sent > 0 && report.transportFailures == report.sent
+               ? 1
+               : 0;
 }
 
 int
@@ -1100,6 +1353,14 @@ main(int argc, char **argv)
     }
     if (cmd == "serve")
         return cmdServe(parseOptions(args, 1));
+    if (cmd == "front")
+        return cmdFront(parseOptions(args, 1));
+    if (cmd == "loadgen") {
+        if (args.size() < 2 || args[1].rfind("--", 0) == 0)
+            hcm_fatal("usage: hcm loadgen <mix.jsonl> --connect "
+                      "<host:port> [options]");
+        return cmdLoadgen(args[1], parseOptions(args, 2));
+    }
     if (cmd == "bench")
         return cmdBench(parseOptions(args, 1));
     if (cmd == "bench-diff") {
