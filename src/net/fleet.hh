@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Fleet telemetry: the front door scraping its shards. A
+ * FleetCollector asks each shard backend for its widened metrics
+ * payload ({"type":"metrics","scope":"all"}), distills every answer
+ * into one ShardStatus row (throughput, tail latency, queue depth,
+ * cache hit rate, process vitals), and serves the aggregate through
+ * the front door's {"type":"fleet"} verb — which is what `hcm top`
+ * renders. Scraping is either periodic (a background thread at the
+ * configured interval) or on demand (every fleet request scrapes when
+ * no thread is running, so one-shot queries see fresh numbers).
+ */
+
+#ifndef HCM_NET_FLEET_HH
+#define HCM_NET_FLEET_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace hcm {
+namespace net {
+
+class ShardBackend;
+
+/** One shard as the fleet view shows it. */
+struct ShardStatus
+{
+    std::string name;  ///< ring name (host:port or shard-N)
+    bool up = false;   ///< last scrape answered
+    std::string error; ///< transport error when !up
+    /** Queries per second between the last two scrapes (0 until the
+     *  second sample; rates need two points). */
+    double qps = 0.0;
+    std::uint64_t queries = 0; ///< totalQueries, cumulative
+    std::uint64_t errors = 0;
+    std::uint64_t deadlineExceeded = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t slowQueries = 0;
+    /** Count-weighted average of the per-type latency percentiles —
+     *  an approximation (true fleet percentiles would need the raw
+     *  histograms), biased toward the dominant query type. */
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double cacheHitRate = 0.0;
+    std::int64_t queueDepth = 0; ///< hcm_pool_queue_depth gauges, summed
+    std::int64_t uptimeSec = 0;
+    std::int64_t rssBytes = 0;
+    std::uint64_t scrapeAgeMs = 0; ///< now - last successful scrape
+};
+
+/**
+ * Scrapes a fixed set of shard backends (not owned; the front door's
+ * own backends — TcpShardBackend serializes its connection, so
+ * scrapes interleave safely with query traffic).
+ */
+class FleetCollector
+{
+  public:
+    explicit FleetCollector(std::vector<ShardBackend *> backends);
+    ~FleetCollector();
+
+    FleetCollector(const FleetCollector &) = delete;
+    FleetCollector &operator=(const FleetCollector &) = delete;
+
+    /** Begin periodic scraping every @p interval_ms (call once). */
+    void start(std::uint64_t interval_ms);
+
+    /** Scrape every shard now, synchronously. */
+    void scrapeOnce();
+
+    /** True once any scrape (periodic or on-demand) completed. */
+    bool everScraped() const;
+
+    /** True when start() launched the background thread. */
+    bool
+    periodic() const
+    {
+        return _thread.joinable();
+    }
+
+    /** Latest per-shard rows, in backend order. */
+    std::vector<ShardStatus> snapshot() const;
+
+  private:
+    /** One shard's sample history (for rates). */
+    struct ShardState
+    {
+        ShardStatus status;
+        bool sampled = false; ///< a successful scrape happened
+        std::uint64_t lastQueries = 0;
+        std::chrono::steady_clock::time_point lastSample;
+        std::chrono::steady_clock::time_point lastSuccess;
+    };
+
+    void scrapeShard(std::size_t index);
+    void runLoop(std::uint64_t interval_ms);
+
+    std::vector<ShardBackend *> _backends;
+    mutable std::mutex _mu; ///< guards _states, _everScraped
+    std::vector<ShardState> _states;
+    bool _everScraped = false;
+
+    std::mutex _stopMu;
+    std::condition_variable _stopCv;
+    bool _stopping = false; ///< guarded by _stopMu
+    std::thread _thread;
+};
+
+/** Emit the fleet verb's "shards" array: one object per row. */
+void writeShardStatusJson(JsonWriter &json,
+                          const std::vector<ShardStatus> &shards);
+
+/** The front door's own routing counters, as the fleet verb reports
+ *  them alongside the shard rows. */
+struct FrontCounters
+{
+    std::uint64_t routed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t shardUnavailable = 0;
+};
+
+/**
+ * Parse a {"type":"fleet"} response back into shard rows and front
+ * counters — the client half of the protocol, used by `hcm top`.
+ * False + @p error when @p text is not a fleet payload.
+ */
+bool parseFleetResponse(const std::string &text,
+                        std::vector<ShardStatus> *shards,
+                        FrontCounters *front, std::string *error);
+
+/**
+ * Render the rows as the fixed-width table `hcm top` prints: a header
+ * line, then one line per shard keyed by its name (grep-stable).
+ */
+std::string renderFleetTable(const std::vector<ShardStatus> &shards);
+
+} // namespace net
+} // namespace hcm
+
+#endif // HCM_NET_FLEET_HH

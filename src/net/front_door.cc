@@ -9,9 +9,12 @@
 #include <sstream>
 #include <thread>
 
+#include "net/fleet.hh"
 #include "obs/metrics.hh"
+#include "obs/request_id.hh"
 #include "obs/trace.hh"
 #include "svc/backpressure.hh"
+#include "svc/flight_recorder.hh"
 #include "svc/request.hh"
 #include "util/logging.hh"
 
@@ -159,10 +162,25 @@ class FrontDoor::Impl
     {
         hcm_assert(!_backends.empty(),
                    "front door needs at least one shard backend");
-        for (const auto &backend : _backends)
+        std::vector<ShardBackend *> fleet_backends;
+        for (const auto &backend : _backends) {
             _ring.addShard(backend->name());
+            // Per-shard series beside the unlabeled totals, so the
+            // fleet view (and CI) can tell a hot shard from a dead one.
+            obs::Labels labels = {{"shard", backend->name()}};
+            _routedByShard.push_back(&obs::globalRegistry().counter(
+                "hcm_net_routed_total", labels));
+            _unavailableByShard.push_back(
+                &obs::globalRegistry().counter(
+                    "hcm_net_shard_unavailable_total", labels));
+            fleet_backends.push_back(backend.get());
+        }
         hcm_assert(_ring.shardCount() == _backends.size(),
                    "shard backend names must be unique");
+        _fleet = std::make_unique<FleetCollector>(
+            std::move(fleet_backends));
+        if (opts.scrapeIntervalMs > 0)
+            _fleet->start(opts.scrapeIntervalMs);
         std::size_t threads = opts.fanoutThreads > 0
                                   ? opts.fanoutThreads
                                   : _backends.size();
@@ -189,6 +207,17 @@ class FrontDoor::Impl
         svc::RequestParse parsed = svc::parseQueryRequestText(request);
         if (parsed.ok) {
             span.arg("kind", "query");
+            // The front door is the fleet's ingress: requests without
+            // trace context get an id minted here and spliced into the
+            // forwarded bytes, so the owning shard stamps the same id
+            // into its spans and logs. Client-supplied ids forward
+            // untouched (the raw text already carries them).
+            if (parsed.query.requestId.empty()) {
+                parsed.query.requestId = obs::mintRequestId();
+                if (auto tagged = svc::injectRequestId(
+                        request, parsed.query.requestId))
+                    return dispatch(parsed.query, *tagged);
+            }
             return dispatch(parsed.query, request);
         }
         auto doc = JsonValue::parse(request, nullptr);
@@ -202,6 +231,11 @@ class FrontDoor::Impl
             if (type && type->isString() &&
                 type->asString() == "metrics")
                 return handleMetrics(*doc);
+            if (type && type->isString() && type->asString() == "fleet")
+                return handleFleet();
+            if (type && type->isString() &&
+                type->asString() == "requests")
+                return handleRequests();
         }
         span.arg("kind", "error");
         return errorBody(parsed.error);
@@ -220,14 +254,34 @@ class FrontDoor::Impl
     {
         std::size_t index = _ring.shardIndexFor(q.canonicalKey());
         ShardBackend &backend = *_backends[index];
+        // One slice per hop: batch members dispatch on fan-out
+        // workers outside the net.route slice, so the flow start
+        // needs its own enclosing span on this thread.
+        obs::Span span("net.dispatch", "net");
+        span.arg("shard", backend.name());
+        if (!q.requestId.empty()) {
+            span.arg("rid", q.requestId);
+            if (obs::Tracer::instance().enabled())
+                obs::Tracer::instance().recordFlow("req", "net", 's',
+                                                   q.requestId);
+        }
         _routed.add(1);
+        _routedByShard[index]->add(1);
+        bool flight = svc::FlightRecorder::instance().enabled();
+        std::uint64_t net_start = flight ? obs::Tracer::nowNs() : 0;
         std::string response;
         std::string error;
         if (!backend.roundTrip(request, &response, &error)) {
             _shardUnavailable.add(1);
+            _unavailableByShard[index]->add(1);
             hcm_warn("shard unavailable",
                      logField("shard", backend.name()),
+                     logField("requestId", q.requestId.empty()
+                                               ? "-"
+                                               : q.requestId),
                      logField("error", error));
+            recordFlight(q, backend.name(), "shard_unavailable",
+                         flight ? obs::Tracer::nowNs() - net_start : 0);
             std::size_t outstanding =
                 _outstanding.load(std::memory_order_relaxed);
             return svc::makeQueryError(
@@ -238,9 +292,31 @@ class FrontDoor::Impl
                                           outstanding + 1, 1))
                 .toJson();
         }
-        if (responseErrorType(response) == "overloaded")
+        std::string error_type = responseErrorType(response);
+        if (error_type == "overloaded")
             _shed.add(1);
+        recordFlight(q, backend.name(),
+                     error_type.empty() ? "ok" : error_type.c_str(),
+                     flight ? obs::Tracer::nowNs() - net_start : 0);
         return response;
+    }
+
+    /** Front-door flight record: the shard hop as this process saw it. */
+    static void
+    recordFlight(const svc::Query &q, const std::string &shard,
+                 const char *outcome, std::uint64_t net_ns)
+    {
+        svc::FlightRecorder &recorder =
+            svc::FlightRecorder::instance();
+        if (!recorder.enabled())
+            return;
+        svc::RequestRecord rec;
+        rec.requestId = q.requestId;
+        rec.type = svc::queryTypeName(q.type);
+        rec.shard = shard;
+        rec.outcome = outcome;
+        rec.netNs = net_ns;
+        recorder.record(std::move(rec));
     }
 
     std::string
@@ -257,6 +333,18 @@ class FrontDoor::Impl
         auto texts = svc::splitBatchRequestTexts(request);
         hcm_assert(texts && texts->size() == queries->size(),
                    "batch splitter disagrees with batch parser");
+        // Each member is its own hop with its own trace context;
+        // members that arrived without an id get one spliced into
+        // their raw bytes before fan-out.
+        for (std::size_t i = 0; i < queries->size(); ++i) {
+            if (!(*queries)[i].requestId.empty())
+                continue;
+            std::string rid = obs::mintRequestId();
+            if (auto tagged = svc::injectRequestId((*texts)[i], rid)) {
+                (*queries)[i].requestId = rid;
+                (*texts)[i] = std::move(*tagged);
+            }
+        }
 
         std::vector<std::string> responses(queries->size());
         std::atomic<std::size_t> next{0};
@@ -306,6 +394,44 @@ class FrontDoor::Impl
         } else {
             JsonWriter json(oss);
             obs::globalRegistry().writeJson(json);
+        }
+        return oss.str();
+    }
+
+    /** The fleet verb: per-shard telemetry plus this door's counters. */
+    std::string
+    handleFleet()
+    {
+        // Without a background scraper every request scrapes fresh
+        // (deterministic `hcm top --once`); with one, serve the
+        // latest snapshot.
+        if (!_fleet->periodic() || !_fleet->everScraped())
+            _fleet->scrapeOnce();
+        std::vector<ShardStatus> shards = _fleet->snapshot();
+        std::ostringstream oss;
+        {
+            JsonWriter json(oss);
+            json.beginObject();
+            json.key("shards");
+            writeShardStatusJson(json, shards);
+            json.key("front").beginObject();
+            json.kv("routed", _routed.value());
+            json.kv("shed", _shed.value());
+            json.kv("shardUnavailable", _shardUnavailable.value());
+            json.endObject();
+            json.endObject();
+        }
+        return oss.str();
+    }
+
+    /** The requests verb: this process's flight-recorder ring. */
+    std::string
+    handleRequests()
+    {
+        std::ostringstream oss;
+        {
+            JsonWriter json(oss);
+            svc::FlightRecorder::instance().writeJson(json);
         }
         return oss.str();
     }
@@ -368,6 +494,10 @@ class FrontDoor::Impl
     obs::Counter &_routed;
     obs::Counter &_shed;
     obs::Counter &_shardUnavailable;
+    std::vector<obs::Counter *> _routedByShard;
+    std::vector<obs::Counter *> _unavailableByShard;
+    /** After _backends: its scraper thread must stop first. */
+    std::unique_ptr<FleetCollector> _fleet;
     std::atomic<std::size_t> _outstanding{0};
 
     std::mutex _mu;

@@ -130,6 +130,12 @@ struct FrontDoorOptions
     std::size_t fanoutThreads = 0;
     /** Virtual points per shard on the ring. */
     std::size_t ringReplicas = HashRing::kDefaultReplicas;
+    /**
+     * Period of the background fleet scrape in milliseconds; 0 (the
+     * default) disables the thread, and {"type":"fleet"} requests
+     * then scrape on demand instead.
+     */
+    std::uint64_t scrapeIntervalMs = 0;
 };
 
 /** Routes request payloads across shard backends. */
@@ -149,7 +155,11 @@ class FrontDoor
      * Answer one request payload (the TcpServer handler signature).
      * Single queries route by canonical key; batch documents fan out
      * and merge in input order; {"type":"metrics"} answers from the
-     * process registry; anything else answers {"error": ...}.
+     * process registry, {"type":"fleet"} with the scraped per-shard
+     * telemetry, {"type":"requests"} with this process's flight
+     * recorder; anything else answers {"error": ...}. Queries that
+     * arrive without a requestId get one minted and spliced into the
+     * bytes forwarded to the owning shard.
      */
     std::string handle(const std::string &request);
 

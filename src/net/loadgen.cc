@@ -11,6 +11,8 @@
 
 #include "net/front_door.hh"
 #include "obs/metrics.hh"
+#include "obs/request_id.hh"
+#include "obs/trace.hh"
 #include "svc/request.hh"
 #include "util/json.hh"
 #include "util/json_parse.hh"
@@ -80,6 +82,31 @@ exactPercentile(const std::vector<double> &sorted, double p)
     return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
+/** How one mix entry participates in request-id tagging. */
+struct RequestTag
+{
+    /** Object without an id: each send gets a fresh minted one. */
+    bool taggable = false;
+    /** Client-authored id already in the payload (sent verbatim). */
+    std::string fixed;
+};
+
+RequestTag
+classifyForTagging(const std::string &payload)
+{
+    RequestTag tag;
+    auto doc = JsonValue::parse(payload, nullptr);
+    if (!doc || !doc->isObject())
+        return tag;
+    if (const JsonValue *rid = doc->find("requestId")) {
+        if (rid->isString())
+            tag.fixed = rid->asString();
+        return tag;
+    }
+    tag.taggable = true;
+    return tag;
+}
+
 } // namespace
 
 std::vector<std::string>
@@ -132,6 +159,15 @@ runLoadGen(const std::vector<std::string> &requests,
 
     std::vector<std::string> responses(total);
     std::vector<double> latencies(total, 0.0);
+    std::vector<std::string> rids(total);
+    // Classify each unique mix entry once; the hot loop then only
+    // mints and splices, never parses.
+    std::vector<RequestTag> tags;
+    if (opts.tagRequestIds) {
+        tags.reserve(requests.size());
+        for (const std::string &payload : requests)
+            tags.push_back(classifyForTagging(payload));
+    }
     std::atomic<std::size_t> next{0};
     Clock::time_point start = Clock::now();
 
@@ -152,11 +188,36 @@ runLoadGen(const std::vector<std::string> &requests,
                                    static_cast<double>(i) / opts.rate));
                 std::this_thread::sleep_until(due);
             }
-            const std::string &payload = requests[i % requests.size()];
+            std::string payload = requests[i % requests.size()];
+            if (opts.tagRequestIds) {
+                const RequestTag &tag = tags[i % requests.size()];
+                if (tag.taggable) {
+                    std::string rid = obs::mintRequestId();
+                    if (auto tagged =
+                            svc::injectRequestId(payload, rid)) {
+                        rids[i] = rid;
+                        payload = std::move(*tagged);
+                    }
+                } else {
+                    rids[i] = tag.fixed;
+                }
+            }
             Clock::time_point before = Clock::now();
             std::string response;
             std::string io_error;
-            bool ok = backend.roundTrip(payload, &response, &io_error);
+            bool ok;
+            {
+                // The client hop of the merged timeline: the span
+                // brackets the whole round trip, the flow start binds
+                // it to the server-side spans sharing the id.
+                obs::Span span("lg.request", "net");
+                if (span.active() && !rids[i].empty()) {
+                    span.arg("rid", rids[i]);
+                    obs::Tracer::instance().recordFlow(
+                        "req", "net", 's', rids[i]);
+                }
+                ok = backend.roundTrip(payload, &response, &io_error);
+            }
             Clock::time_point after = Clock::now();
             double ms = std::chrono::duration<double, std::milli>(
                             after - before)
@@ -187,18 +248,22 @@ runLoadGen(const std::vector<std::string> &requests,
                          .count();
 
     report->sent = total;
+    std::vector<std::string> outcomes(total);
     for (std::size_t i = 0; i < total; ++i) {
         if (responses[i].empty()) {
             ++report->transportFailures;
             ++report->errors;
+            outcomes[i] = "transport_failure";
             continue;
         }
         std::string type = responseErrorType(responses[i]);
         if (type.empty()) {
             ++report->ok;
+            outcomes[i] = "ok";
             continue;
         }
         ++report->errors;
+        outcomes[i] = type;
         if (type == "overloaded") {
             ++report->shed;
             loadGenMetrics().shed.add(1);
@@ -241,6 +306,26 @@ runLoadGen(const std::vector<std::string> &requests,
             out << responses[i];
         }
         out << "]}\n";
+    }
+
+    if (!opts.samplesPath.empty()) {
+        std::ofstream out(opts.samplesPath,
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            if (error)
+                *error = "cannot write " + opts.samplesPath;
+            return false;
+        }
+        for (std::size_t i = 0; i < total; ++i) {
+            JsonWriter json(out);
+            json.beginObject();
+            json.kv("index", static_cast<long long>(i));
+            json.kv("requestId", rids[i].empty() ? "-" : rids[i]);
+            json.kv("latencyMs", latencies[i]);
+            json.kv("outcome", outcomes[i]);
+            json.endObject();
+            out << "\n";
+        }
     }
     return true;
 }

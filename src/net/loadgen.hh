@@ -52,6 +52,23 @@ struct LoadGenOptions
      * input order, trailing newline) to this path.
      */
     std::string outputPath;
+
+    /**
+     * When non-empty, write one JSONL sample per request to this
+     * path: {"index", "requestId", "latencyMs", "outcome"} — the
+     * client-side join key into merged traces and shard flight
+     * recorders.
+     */
+    std::string samplesPath;
+
+    /**
+     * Mint a requestId for every sent request that lacks one and
+     * splice it into the payload (the original bytes are otherwise
+     * forwarded verbatim; success responses never echo ids, so
+     * outputPath's byte-identity contract is unaffected). Off, sends
+     * are byte-identical to the mix file and samples carry "-".
+     */
+    bool tagRequestIds = true;
 };
 
 /** What one run measured. */

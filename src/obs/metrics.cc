@@ -219,6 +219,22 @@ Registry::histogram(const std::string &name, const Labels &labels)
     return *findOrCreate(name, labels, Kind::Histogram).histogram;
 }
 
+void
+Registry::gaugeCallback(const std::string &name,
+                        std::function<std::int64_t()> fn,
+                        const Labels &labels)
+{
+    Entry &entry = findOrCreate(name, labels, Kind::Gauge);
+    std::lock_guard<std::mutex> lock(_mu);
+    entry.gaugeFn = std::move(fn);
+}
+
+std::int64_t
+Registry::gaugeValue(const Entry &entry)
+{
+    return entry.gaugeFn ? entry.gaugeFn() : entry.gauge->value();
+}
+
 std::size_t
 Registry::size() const
 {
@@ -262,7 +278,7 @@ Registry::writeJson(JsonWriter &json) const
             continue;
         json.beginObject();
         write_identity(*entry);
-        json.kv("value", static_cast<long long>(entry->gauge->value()));
+        json.kv("value", static_cast<long long>(gaugeValue(*entry)));
         json.endObject();
     }
     json.endArray();
@@ -331,7 +347,7 @@ Registry::writePrometheus(std::ostream &out) const
                 break;
               case Kind::Gauge:
                 out << name << promLabels(entry->labels) << " "
-                    << entry->gauge->value() << "\n";
+                    << gaugeValue(*entry) << "\n";
                 break;
               case Kind::Histogram: {
                 Histogram snap(*entry->histogram);

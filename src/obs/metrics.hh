@@ -18,6 +18,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -147,6 +148,17 @@ class Registry
                          const Labels &labels = {});
 
     /**
+     * Register a gauge whose value is computed at export time: the
+     * exporters invoke @p fn instead of reading a stored level. For
+     * values the process cannot cheaply maintain incrementally
+     * (uptime, resident-set size). Re-registration replaces the
+     * callback; @p fn must be thread-safe and non-blocking.
+     */
+    void gaugeCallback(const std::string &name,
+                       std::function<std::int64_t()> fn,
+                       const Labels &labels = {});
+
+    /**
      * Emit {"counters": [...], "gauges": [...], "histograms": [...]},
      * each entry {"name": ..., "labels": {...}, ...values...};
      * histograms carry count/mean/p50/p95/p99.
@@ -178,7 +190,12 @@ class Registry
         std::unique_ptr<Counter> counter;
         std::unique_ptr<Gauge> gauge;
         std::unique_ptr<Histogram> histogram;
+        /** Export-time value source (callback gauges only). */
+        std::function<std::int64_t()> gaugeFn;
     };
+
+    /** A gauge entry's exported value (callback or stored level). */
+    static std::int64_t gaugeValue(const Entry &entry);
 
     Entry &findOrCreate(const std::string &name, const Labels &labels,
                         Kind kind);

@@ -1,0 +1,56 @@
+#include "process_metrics.hh"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+#include "metrics.hh"
+
+namespace hcm {
+namespace obs {
+namespace {
+
+/** Resident-set size in bytes (0 off Linux or on read failure). */
+std::int64_t
+residentBytes()
+{
+#ifdef __linux__
+    // /proc/self/statm: size resident shared text lib data dt (pages).
+    std::FILE *f = std::fopen("/proc/self/statm", "r");
+    if (!f)
+        return 0;
+    long long size_pages = 0;
+    long long resident_pages = 0;
+    int got = std::fscanf(f, "%lld %lld", &size_pages, &resident_pages);
+    std::fclose(f);
+    if (got != 2)
+        return 0;
+    return static_cast<std::int64_t>(resident_pages) *
+           static_cast<std::int64_t>(sysconf(_SC_PAGESIZE));
+#else
+    return 0;
+#endif
+}
+
+} // namespace
+
+void
+registerProcessMetrics(Registry &registry)
+{
+    auto start = std::chrono::steady_clock::now();
+    registry.gaugeCallback("hcm_process_uptime_seconds", [start] {
+        return static_cast<std::int64_t>(
+            std::chrono::duration_cast<std::chrono::seconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+    });
+    registry.gaugeCallback("hcm_process_resident_memory_bytes",
+                           [] { return residentBytes(); });
+}
+
+} // namespace obs
+} // namespace hcm

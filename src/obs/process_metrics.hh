@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Process-level gauges every hcm binary exports alongside
+ * hcm_build_info: uptime since registration and resident-set size.
+ * Both are callback gauges — sampled at export time rather than
+ * maintained on a timer thread — so registering them costs nothing
+ * until something scrapes the registry (the metrics control verb, the
+ * fleet collector, or a --metrics-out dump at exit).
+ */
+
+#ifndef HCM_OBS_PROCESS_METRICS_HH
+#define HCM_OBS_PROCESS_METRICS_HH
+
+namespace hcm {
+namespace obs {
+
+class Registry;
+
+/**
+ * Register hcm_process_uptime_seconds (whole seconds since this call)
+ * and hcm_process_resident_memory_bytes (RSS from /proc/self/statm;
+ * 0 where that interface does not exist) in @p registry. Idempotent
+ * per registry; re-registration restarts the uptime anchor.
+ */
+void registerProcessMetrics(Registry &registry);
+
+} // namespace obs
+} // namespace hcm
+
+#endif // HCM_OBS_PROCESS_METRICS_HH

@@ -1,0 +1,70 @@
+#include "request_id.hh"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <random>
+
+namespace hcm {
+namespace obs {
+namespace {
+
+/**
+ * One random 64-bit stream per process, folded with a counter so IDs
+ * stay unique even if two threads draw the same PRNG output. Seeding
+ * from random_device once keeps minting at a couple of atomic ops plus
+ * a short mutex hold — cheap enough for every request.
+ */
+std::uint64_t
+nextIdBits()
+{
+    static std::mutex mu;
+    static std::mt19937_64 prng = [] {
+        std::random_device rd;
+        std::seed_seq seed{rd(), rd(), rd(), rd()};
+        return std::mt19937_64(seed);
+    }();
+    static std::atomic<std::uint64_t> counter{0};
+    std::uint64_t bits;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        bits = prng();
+    }
+    // Golden-ratio stride spreads sequential counters across the word.
+    return bits ^
+           (counter.fetch_add(1, std::memory_order_relaxed) *
+            0x9e3779b97f4a7c15ull);
+}
+
+} // namespace
+
+std::string
+mintRequestId()
+{
+    static const char kHex[] = "0123456789abcdef";
+    std::uint64_t bits = nextIdBits();
+    std::string id(16, '0');
+    for (std::size_t i = 0; i < 16; ++i) {
+        id[15 - i] = kHex[bits & 0xf];
+        bits >>= 4;
+    }
+    return id;
+}
+
+bool
+validRequestId(const std::string &id)
+{
+    if (id.empty() || id.size() > kMaxRequestIdBytes)
+        return false;
+    for (char c : id) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+} // namespace obs
+} // namespace hcm

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Request/trace identity for the serving tier. Every request entering
+ * the system — at the front door, a serve TCP socket, or stdin — gets
+ * one requestId minted here (or carries one the client chose), and
+ * every hop stamps it into spans, log fields, flight-recorder rows and
+ * error responses, so one slow query can be followed across process
+ * boundaries. The ID is observability-only: it is excluded from the
+ * canonical memoization key (identity of the computation) and, unless
+ * the client supplied it, from response bytes (identity of the answer).
+ */
+
+#ifndef HCM_OBS_REQUEST_ID_HH
+#define HCM_OBS_REQUEST_ID_HH
+
+#include <cstddef>
+#include <string>
+
+namespace hcm {
+namespace obs {
+
+/** Longest requestId the wire format accepts. */
+constexpr std::size_t kMaxRequestIdBytes = 64;
+
+/**
+ * Mint a fresh request ID: 16 lowercase-hex chars of process-seeded
+ * randomness. Thread-safe; collisions across a fleet are as likely as
+ * a 64-bit random collision (i.e. ignorable at tracing volumes).
+ */
+std::string mintRequestId();
+
+/**
+ * Whether @p id is acceptable on the wire: non-empty, at most
+ * kMaxRequestIdBytes, and limited to [A-Za-z0-9._-]. Keeps IDs safe to
+ * splice into JSON, log lines, and trace args without escaping.
+ */
+bool validRequestId(const std::string &id);
+
+} // namespace obs
+} // namespace hcm
+
+#endif // HCM_OBS_REQUEST_ID_HH

@@ -14,15 +14,49 @@ Tracer::instance()
     return tracer;
 }
 
+namespace {
+
+/**
+ * The tracing clock's zero, captured once together with the wall
+ * clock: the pair lets trace-merge place N per-process steady-clock
+ * timelines onto one wall-clock axis.
+ */
+struct ClockAnchor
+{
+    std::chrono::steady_clock::time_point t0;
+    std::uint64_t wallUs;
+};
+
+const ClockAnchor &
+clockAnchor()
+{
+    static const ClockAnchor anchor = [] {
+        ClockAnchor a;
+        a.t0 = std::chrono::steady_clock::now();
+        a.wallUs = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count());
+        return a;
+    }();
+    return anchor;
+}
+
+} // namespace
+
 std::uint64_t
 Tracer::nowNs()
 {
-    using clock = std::chrono::steady_clock;
-    static const clock::time_point t0 = clock::now();
     return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
-                                                             t0)
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - clockAnchor().t0)
             .count());
+}
+
+std::uint64_t
+Tracer::wallAnchorUs()
+{
+    return clockAnchor().wallUs;
 }
 
 void
@@ -57,9 +91,25 @@ Tracer::recordSpan(const char *name, const char *category,
     }
     ThreadBuffer &buffer = localBuffer();
     std::lock_guard<std::mutex> lock(buffer.mu);
-    buffer.events.push_back(
-        Event{name, category, start_ns, dur_ns, buffer.tid,
-              std::move(args)});
+    buffer.events.push_back(Event{name, category, start_ns, dur_ns,
+                                  buffer.tid, 'X', std::string(),
+                                  std::move(args)});
+}
+
+void
+Tracer::recordFlow(const char *name, const char *category, char phase,
+                   const std::string &flow_id)
+{
+    if (!enabled())
+        return;
+    if (_recorded.fetch_add(1, std::memory_order_relaxed) >= kMaxEvents) {
+        _dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    ThreadBuffer &buffer = localBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mu);
+    buffer.events.push_back(Event{name, category, nowNs(), 0,
+                                  buffer.tid, phase, flow_id, {}});
 }
 
 void
@@ -107,16 +157,23 @@ Tracer::writeChromeTrace(std::ostream &out)
     json.beginObject();
     json.kv("displayTimeUnit", "ms");
     json.kv("droppedEvents", droppedSpans());
+    json.kv("traceStartWallUs", wallAnchorUs());
     json.key("traceEvents").beginArray();
     for (const Event &event : _retired) {
         json.beginObject();
         json.kv("name", event.name);
         json.kv("cat", event.category);
-        json.kv("ph", "X");
+        json.kv("ph", std::string(1, event.phase));
         json.kv("pid", 1);
         json.kv("tid", static_cast<long long>(event.tid));
         json.kv("ts", static_cast<double>(event.startNs) / 1e3);
-        json.kv("dur", static_cast<double>(event.durNs) / 1e3);
+        if (event.phase == 'X') {
+            json.kv("dur", static_cast<double>(event.durNs) / 1e3);
+        } else {
+            json.kv("id", event.flowId);
+            if (event.phase == 'f')
+                json.kv("bp", "e"); // bind to the enclosing slice
+        }
         if (!event.args.empty()) {
             json.key("args").beginObject();
             for (const TraceArg &arg : event.args)

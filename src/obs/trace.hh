@@ -65,6 +65,18 @@ class Tracer
                     std::uint64_t start_ns, std::uint64_t dur_ns,
                     std::vector<TraceArg> args = {});
 
+    /**
+     * Record one half of a flow arrow at the current time: 's' starts
+     * a flow, 'f' finishes one. Perfetto binds the halves by
+     * (category, @p flow_id) across processes, which is how a front
+     * door's net.route connects to the owning shard's svc.query in a
+     * merged trace. The emitting thread should be inside an enclosing
+     * span (flow anchors attach to the slice covering their timestamp).
+     * Call only when enabled().
+     */
+    void recordFlow(const char *name, const char *category, char phase,
+                    const std::string &flow_id);
+
     /** Spans recorded and retained so far (flushes buffers). */
     std::size_t spanCount();
 
@@ -87,6 +99,13 @@ class Tracer
     /** Nanoseconds on the tracing clock (steady, process-relative). */
     static std::uint64_t nowNs();
 
+    /**
+     * Wall-clock microseconds (Unix epoch) at the tracing clock's
+     * zero. Exported as "traceStartWallUs" so trace-merge can shift N
+     * per-process timelines onto one axis.
+     */
+    static std::uint64_t wallAnchorUs();
+
   private:
     friend class Span;
 
@@ -97,6 +116,8 @@ class Tracer
         std::uint64_t startNs;
         std::uint64_t durNs;
         std::uint32_t tid;
+        char phase = 'X'; ///< 'X' complete span; 's'/'f' flow halves
+        std::string flowId; ///< flow events only: the binding id
         std::vector<TraceArg> args;
     };
 

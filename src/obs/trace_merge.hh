@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Cross-process trace stitching and validation. Each hcm process
+ * writes its own Chrome trace (--trace-out) with pid 1 and a private
+ * steady clock; mergeChromeTraces() rebases N such files onto one
+ * timeline — per-file pid namespacing, process_name metadata, and a
+ * wall-clock shift from each file's traceStartWallUs anchor — so the
+ * front door's net.route flows land next to the owning shard's
+ * svc.query spans in one Perfetto-loadable document.
+ *
+ * validateChromeTrace() is the checker behind `hcm validate-trace`:
+ * structural checks on any trace, plus the stricter cross-process
+ * invariants (flow begin/end pairing, per-process timestamp
+ * monotonicity, distinct pids) on merge output, which declares itself
+ * with a top-level "mergedFrom" count.
+ */
+
+#ifndef HCM_OBS_TRACE_MERGE_HH
+#define HCM_OBS_TRACE_MERGE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hcm {
+namespace obs {
+
+/** One input to a merge: a display label and the file's JSON text. */
+struct TraceInput
+{
+    std::string label; ///< process_name in the merged timeline
+    std::string text;  ///< complete Chrome trace JSON document
+};
+
+/**
+ * Merge @p inputs into one Chrome trace document on @p out. Input i
+ * becomes pid i+1 (with a process_name metadata event carrying its
+ * label); when every input carries a traceStartWallUs anchor, each
+ * file's timestamps shift by its anchor's offset from the earliest
+ * one, aligning the timelines on the wall clock. Events are emitted
+ * in global timestamp order. False + @p error when an input is not a
+ * well-formed trace.
+ */
+bool mergeChromeTraces(const std::vector<TraceInput> &inputs,
+                       std::ostream &out, std::string *error);
+
+/** What validateChromeTrace() measured (for reporting). */
+struct TraceStats
+{
+    std::size_t events = 0;     ///< traceEvents entries
+    std::size_t flowStarts = 0; ///< ph "s" events
+    std::size_t flowEnds = 0;   ///< ph "f" events
+    /** Flow ids with a start or an end but not both. Expected in a
+     *  single-process file (the peer lives in another file); an error
+     *  in merge output. */
+    std::size_t unpairedFlows = 0;
+    /** Distinct pids seen across all events. */
+    std::size_t processes = 0;
+    /** Input count a merged file declares; 0 for per-process files. */
+    std::size_t mergedFrom = 0;
+};
+
+/**
+ * Validate @p text as a Chrome trace. Always checks: root object with
+ * a traceEvents array; every event an object carrying name/ph/ts/pid/
+ * tid with a numeric non-negative ts; flow events ("s"/"t"/"f") also
+ * carry a string id and a cat. Merge output (top-level "mergedFrom")
+ * additionally must pair every flow id, keep each pid's events in
+ * non-decreasing ts order, and span as many distinct pids as inputs.
+ * False + @p error (with the offending event index) on any violation;
+ * @p stats is filled on success.
+ */
+bool validateChromeTrace(const std::string &text, std::string *error,
+                         TraceStats *stats = nullptr);
+
+} // namespace obs
+} // namespace hcm
+
+#endif // HCM_OBS_TRACE_MERGE_HH

@@ -8,6 +8,7 @@
 #include "prof/profiler.hh"
 #include "svc/backpressure.hh"
 #include "svc/fault.hh"
+#include "svc/flight_recorder.hh"
 #include "util/logging.hh"
 
 namespace hcm {
@@ -51,6 +52,30 @@ class ScopeExit
     F _fn;
 };
 
+/** The log/record spelling of a possibly-absent request id. */
+std::string
+ridOrDash(const std::string &rid)
+{
+    return rid.empty() ? "-" : rid;
+}
+
+/** One flight-recorder entry for a locally-served query. */
+void
+recordFlight(const Query &q, const char *outcome,
+             std::uint64_t queue_ns, std::uint64_t eval_ns)
+{
+    FlightRecorder &recorder = FlightRecorder::instance();
+    if (!recorder.enabled())
+        return;
+    RequestRecord rec;
+    rec.requestId = q.requestId;
+    rec.type = queryTypeName(q.type);
+    rec.outcome = outcome;
+    rec.queueNs = queue_ns;
+    rec.evalNs = eval_ns;
+    recorder.record(std::move(rec));
+}
+
 } // namespace
 
 QueryEngine::QueryEngine(EngineOptions opts)
@@ -70,6 +95,7 @@ QueryEngine::noteSlowQuery(const Query &q, const std::string &key,
     _metrics.recordSlowQuery();
     hcm_warn("slow query", logField("type", queryTypeName(q.type)),
              logField("key", key),
+             logField("requestId", ridOrDash(q.requestId)),
              logField("queueWaitMs", wait_ns / 1e6),
              logField("evalMs", eval_ns / 1e6));
 }
@@ -116,6 +142,15 @@ QueryEngine::acquire(const Query &q, const std::string &key)
     // queue-wait and eval scopes when the query misses the cache.
     prof::Scope query_scope("svc.query", "svc");
     query_scope.arg("type", queryTypeName(q.type));
+    if (!q.requestId.empty()) {
+        query_scope.arg("rid", q.requestId);
+        // Finish the flow the ingress started: Perfetto draws the
+        // arrow from the front door's dispatch slice into this shard's
+        // svc.query slice once the traces are merged.
+        if (obs::Tracer::instance().enabled())
+            obs::Tracer::instance().recordFlow("req", "net", 'f',
+                                               q.requestId);
+    }
     // Fast path: a warm hit never touches the pool.
     if (_cache) {
         prof::Scope lookup_scope("svc.cache.lookup", "svc");
@@ -124,6 +159,7 @@ QueryEngine::acquire(const Query &q, const std::string &key)
             query_scope.arg("outcome", "hit");
             std::uint64_t hit_ns = elapsedNs(start);
             _metrics.recordQuery(q.type, hit_ns, true);
+            recordFlight(q, "hit", 0, hit_ns);
             if (_opts.slowQueryNs > 0 && hit_ns > _opts.slowQueryNs)
                 noteSlowQuery(q, key, 0, hit_ns);
             return readyFuture(std::move(hit));
@@ -149,6 +185,7 @@ QueryEngine::acquire(const Query &q, const std::string &key)
     // wait on the future, not the queue.
     bool timing_wanted = obs::Tracer::instance().enabled() ||
                          prof::Profiler::instance().enabled() ||
+                         FlightRecorder::instance().enabled() ||
                          _opts.slowQueryNs > 0;
     std::uint64_t submit_ns = timing_wanted ? obs::Tracer::nowNs() : 0;
     std::uint64_t deadline_ns = effectiveDeadlineNs(q);
@@ -157,16 +194,22 @@ QueryEngine::acquire(const Query &q, const std::string &key)
         if (submit_ns > 0) {
             std::uint64_t now = obs::Tracer::nowNs();
             wait_ns = now > submit_ns ? now - submit_ns : 0;
-            if (obs::Tracer::instance().enabled())
+            if (obs::Tracer::instance().enabled()) {
+                std::vector<obs::TraceArg> wargs = {
+                    {"type", queryTypeName(q.type)}};
+                if (!q.requestId.empty())
+                    wargs.push_back({"rid", q.requestId});
                 obs::Tracer::instance().recordSpan(
                     "svc.queue_wait", "svc", submit_ns, wait_ns,
-                    {{"type", queryTypeName(q.type)}});
+                    std::move(wargs));
+            }
             // Queue wait has no RAII scope (it straddles threads), so
             // hand the measured duration to the profiler directly.
             prof::Profiler::instance().record("svc.queue_wait", wait_ns);
         }
         auto task_start = std::chrono::steady_clock::now();
         ResultPtr result;
+        bool hit = false;
         // The seed bug this layer kills: nothing below may leave the
         // promise unset or the in-flight entry behind, whatever
         // evaluation does — so both are discharged by a scope guard.
@@ -179,13 +222,18 @@ QueryEngine::acquire(const Query &q, const std::string &key)
             // result must also see the key gone, so its retry starts
             // a fresh evaluation instead of rendezvousing with a
             // finished one.
+            recordFlight(q,
+                         result->ok()
+                             ? (hit ? "hit" : "ok")
+                             : queryErrorKindName(result->errorKind)
+                                   .c_str(),
+                         wait_ns, elapsedNs(task_start));
             {
                 std::lock_guard<std::mutex> inner(_inflightMu);
                 _inflight.erase(key);
             }
             prom->set_value(result);
         });
-        bool hit = false;
         try {
             FaultInjector::instance().maybeInject("dequeue");
             if (deadline_ns > 0 && elapsedNs(start) > deadline_ns) {
@@ -206,6 +254,8 @@ QueryEngine::acquire(const Query &q, const std::string &key)
             if (!result) {
                 prof::Scope eval_scope("svc.eval", "svc");
                 eval_scope.arg("type", queryTypeName(q.type));
+                if (!q.requestId.empty())
+                    eval_scope.arg("rid", q.requestId);
                 try {
                     FaultInjector::instance().maybeInject("eval");
                     result =
@@ -231,7 +281,9 @@ QueryEngine::acquire(const Query &q, const std::string &key)
             _metrics.recordError();
             hcm_warn("query evaluation failed",
                      logField("type", queryTypeName(q.type)),
-                     logField("key", key), logField("error", e.what()));
+                     logField("key", key),
+                     logField("requestId", ridOrDash(q.requestId)),
+                     logField("error", e.what()));
             result = std::make_shared<QueryResult>(makeQueryError(
                 q, QueryErrorKind::EvaluationFailed, e.what()));
             return;
@@ -240,6 +292,7 @@ QueryEngine::acquire(const Query &q, const std::string &key)
             hcm_warn("query evaluation failed",
                      logField("type", queryTypeName(q.type)),
                      logField("key", key),
+                     logField("requestId", ridOrDash(q.requestId)),
                      logField("error", "non-standard exception"));
             result = std::make_shared<QueryResult>(makeQueryError(
                 q, QueryErrorKind::EvaluationFailed,
@@ -259,6 +312,7 @@ QueryEngine::acquire(const Query &q, const std::string &key)
         // clear the in-flight entry so a retry starts fresh.
         query_scope.arg("outcome", "rejected");
         _metrics.recordRejected();
+        recordFlight(q, "overloaded", 0, 0);
         bool stopping = _pool.stopping();
         auto error = std::make_shared<QueryResult>(makeQueryError(
             q, QueryErrorKind::Overloaded,

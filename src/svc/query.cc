@@ -205,6 +205,12 @@ QueryResult::writeJson(JsonWriter &json) const
         json.kv("type", queryErrorKindName(errorKind));
         if (retryAfterMs > 0)
             json.kv("retryAfterMs", retryAfterMs);
+        // After the dispatch keys, before the echo: clients that sent
+        // an id can join the failure to their own records. Success
+        // responses never carry the id — cache hits replay bytes to
+        // requests with different ids.
+        if (query.requestIdEcho && !query.requestId.empty())
+            json.kv("requestId", query.requestId);
     }
     json.key("query").beginObject();
     json.kv("type", queryTypeName(query.type));

@@ -59,6 +59,20 @@ struct Query
      * of the canonical key: a deadline shapes delivery, not identity.
      */
     std::uint64_t deadlineNs = 0;
+    /**
+     * Trace context: the id minted at the request's ingress (or
+     * supplied by the client) that stitches this hop's spans, logs,
+     * and flight-recorder entry to the rest of the request's journey.
+     * Like the deadline, never part of the canonical key — identity is
+     * what is computed, not which request asked.
+     */
+    std::string requestId;
+    /**
+     * Echo the requestId in error responses. Set only when the client
+     * put the id on the wire itself; ids minted server-side stay out
+     * of responses so response bytes are independent of tracing.
+     */
+    bool requestIdEcho = false;
 
     /**
      * Deterministic serialized identity: two queries produce the same

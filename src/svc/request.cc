@@ -5,6 +5,7 @@
 
 #include "core/scenario.hh"
 #include "itrs/scaling.hh"
+#include "obs/request_id.hh"
 #include "util/format.hh"
 
 namespace hcm {
@@ -161,6 +162,18 @@ parseQueryRequest(const JsonValue &v)
         q.device = *id;
     }
 
+    if (const JsonValue *rid = v.find("requestId")) {
+        if (!rid->isString())
+            return RequestParse::failure("'requestId' must be a string");
+        if (!obs::validRequestId(rid->asString()))
+            return RequestParse::failure(
+                "'requestId' must be 1-" +
+                std::to_string(obs::kMaxRequestIdBytes) +
+                " characters of [A-Za-z0-9._-]");
+        q.requestId = rid->asString();
+        q.requestIdEcho = true; // the client asked by name; answer it
+    }
+
     out.ok = true;
     return out;
 }
@@ -270,6 +283,21 @@ jsonValueEnd(const std::string &s, std::size_t i)
 }
 
 } // namespace
+
+std::optional<std::string>
+injectRequestId(const std::string &text, const std::string &rid)
+{
+    std::size_t open = skipJsonSpace(text, 0);
+    if (open >= text.size() || text[open] != '{')
+        return std::nullopt;
+    std::size_t next = skipJsonSpace(text, open + 1);
+    std::string member = "\"requestId\":\"" + rid + "\"";
+    if (next < text.size() && text[next] != '}')
+        member += ",";
+    std::string out = text;
+    out.insert(open + 1, member);
+    return out;
+}
 
 std::optional<std::vector<std::string>>
 splitBatchRequestTexts(const std::string &text)

@@ -11,7 +11,9 @@
  *    "scenario": "baseline" | ...,         // Section 6.2 names
  *    "node": 40|32|22|16|11,               // ignored by projection
  *    "device": "gtx285"|"gtx480"|"r5870"|"lx760"|"asic",  // optional
- *    "deadlineMs": 250}   // optional per-request deadline (> 0)
+ *    "deadlineMs": 250,   // optional per-request deadline (> 0)
+ *    "requestId": "a1b2..."}  // optional trace context (see
+ *                             // obs/request_id.hh for the charset)
  */
 
 #ifndef HCM_SVC_REQUEST_HH
@@ -67,6 +69,17 @@ std::optional<std::vector<Query>> parseBatchDocument(
  */
 std::optional<std::vector<std::string>> splitBatchRequestTexts(
     const std::string &text);
+
+/**
+ * Splice "requestId": @p rid into the raw request text @p text without
+ * re-serializing it (which would round doubles and change canonical
+ * keys). The member is inserted immediately after the opening '{', so
+ * a duplicate "requestId" later in the text wins under the parser's
+ * last-occurrence rule — callers tag only requests that lack one.
+ * Nullopt when @p text is not a JSON object.
+ */
+std::optional<std::string> injectRequestId(const std::string &text,
+                                           const std::string &rid);
 
 /** Workload spec parser shared with the CLI ("mmm", "bs", "fft:N"). */
 std::optional<wl::Workload> parseWorkloadSpec(const std::string &spec,

@@ -3,8 +3,10 @@
 #include <sstream>
 
 #include "obs/metrics.hh"
+#include "obs/request_id.hh"
 #include "obs/trace.hh"
 #include "prof/profiler.hh"
+#include "svc/flight_recorder.hh"
 #include "svc/request.hh"
 #include "util/format.hh"
 
@@ -49,6 +51,13 @@ RequestRouter::route(const std::string &text)
     RouteReply reply;
     RequestParse parsed = parseQueryRequestText(text);
     if (parsed.ok) {
+        // This router is an ingress: a query arriving without trace
+        // context gets one minted here so every downstream span, log
+        // line, and flight-recorder entry is joinable. Minted ids are
+        // never echoed (requestIdEcho stays false), keeping response
+        // bytes identical whether or not tracing is in play.
+        if (parsed.query.requestId.empty())
+            parsed.query.requestId = obs::mintRequestId();
         QueryEngine::ResultPtr result = _engine.evaluate(parsed.query);
         reply.body = result->toJson();
         reply.served = result->ok() ? 1 : 0;
@@ -67,6 +76,9 @@ RequestRouter::route(const std::string &text)
             reply.body = errorBody(error);
             return reply;
         }
+        for (Query &q : *queries)
+            if (q.requestId.empty())
+                q.requestId = obs::mintRequestId();
         std::vector<QueryEngine::ResultPtr> results =
             _engine.evaluateBatch(*queries);
         std::ostringstream oss;
@@ -94,6 +106,22 @@ RequestRouter::route(const std::string &text)
                     errorBody("metrics format must be json or prom");
                 return reply;
             }
+            // "scope" widens the JSON payload: "svc" (the default,
+            // byte-compatible with pre-fleet clients) is the engine's
+            // own registry; "all" wraps it with the process-wide one,
+            // which is what the fleet collector scrapes for queue
+            // depth, uptime, and RSS.
+            std::string scope = "svc";
+            if (const JsonValue *field = doc->find("scope")) {
+                if (!field->isString() ||
+                    (field->asString() != "svc" &&
+                     field->asString() != "all")) {
+                    reply.body =
+                        errorBody("metrics scope must be svc or all");
+                    return reply;
+                }
+                scope = field->asString();
+            }
             std::ostringstream oss;
             if (format == "prom") {
                 // Prometheus text is multi-line; keep the trailing
@@ -101,9 +129,35 @@ RequestRouter::route(const std::string &text)
                 // the blank line that terminates the block.
                 _engine.writeMetricsProm(oss);
                 obs::globalRegistry().writePrometheus(oss);
+            } else if (scope == "all") {
+                JsonWriter json(oss);
+                json.beginObject();
+                json.key("svc");
+                _engine.writeMetricsJson(json);
+                json.key("process");
+                obs::globalRegistry().writeJson(json);
+                json.endObject();
             } else {
                 JsonWriter json(oss);
                 _engine.writeMetricsJson(json);
+            }
+            reply.body = oss.str();
+            return reply;
+        }
+        if (type && type->isString() &&
+            type->asString() == "requests") {
+            std::string format;
+            if (!formatField(*doc, "json", &format) ||
+                format != "json") {
+                reply.body = errorBody("requests format must be json");
+                return reply;
+            }
+            // The flight recorder's ring as one JSON body (capacity 0
+            // and no records when the process never sized it).
+            std::ostringstream oss;
+            {
+                JsonWriter json(oss);
+                FlightRecorder::instance().writeJson(json);
             }
             reply.body = oss.str();
             return reply;

@@ -1,8 +1,14 @@
 #include "net/loadgen.hh"
 
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "net/server.hh"
+#include "util/json_parse.hh"
 
 namespace hcm {
 namespace net {
@@ -129,6 +135,136 @@ TEST(LoadGenTest, ReportFormatsAsJson)
     EXPECT_NE(text.find("\"latencyMs\":{\"p50\":1.5"),
               std::string::npos);
     EXPECT_EQ(text.back(), '\n');
+}
+
+/** Temp path helper: unique per test, removed on destruction. */
+struct TempFile
+{
+    explicit TempFile(const char *name)
+        : path(::testing::TempDir() + name)
+    {
+    }
+    ~TempFile() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+TEST(LoadGenTest, MintsRequestIdsAndWritesJoinableSamples)
+{
+    // Echo the request back so the test can see the spliced bytes.
+    TcpServer server(TcpServerOptions{},
+                     [](const std::string &request) { return request; });
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    TempFile samples("loadgen_samples.jsonl");
+    std::vector<std::string> requests = {
+        R"({"type":"optimize","f":0.9})",
+        R"({"type":"optimize","requestId":"client-id"})",
+    };
+    LoadGenOptions opts;
+    opts.port = server.port();
+    opts.concurrency = 1;
+    opts.samplesPath = samples.path;
+    LoadGenReport report;
+    ASSERT_TRUE(runLoadGen(requests, opts, &report, &error)) << error;
+    server.stop();
+
+    std::ifstream in(samples.path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::vector<std::string> rids;
+    std::size_t index = 0;
+    while (std::getline(in, line)) {
+        auto doc = JsonValue::parse(line, &error);
+        ASSERT_TRUE(doc) << error << ": " << line;
+        EXPECT_EQ(doc->find("index")->asNumber(),
+                  static_cast<double>(index));
+        EXPECT_TRUE(doc->find("latencyMs")->isNumber());
+        EXPECT_EQ(doc->find("outcome")->asString(), "ok");
+        rids.push_back(doc->find("requestId")->asString());
+        ++index;
+    }
+    ASSERT_EQ(index, 2u);
+    // Entry 0 had no id: a 16-hex-char one was minted for it.
+    EXPECT_EQ(rids[0].size(), 16u);
+    // Entry 1 carried its own: recorded verbatim, never replaced.
+    EXPECT_EQ(rids[1], "client-id");
+}
+
+TEST(LoadGenTest, TaggingOffKeepsRequestBytesVerbatim)
+{
+    std::vector<std::string> seen;
+    std::mutex mu;
+    TcpServer server(TcpServerOptions{},
+                     [&](const std::string &request) {
+                         std::lock_guard<std::mutex> lock(mu);
+                         seen.push_back(request);
+                         return std::string(R"({"rows":[]})");
+                     });
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    TempFile samples("loadgen_untagged.jsonl");
+    std::vector<std::string> requests = {
+        R"({"type":"optimize","f":0.9})"};
+    LoadGenOptions opts;
+    opts.port = server.port();
+    opts.concurrency = 1;
+    opts.tagRequestIds = false;
+    opts.samplesPath = samples.path;
+    LoadGenReport report;
+    ASSERT_TRUE(runLoadGen(requests, opts, &report, &error)) << error;
+    server.stop();
+
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0], requests[0]);
+    std::ifstream in(samples.path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    auto doc = JsonValue::parse(line, &error);
+    ASSERT_TRUE(doc) << error;
+    // No id to record: samples carry the "-" placeholder.
+    EXPECT_EQ(doc->find("requestId")->asString(), "-");
+}
+
+TEST(LoadGenTest, TaggedOutputMatchesUntaggedByteForByte)
+{
+    // The byte-identity contract behind the CI cmp check: minted ids
+    // ride the request, never the response.
+    TcpServer server(
+        TcpServerOptions{}, [](const std::string &request) {
+            // Success bodies never depend on the id; errors only echo
+            // CLIENT-supplied ids, and a loadgen-minted one counts as
+            // client-supplied only on the error path, which this
+            // handler never takes.
+            return std::string(R"({"rows":[]})");
+        });
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    std::vector<std::string> requests = {
+        R"({"type":"optimize","f":0.9})"};
+    TempFile tagged("loadgen_tagged_out.json");
+    TempFile untagged("loadgen_untagged_out.json");
+    for (bool tag : {true, false}) {
+        LoadGenOptions opts;
+        opts.port = server.port();
+        opts.concurrency = 1;
+        opts.tagRequestIds = tag;
+        opts.outputPath = tag ? tagged.path : untagged.path;
+        LoadGenReport report;
+        ASSERT_TRUE(runLoadGen(requests, opts, &report, &error))
+            << error;
+    }
+    server.stop();
+
+    auto slurp = [](const std::string &path) {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream oss;
+        oss << in.rdbuf();
+        return oss.str();
+    };
+    EXPECT_EQ(slurp(tagged.path), slurp(untagged.path));
 }
 
 } // namespace

@@ -1,0 +1,59 @@
+/** @file Tests for trace-context request ids. */
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/request_id.hh"
+
+namespace hcm {
+namespace obs {
+namespace {
+
+TEST(RequestIdTest, MintedIdsAreLowercaseHex)
+{
+    std::string id = mintRequestId();
+    EXPECT_EQ(id.size(), 16u);
+    for (char c : id)
+        EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+            << "unexpected character '" << c << "' in " << id;
+}
+
+TEST(RequestIdTest, MintedIdsAreDistinct)
+{
+    std::set<std::string> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(mintRequestId());
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(RequestIdTest, MintedIdsValidate)
+{
+    for (int i = 0; i < 16; ++i)
+        EXPECT_TRUE(validRequestId(mintRequestId()));
+}
+
+TEST(RequestIdTest, ValidAcceptsTheDocumentedAlphabet)
+{
+    EXPECT_TRUE(validRequestId("abc"));
+    EXPECT_TRUE(validRequestId("A-Z_0.9"));
+    EXPECT_TRUE(validRequestId("x"));
+    EXPECT_TRUE(validRequestId(std::string(kMaxRequestIdBytes, 'a')));
+}
+
+TEST(RequestIdTest, ValidRejectsEmptyOversizedAndForbidden)
+{
+    EXPECT_FALSE(validRequestId(""));
+    EXPECT_FALSE(
+        validRequestId(std::string(kMaxRequestIdBytes + 1, 'a')));
+    EXPECT_FALSE(validRequestId("has space"));
+    EXPECT_FALSE(validRequestId("quote\""));
+    EXPECT_FALSE(validRequestId("new\nline"));
+    EXPECT_FALSE(validRequestId("back\\slash"));
+    EXPECT_FALSE(validRequestId(std::string(1, '\0')));
+}
+
+} // namespace
+} // namespace obs
+} // namespace hcm

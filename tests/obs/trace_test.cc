@@ -154,6 +154,52 @@ TEST_F(TraceTest, ChromeTraceDocumentIsWellFormed)
     EXPECT_DOUBLE_EQ(alpha.find("dur")->asNumber(), 2.5);
 }
 
+TEST_F(TraceTest, FlowEventsCarryIdAndBindingPoint)
+{
+    Tracer::instance().setEnabled(true);
+    Tracer::instance().recordFlow("req", "net", 's', "rid-1");
+    Tracer::instance().recordFlow("req", "net", 'f', "rid-1");
+    Tracer::instance().setEnabled(false);
+
+    auto doc = exportTrace();
+    ASSERT_TRUE(doc);
+    const JsonValue *events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->size(), 2u);
+    const JsonValue &start = events->items()[0];
+    EXPECT_EQ(start.find("ph")->asString(), "s");
+    EXPECT_EQ(start.find("id")->asString(), "rid-1");
+    EXPECT_EQ(start.find("cat")->asString(), "net");
+    EXPECT_EQ(start.find("bp"), nullptr);
+    const JsonValue &end = events->items()[1];
+    EXPECT_EQ(end.find("ph")->asString(), "f");
+    EXPECT_EQ(end.find("id")->asString(), "rid-1");
+    // "bp":"e" binds the arrow to the enclosing slice in Perfetto.
+    ASSERT_NE(end.find("bp"), nullptr);
+    EXPECT_EQ(end.find("bp")->asString(), "e");
+}
+
+TEST_F(TraceTest, DisabledFlowsRecordNothing)
+{
+    Tracer::instance().recordFlow("req", "net", 's', "rid-1");
+    auto doc = exportTrace();
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc->find("traceEvents")->size(), 0u);
+}
+
+TEST_F(TraceTest, DocumentCarriesAWallClockAnchor)
+{
+    Tracer::instance().setEnabled(true);
+    Tracer::instance().recordSpan("work", "test", 0, 10);
+    Tracer::instance().setEnabled(false);
+    auto doc = exportTrace();
+    ASSERT_TRUE(doc);
+    const JsonValue *anchor = doc->find("traceStartWallUs");
+    ASSERT_NE(anchor, nullptr);
+    EXPECT_TRUE(anchor->isNumber());
+    EXPECT_GT(anchor->asNumber(), 0.0);
+}
+
 TEST_F(TraceTest, ExportsAreCumulativeUntilClear)
 {
     Tracer::instance().setEnabled(true);

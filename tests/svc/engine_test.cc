@@ -463,6 +463,58 @@ TEST_F(QueryEngineLifecycleTest, SaturatedQueueShedsWithRetryHint)
     EXPECT_EQ(engine.inflightCount(), 0u);
 }
 
+TEST(QueryEngineTest, DifferingRequestIdsShareOneCacheEntry)
+{
+    // The id is trace context, not computation identity: a repeat of
+    // the same question under a fresh id must hit the cache.
+    QueryEngine engine(options(2, 64));
+    Query q;
+    q.requestId = "rid-a";
+    engine.evaluate(q);
+    q.requestId = "rid-b";
+    engine.evaluate(q);
+    CacheStats stats = engine.cacheStats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(QueryEngineTest, FaultedEvaluationEchoesAClientRequestId)
+{
+    FaultInjector::instance().reset();
+    ASSERT_TRUE(FaultInjector::instance().configure(
+        "eval:throw=injected fault:every=1"));
+    QueryEngine engine(options(2, 64));
+    Query q;
+    q.requestId = "rid-fault";
+    q.requestIdEcho = true;
+    auto result = engine.evaluate(q);
+    FaultInjector::instance().reset();
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(result->errorKind, QueryErrorKind::EvaluationFailed);
+    EXPECT_NE(result->toJson().find("\"requestId\":\"rid-fault\""),
+              std::string::npos);
+}
+
+TEST(QueryEngineTest, DeadlineErrorEchoesAClientRequestId)
+{
+    FaultInjector::instance().reset();
+    ASSERT_TRUE(
+        FaultInjector::instance().configure("dequeue:delay=30"));
+    EngineOptions opts = options(1, 64);
+    opts.deadlineNs = 1000000; // 1ms, hopeless against a 30ms stall
+    QueryEngine engine(opts);
+    Query q;
+    q.requestId = "rid-late";
+    q.requestIdEcho = true;
+    auto result = engine.evaluate(q);
+    FaultInjector::instance().reset();
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(result->errorKind, QueryErrorKind::DeadlineExceeded);
+    EXPECT_NE(result->toJson().find("\"requestId\":\"rid-late\""),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace svc
 } // namespace hcm

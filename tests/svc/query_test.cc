@@ -31,6 +31,43 @@ TEST(QueryKeyTest, IdenticalQueriesShareAKey)
     EXPECT_EQ(a.canonicalKey(), b.canonicalKey());
 }
 
+TEST(QueryKeyTest, RequestIdNeverEntersTheKey)
+{
+    // Identity of the computation, not of the request: two clients
+    // asking the same question must rendezvous on one cache entry.
+    Query a;
+    Query b;
+    b.requestId = "rid-123";
+    b.requestIdEcho = true;
+    EXPECT_EQ(a.canonicalKey(), b.canonicalKey());
+}
+
+TEST(QueryResultTest, ErrorsEchoTheRequestIdOnlyWhenClientSupplied)
+{
+    Query q;
+    q.requestId = "rid-err";
+    QueryResult result;
+    result.query = q;
+    result.error = "boom";
+    result.errorKind = QueryErrorKind::EvaluationFailed;
+    // Minted (not client-supplied): no echo, responses stay
+    // byte-identical to an untagged run.
+    EXPECT_EQ(result.toJson().find("requestId"), std::string::npos);
+    result.query.requestIdEcho = true;
+    EXPECT_NE(result.toJson().find("\"requestId\":\"rid-err\""),
+              std::string::npos);
+}
+
+TEST(QueryResultTest, SuccessesNeverEchoTheRequestId)
+{
+    Query q;
+    q.requestId = "rid-ok";
+    q.requestIdEcho = true;
+    QueryResult result = evaluateQuery(q);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.toJson().find("requestId"), std::string::npos);
+}
+
 TEST(QueryKeyTest, EveryInputPerturbationChangesTheKey)
 {
     Query base;

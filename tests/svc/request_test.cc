@@ -169,6 +169,83 @@ TEST(BatchDocumentTest, RejectsNonBatchShapes)
     EXPECT_FALSE(parseBatchDocument("{", &error));
 }
 
+TEST(RequestIdParseTest, ClientSuppliedIdIsKeptAndMarkedForEcho)
+{
+    RequestParse parsed = parseQueryRequestText(
+        R"({"type":"optimize","requestId":"abc-12.3_X"})");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.query.requestId, "abc-12.3_X");
+    EXPECT_TRUE(parsed.query.requestIdEcho);
+}
+
+TEST(RequestIdParseTest, AbsentIdLeavesNoEcho)
+{
+    RequestParse parsed =
+        parseQueryRequestText(R"({"type":"optimize"})");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_TRUE(parsed.query.requestId.empty());
+    EXPECT_FALSE(parsed.query.requestIdEcho);
+}
+
+TEST(RequestIdParseTest, RejectsMalformedIds)
+{
+    const char *bad[] = {
+        R"({"type":"optimize","requestId":42})",
+        R"({"type":"optimize","requestId":""})",
+        R"({"type":"optimize","requestId":"has space"})",
+        R"({"type":"optimize","requestId":"quote\""})",
+    };
+    for (const char *text : bad) {
+        RequestParse parsed = parseQueryRequestText(text);
+        EXPECT_FALSE(parsed.ok) << text;
+        EXPECT_NE(parsed.error.find("requestId"), std::string::npos)
+            << parsed.error;
+    }
+    // Oversized: one past the wire limit.
+    std::string big = R"({"type":"optimize","requestId":")" +
+                      std::string(65, 'a') + "\"}";
+    EXPECT_FALSE(parseQueryRequestText(big).ok);
+}
+
+TEST(InjectRequestIdTest, SplicesAfterTheOpeningBrace)
+{
+    auto out = injectRequestId(R"({"type":"optimize"})", "rid1");
+    ASSERT_TRUE(out);
+    EXPECT_EQ(*out, R"({"requestId":"rid1","type":"optimize"})");
+    RequestParse parsed = parseQueryRequestText(*out);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.query.requestId, "rid1");
+}
+
+TEST(InjectRequestIdTest, EmptyObjectGetsNoTrailingComma)
+{
+    auto out = injectRequestId("{}", "rid1");
+    ASSERT_TRUE(out);
+    EXPECT_EQ(*out, R"({"requestId":"rid1"})");
+    auto spaced = injectRequestId("  { }", "rid2");
+    ASSERT_TRUE(spaced);
+    EXPECT_EQ(*spaced, "  {\"requestId\":\"rid2\" }");
+}
+
+TEST(InjectRequestIdTest, NonObjectsAreLeftAlone)
+{
+    EXPECT_FALSE(injectRequestId("[1,2]", "rid1"));
+    EXPECT_FALSE(injectRequestId("42", "rid1"));
+    EXPECT_FALSE(injectRequestId("", "rid1"));
+}
+
+TEST(InjectRequestIdTest, ExistingIdWinsUnderLastOccurrenceRule)
+{
+    // The splice lands at the FRONT, so a client-authored id later in
+    // the object survives the duplicate-keys-keep-last parse rule.
+    auto out = injectRequestId(
+        R"({"type":"optimize","requestId":"client"})", "minted");
+    ASSERT_TRUE(out);
+    RequestParse parsed = parseQueryRequestText(*out);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.query.requestId, "client");
+}
+
 } // namespace
 } // namespace svc
 } // namespace hcm

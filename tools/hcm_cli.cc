@@ -27,16 +27,20 @@
 #include "mem/traffic.hh"
 #include "obs/build_info.hh"
 #include "obs/metrics.hh"
+#include "obs/process_metrics.hh"
 #include "obs/trace.hh"
+#include "obs/trace_merge.hh"
 #include "plot/figure.hh"
 #include "prof/bench_results.hh"
 #include "prof/profiler.hh"
 #include "sim/simulator.hh"
+#include "net/fleet.hh"
 #include "net/front_door.hh"
 #include "net/loadgen.hh"
 #include "net/server.hh"
 #include "svc/engine.hh"
 #include "svc/fault.hh"
+#include "svc/flight_recorder.hh"
 #include "svc/router.hh"
 #include "svc/service.hh"
 #include "sweep/export.hh"
@@ -88,13 +92,27 @@ commands:
                           shard_unavailable errors when a shard is lost
   loadgen <mix>           replay a query mix (JSONL or batch document)
                           against --connect at --rate; reports
-                          p50/p95/p99 latency and error/shed counts
+                          p50/p95/p99 latency and error/shed counts;
+                          every request carries a minted requestId
+                          (--samples-out records them per request)
+  top                     fleet dashboard over a front door's
+                          {"type":"fleet"} verb: per-shard qps,
+                          latency percentiles, queue depth, cache hit
+                          rate; redraws every --interval-ms, or prints
+                          once and exits with --once
+  trace-merge <file...>   stitch per-process --trace-out files into
+                          one timeline (pid per input, wall-clock
+                          aligned) written to --output (default
+                          stdout); load it in Perfetto to see a
+                          request flow front door -> shard
   bench                   run the google-benchmark suites and merge
                           their results into one BENCH_RESULTS.json
   bench-diff <old> <new>  compare two bench results files; exit 1 when
                           a median slowdown exceeds the tolerance
-  validate-trace <file>   check a --trace-out file is a well-formed
-                          Chrome trace (exit 1 with a reason if not)
+  validate-trace <file>   check a --trace-out or trace-merge file is a
+                          well-formed Chrome trace — merged files also
+                          get flow pairing and per-process timestamp
+                          monotonicity checks (exit 1 with a reason)
   list                    devices, workloads, scenarios
   help                    this text
 
@@ -181,6 +199,24 @@ options (serve/front/loadgen — networked tier):
                               (default 1)
   --timeout-ms <ms>           net I/O timeout: every connect/read/write
                               is bounded by this (default 5000)
+  --scrape-interval-ms <ms>   front / serve --shards: period of the
+                              background fleet scrape feeding the
+                              {"type":"fleet"} verb (0 = scrape on
+                              demand per request; default 1000)
+  --flight-recorder-size <n>  serve/front: keep the last n completed
+                              requests (id, latency breakdown,
+                              outcome) for the {"type":"requests"}
+                              verb (0 = off; default 256)
+  --samples-out <file>        loadgen: write one JSONL sample per
+                              request — index, requestId, latencyMs,
+                              outcome — joinable against merged
+                              traces and shard flight recorders
+  --no-request-ids            loadgen: do not mint/splice requestIds
+                              (sends become byte-identical to the mix)
+  --interval-ms <ms>          top: redraw period (default 1000)
+  --once                      top: print one snapshot and exit
+                              (exit 1 when the front door is
+                              unreachable)
 
 options (bench/bench-diff):
   --bench-dir <dir>           directory with the gbench binaries and
@@ -272,6 +308,12 @@ struct Options
     std::size_t concurrency = 4;
     std::size_t repeat = 1;
     double timeoutMs = 5000.0;
+    double scrapeIntervalMs = 1000.0;
+    std::size_t flightRecorderSize = 256;
+    std::string samplesOut;
+    bool noRequestIds = false;
+    double intervalMs = 1000.0;
+    bool once = false;
 };
 
 wl::Workload
@@ -424,6 +466,18 @@ parseOptions(const std::vector<std::string> &args, std::size_t start)
             opts.repeat = std::stoul(next());
         else if (a == "--timeout-ms")
             opts.timeoutMs = std::stod(next());
+        else if (a == "--scrape-interval-ms")
+            opts.scrapeIntervalMs = std::stod(next());
+        else if (a == "--flight-recorder-size")
+            opts.flightRecorderSize = std::stoul(next());
+        else if (a == "--samples-out")
+            opts.samplesOut = next();
+        else if (a == "--no-request-ids")
+            opts.noRequestIds = true;
+        else if (a == "--interval-ms")
+            opts.intervalMs = std::stod(next());
+        else if (a == "--once")
+            opts.once = true;
         else
             hcm_fatal("unknown option '", a, "' (see hcm help)");
     }
@@ -450,6 +504,10 @@ parseOptions(const std::vector<std::string> &args, std::size_t start)
         hcm_fatal("--rate must be >= 0");
     if (opts.timeoutMs < 0.0)
         hcm_fatal("--timeout-ms must be >= 0");
+    if (opts.scrapeIntervalMs < 0.0)
+        hcm_fatal("--scrape-interval-ms must be >= 0");
+    if (opts.intervalMs <= 0.0)
+        hcm_fatal("--interval-ms must be > 0");
     return opts;
 }
 
@@ -832,34 +890,71 @@ cmdSimulate(const Options &opts)
     return 0;
 }
 
-int
-cmdValidateTrace(const std::string &path)
+/** Slurp one file or die — the small-input commands' loader. */
+std::string
+readFileOrDie(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
         hcm_fatal("cannot open '", path, "'");
     std::ostringstream buffer;
     buffer << in.rdbuf();
+    return buffer.str();
+}
+
+int
+cmdValidateTrace(const std::string &path)
+{
     std::string error;
-    auto doc = JsonValue::parse(buffer.str(), &error);
-    if (!doc)
-        hcm_fatal(path, ": not valid JSON: ", error);
-    if (!doc->isObject())
-        hcm_fatal(path, ": trace root must be an object");
-    const JsonValue *events = doc->find("traceEvents");
-    if (!events || !events->isArray())
-        hcm_fatal(path, ": missing \"traceEvents\" array");
-    std::size_t index = 0;
-    for (const JsonValue &event : events->items()) {
-        if (!event.isObject())
-            hcm_fatal(path, ": event ", index, " is not an object");
-        for (const char *k : {"name", "ph", "ts", "pid", "tid"})
-            if (!event.find(k))
-                hcm_fatal(path, ": event ", index, " missing \"", k,
-                          "\"");
-        ++index;
+    obs::TraceStats stats;
+    if (!obs::validateChromeTrace(readFileOrDie(path), &error, &stats))
+        hcm_fatal(path, ": ", error);
+    std::cout << "valid trace: " << stats.events << " event(s), "
+              << stats.flowStarts + stats.flowEnds << " flow event(s), "
+              << stats.processes << " process(es)";
+    if (stats.mergedFrom > 0)
+        std::cout << ", merged from " << stats.mergedFrom;
+    std::cout << "\n";
+    return 0;
+}
+
+/** Display label for a merge input: basename without a .json suffix. */
+std::string
+traceLabel(const std::string &path)
+{
+    std::size_t slash = path.find_last_of('/');
+    std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    if (base.size() > 5 &&
+        base.compare(base.size() - 5, 5, ".json") == 0)
+        base.resize(base.size() - 5);
+    return base.empty() ? path : base;
+}
+
+int
+cmdTraceMerge(const std::vector<std::string> &paths,
+              const Options &opts)
+{
+    applyLogOptions(opts, false);
+    std::vector<obs::TraceInput> inputs;
+    for (const std::string &path : paths)
+        inputs.push_back({traceLabel(path), readFileOrDie(path)});
+    std::string error;
+    std::ostringstream merged;
+    if (!obs::mergeChromeTraces(inputs, merged, &error))
+        hcm_fatal("trace-merge: ", error);
+    merged << "\n";
+    if (opts.output.empty()) {
+        std::cout << merged.str();
+        return 0;
     }
-    std::cout << "valid trace: " << index << " event(s)\n";
+    std::ofstream out(opts.output,
+                      std::ios::binary | std::ios::trunc);
+    if (!out)
+        hcm_fatal("cannot write '", opts.output, "'");
+    out << merged.str();
+    hcm_inform("merged trace written", logField("file", opts.output),
+               logField("inputs", inputs.size()));
     return 0;
 }
 
@@ -1068,6 +1163,7 @@ cmdServe(const Options &opts)
     // chatter is noise for a supervised daemon (satellite: Warn).
     applyLogOptions(opts, true);
     applyFaultSpec(opts);
+    svc::FlightRecorder::instance().configure(opts.flightRecorderSize);
     TraceSession trace(opts);
     ProfileSession profile(opts);
 
@@ -1110,7 +1206,11 @@ cmdServe(const Options &opts)
         for (std::size_t s = 0; s < opts.shards; ++s)
             backends.push_back(std::make_unique<net::LocalShardBackend>(
                 "shard-" + std::to_string(s), *engines[s]));
-        front = std::make_unique<net::FrontDoor>(std::move(backends));
+        net::FrontDoorOptions fopts;
+        fopts.scrapeIntervalMs =
+            static_cast<std::uint64_t>(opts.scrapeIntervalMs);
+        front = std::make_unique<net::FrontDoor>(std::move(backends),
+                                                 fopts);
         handler = [&front](const std::string &request) {
             return front->handle(request);
         };
@@ -1139,6 +1239,7 @@ int
 cmdFront(const Options &opts)
 {
     applyLogOptions(opts, true);
+    svc::FlightRecorder::instance().configure(opts.flightRecorderSize);
     TraceSession trace(opts);
     ProfileSession profile(opts);
     if (opts.port < 0)
@@ -1164,7 +1265,10 @@ cmdFront(const Options &opts)
     if (backends.empty())
         hcm_fatal("front: --shard-addrs named no shards");
 
-    net::FrontDoor front(std::move(backends));
+    net::FrontDoorOptions fopts;
+    fopts.scrapeIntervalMs =
+        static_cast<std::uint64_t>(opts.scrapeIntervalMs);
+    net::FrontDoor front(std::move(backends), fopts);
     net::TcpServerOptions sopts;
     sopts.host = opts.host;
     sopts.port = static_cast<std::uint16_t>(opts.port);
@@ -1187,6 +1291,8 @@ int
 cmdLoadgen(const std::string &mix_path, const Options &opts)
 {
     applyLogOptions(opts, false);
+    TraceSession trace(opts);
+    ProfileSession profile(opts);
     if (opts.connect.empty())
         hcm_fatal("loadgen: --connect <host:port> is required");
     std::string host;
@@ -1212,6 +1318,8 @@ cmdLoadgen(const std::string &mix_path, const Options &opts)
     lopts.repeat = opts.repeat;
     lopts.timeoutMs = static_cast<std::uint64_t>(opts.timeoutMs);
     lopts.outputPath = opts.output;
+    lopts.samplesPath = opts.samplesOut;
+    lopts.tagRequestIds = !opts.noRequestIds;
     net::LoadGenReport report;
     if (!net::runLoadGen(requests, lopts, &report, &error))
         hcm_fatal("loadgen: ", error);
@@ -1222,6 +1330,62 @@ cmdLoadgen(const std::string &mix_path, const Options &opts)
     return report.sent > 0 && report.transportFailures == report.sent
                ? 1
                : 0;
+}
+
+int
+cmdTop(const Options &opts)
+{
+    applyLogOptions(opts, false);
+    if (opts.connect.empty())
+        hcm_fatal("top: --connect <host:port> is required");
+    std::string host;
+    std::uint16_t port = 0;
+    std::string error;
+    if (!net::parseHostPort(opts.connect, &host, &port, &error))
+        hcm_fatal("top: --connect: ", error);
+    net::TcpShardBackend backend(
+        host, port, static_cast<std::uint64_t>(opts.timeoutMs));
+
+    std::signal(SIGINT, handleShutdownSignal);
+    std::signal(SIGTERM, handleShutdownSignal);
+    while (true) {
+        std::string response;
+        if (!backend.roundTrip("{\"type\":\"fleet\"}", &response,
+                               &error)) {
+            if (opts.once)
+                hcm_fatal("top: ", error);
+            // Live mode keeps polling: a restarting front door should
+            // not kill the dashboard watching it.
+            std::cout << "fleet unavailable: " << error << "\n"
+                      << std::flush;
+        } else {
+            std::vector<net::ShardStatus> shards;
+            net::FrontCounters front;
+            if (!net::parseFleetResponse(response, &shards, &front,
+                                         &error))
+                hcm_fatal("top: ", error);
+            std::ostringstream screen;
+            screen << net::renderFleetTable(shards);
+            screen << "front: routed " << front.routed << "  shed "
+                   << front.shed << "  shard_unavailable "
+                   << front.shardUnavailable << "\n";
+            if (!opts.once)
+                std::cout << "\033[H\033[2J"; // redraw in place
+            std::cout << screen.str() << std::flush;
+        }
+        if (opts.once)
+            return 0;
+        auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(
+                static_cast<long long>(opts.intervalMs));
+        while (!g_shutdownRequested &&
+               std::chrono::steady_clock::now() < deadline)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        if (g_shutdownRequested)
+            return 0;
+    }
 }
 
 int
@@ -1306,6 +1470,7 @@ main(int argc, char **argv)
     // Identity gauge first, so every metrics export — including ones
     // from commands that never touch the engine — carries the build.
     hcm::obs::registerBuildInfoMetric(hcm::obs::globalRegistry());
+    hcm::obs::registerProcessMetrics(hcm::obs::globalRegistry());
     std::vector<std::string> args(argv + 1, argv + argc);
     if (args.empty() || args[0] == "help" || args[0] == "--help" ||
         args[0] == "-h") {
@@ -1369,6 +1534,18 @@ main(int argc, char **argv)
             hcm_fatal("usage: hcm bench-diff <old.json> <new.json> "
                       "[options]");
         return cmdBenchDiff(args[1], args[2], parseOptions(args, 3));
+    }
+    if (cmd == "top")
+        return cmdTop(parseOptions(args, 1));
+    if (cmd == "trace-merge") {
+        std::vector<std::string> paths;
+        std::size_t i = 1;
+        while (i < args.size() && args[i].rfind("--", 0) != 0)
+            paths.push_back(args[i++]);
+        if (paths.empty())
+            hcm_fatal("usage: hcm trace-merge <trace.json...> "
+                      "[--output merged.json]");
+        return cmdTraceMerge(paths, parseOptions(args, i));
     }
     if (cmd == "validate-trace") {
         if (args.size() < 2)
