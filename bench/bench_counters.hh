@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Hardware-counter plumbing for the google-benchmark suites. A
+ * GbenchCounters wraps a benchmark's timing loop in one hwc counter
+ * region and publishes the deltas as gbench user counters —
+ * per-iteration instructions and cycles plus the ratio columns — which
+ * the JSON output flattens into the benchmark entry and `hcm bench`
+ * copies into BENCH_RESULTS.json. On hosts without perf events the
+ * helper publishes nothing: rows simply lack counter columns, and the
+ * results metadata explains why.
+ *
+ * Only meaningful for benchmarks whose work runs on the calling
+ * thread — counter groups are per-thread, so a thread-pool benchmark
+ * would measure only the coordination cost.
+ */
+
+#ifndef HCM_BENCH_BENCH_COUNTERS_HH
+#define HCM_BENCH_BENCH_COUNTERS_HH
+
+#include <optional>
+
+#include <benchmark/benchmark.h>
+
+#include "hwc/counter_region.hh"
+
+namespace hcm {
+namespace bench {
+
+/** RAII: construct before the timing loop, destruct after it. */
+class GbenchCounters
+{
+  public:
+    explicit GbenchCounters(benchmark::State &state) : _state(state)
+    {
+        hwc::Collector &collector = hwc::Collector::instance();
+        _wasEnabled = collector.enabled();
+        collector.setEnabled(true);
+        _region.emplace();
+    }
+
+    GbenchCounters(const GbenchCounters &) = delete;
+    GbenchCounters &operator=(const GbenchCounters &) = delete;
+
+    ~GbenchCounters()
+    {
+        _region->end();
+        const hwc::CounterSample &d = _region->delta();
+        hwc::Collector::instance().setEnabled(_wasEnabled);
+        if (!d.available || _state.iterations() == 0)
+            return;
+        double iters = static_cast<double>(_state.iterations());
+        _state.counters["instructions"] =
+            static_cast<double>(d.instructions) / iters;
+        _state.counters["cycles"] =
+            static_cast<double>(d.cycles) / iters;
+        _state.counters["ipc"] = d.ipc();
+        if (d.hasLlc)
+            _state.counters["llcMissRate"] = d.llcMissRate();
+    }
+
+  private:
+    benchmark::State &_state;
+    std::optional<hwc::CounterRegion> _region;
+    bool _wasEnabled = false;
+};
+
+} // namespace bench
+} // namespace hcm
+
+#endif // HCM_BENCH_BENCH_COUNTERS_HH

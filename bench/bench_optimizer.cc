@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_counters.hh"
 #include "core/paper.hh"
 #include "core/projection.hh"
 
@@ -28,6 +29,7 @@ BM_OptimizeDesignPoint(benchmark::State &state)
     auto w = wl::Workload::fft(1024);
     auto org = *core::heterogeneous(dev::DeviceId::Asic, w);
     core::Budget b = core::makeBudget(itrs::nodeParams(22.0), w);
+    bench::GbenchCounters counters(state);
     for (auto _ : state) {
         core::DesignPoint dp = core::optimize(org, 0.99, b);
         benchmark::DoNotOptimize(dp);
@@ -54,6 +56,7 @@ void
 BM_ProjectAllOrganizations(benchmark::State &state)
 {
     auto w = wl::Workload::mmm();
+    bench::GbenchCounters counters(state);
     for (auto _ : state) {
         auto all = core::projectAll(w, 0.99);
         benchmark::DoNotOptimize(all.data());

@@ -1,0 +1,101 @@
+#include "counter_region.hh"
+
+#include "obs/trace.hh"
+#include "prof/profiler.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace hcm {
+namespace hwc {
+
+Collector &
+Collector::instance()
+{
+    static Collector collector;
+    return collector;
+}
+
+void
+Collector::setEnabled(bool on)
+{
+    _enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+Collector::warnUnavailable(const std::string &reason)
+{
+    bool expected = false;
+    if (!_warned.compare_exchange_strong(expected, true))
+        return;
+    auto paranoid = perfEventParanoid();
+    hcm_warn("hardware counters unavailable; telemetry degrades to "
+             "wall time",
+             logField("reason", reason),
+             logField("perf_event_paranoid",
+                      paranoid ? std::to_string(*paranoid) : "n/a"));
+}
+
+PerfCounterGroup &
+Collector::threadGroup()
+{
+    thread_local PerfCounterGroup group;
+    if (!group.open() && !group.unavailableReason().empty())
+        warnUnavailable(group.unavailableReason());
+    return group;
+}
+
+Availability
+Collector::probe()
+{
+    std::call_once(_probeOnce, [this] {
+        PerfCounterGroup group;
+        _probed.available = group.open();
+        _probed.reason = group.unavailableReason();
+        auto paranoid = perfEventParanoid();
+        _probed.perfEventParanoid = paranoid ? *paranoid : -1;
+        if (!_probed.available)
+            warnUnavailable(_probed.reason);
+    });
+    return _probed;
+}
+
+void
+CounterRegion::begin()
+{
+    _group = &Collector::instance().threadGroup();
+    if (!_group->available()) {
+        _active = false;
+        _group = nullptr;
+        return;
+    }
+    _start = _group->read();
+    if (!_start.available) {
+        _active = false;
+        _group = nullptr;
+    }
+}
+
+void
+CounterRegion::end()
+{
+    if (!_active)
+        return;
+    _active = false;
+    _delta = _group->read().deltaSince(_start);
+    if (!_delta.available)
+        return;
+    if (_span && _span->active()) {
+        _span->arg("instructions", _delta.instructions);
+        _span->arg("cycles", _delta.cycles);
+        _span->arg("ipc", fmtSig(_delta.ipc(), 3));
+        if (_delta.hasLlc)
+            _span->arg("llc_miss_rate",
+                       fmtSig(_delta.llcMissRate(), 3));
+    }
+    prof::Profiler::instance().chargeCounters(
+        {_delta.instructions, _delta.cycles, _delta.llcLoads,
+         _delta.llcMisses, _delta.hasLlc});
+}
+
+} // namespace hwc
+} // namespace hcm

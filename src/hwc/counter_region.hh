@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Scoped hardware-counter measurement wired into the observability
+ * stack. A process-wide Collector gates collection (same discipline as
+ * obs::Tracer: off by default, one relaxed atomic load when disabled)
+ * and hands each thread its own PerfCounterGroup, opened lazily on
+ * first use. An RAII CounterRegion brackets a scope: it reads the
+ * thread's cumulative counters at entry and exit, and on exit attaches
+ * the delta — instructions, cycles, IPC, LLC miss rate — to an
+ * optional enclosing obs::Span (as span args, so Chrome traces grow
+ * counter columns) and charges it to the profiler's current call-tree
+ * node (so profile exports grow IPC next to self/total time).
+ *
+ * Degradation: when counters cannot open (perf_event_paranoid,
+ * seccomp, non-Linux), the first failure logs ONE structured warning
+ * process-wide and every region quietly yields delta().available ==
+ * false. Nothing above this layer needs an #ifdef.
+ */
+
+#ifndef HCM_HWC_COUNTER_REGION_HH
+#define HCM_HWC_COUNTER_REGION_HH
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "hwc/perf_counters.hh"
+
+namespace hcm {
+namespace obs {
+class Span;
+} // namespace obs
+
+namespace hwc {
+
+/** What a host offers, as recorded in telemetry metadata. */
+struct Availability
+{
+    bool available = false;
+    std::string reason; ///< empty when available
+    /** kernel.perf_event_paranoid; -1 when the file does not exist. */
+    int perfEventParanoid = -1;
+};
+
+/**
+ * Process-wide counter-collection gate + per-thread group registry.
+ */
+class Collector
+{
+  public:
+    static Collector &instance();
+
+    /**
+     * Turn collection on or off. Enabling never fails: on hosts
+     * without perf events, regions simply report unavailable.
+     */
+    void setEnabled(bool on);
+
+    bool
+    enabled() const
+    {
+        return _enabled.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * The calling thread's counter group, opened on first call; never
+     * nullptr, but may be !available(). The first open failure
+     * process-wide logs one structured warning with the reason and
+     * paranoid level.
+     */
+    PerfCounterGroup &threadGroup();
+
+    /**
+     * Probe what this host offers (opens a throwaway group on the
+     * calling thread once, then caches). Collection does not need to
+     * be enabled; `hcm bench` metadata and the self-roofline report
+     * call this regardless of the gate.
+     */
+    Availability probe();
+
+  private:
+    Collector() = default;
+
+    std::atomic<bool> _enabled{false};
+    std::atomic<bool> _warned{false};
+    std::once_flag _probeOnce;
+    Availability _probed;
+
+    friend class CounterRegion;
+
+    /** Warn once, process-wide, about the first open failure. */
+    void warnUnavailable(const std::string &reason);
+};
+
+/**
+ * RAII counter region. Costs one relaxed atomic load when the
+ * collector is disabled; when enabled, one group read() at entry and
+ * one at exit (a few hundred ns each). Safe to nest: groups count
+ * continuously and regions only take deltas.
+ */
+class CounterRegion
+{
+  public:
+    /**
+     * @param span optional enclosing span to receive counter args on
+     * end() (ignored when tracing is off or counters unavailable).
+     */
+    explicit CounterRegion(obs::Span *span = nullptr)
+        : _active(Collector::instance().enabled()), _span(span)
+    {
+        if (_active)
+            begin();
+    }
+
+    CounterRegion(const CounterRegion &) = delete;
+    CounterRegion &operator=(const CounterRegion &) = delete;
+
+    ~CounterRegion() { end(); }
+
+    bool
+    active() const
+    {
+        return _active;
+    }
+
+    /**
+     * Close the region now (idempotent): computes the delta, attaches
+     * span args, and charges the profiler's current node.
+     */
+    void end();
+
+    /**
+     * The measured delta; meaningful after end() (the destructor calls
+     * it). available == false when the collector was disabled or the
+     * host has no counters.
+     */
+    const CounterSample &
+    delta() const
+    {
+        return _delta;
+    }
+
+  private:
+    void begin();
+
+    bool _active;
+    obs::Span *_span;
+    PerfCounterGroup *_group = nullptr;
+    CounterSample _start;
+    CounterSample _delta;
+};
+
+} // namespace hwc
+} // namespace hcm
+
+#endif // HCM_HWC_COUNTER_REGION_HH

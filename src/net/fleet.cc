@@ -101,6 +101,8 @@ applyScrape(const JsonValue &doc, ShardStatus *status)
             sumGauges(*process, "hcm_process_uptime_seconds");
         status->rssBytes =
             sumGauges(*process, "hcm_process_resident_memory_bytes");
+        status->peakRssBytes = sumGauges(
+            *process, "hcm_process_peak_resident_memory_bytes");
     }
 }
 
@@ -248,6 +250,8 @@ writeShardStatusJson(JsonWriter &json,
         json.kv("queueDepth", static_cast<long long>(shard.queueDepth));
         json.kv("uptimeSec", static_cast<long long>(shard.uptimeSec));
         json.kv("rssBytes", static_cast<long long>(shard.rssBytes));
+        json.kv("peakRssBytes",
+                static_cast<long long>(shard.peakRssBytes));
         json.kv("scrapeAgeMs", shard.scrapeAgeMs);
         json.endObject();
     }
@@ -306,6 +310,8 @@ parseFleetResponse(const std::string &text,
             static_cast<std::int64_t>(memberDouble(row, "uptimeSec"));
         status.rssBytes =
             static_cast<std::int64_t>(memberDouble(row, "rssBytes"));
+        status.peakRssBytes = static_cast<std::int64_t>(
+            memberDouble(row, "peakRssBytes"));
         status.scrapeAgeMs = memberU64(row, "scrapeAgeMs");
         shards->push_back(std::move(status));
     }
@@ -325,21 +331,23 @@ renderFleetTable(const std::vector<ShardStatus> &shards)
     std::string out;
     char line[256];
     std::snprintf(line, sizeof(line),
-                  "%-22s %-5s %9s %9s %9s %9s %7s %6s %7s %9s\n",
+                  "%-22s %-5s %9s %9s %9s %9s %7s %6s %7s %9s %9s\n",
                   "SHARD", "UP", "QPS", "P50MS", "P95MS", "P99MS",
-                  "QUEUE", "HIT%", "SHED", "RSS_MB");
+                  "QUEUE", "HIT%", "SHED", "RSS_MB", "PEAK_MB");
     out += line;
     for (const ShardStatus &shard : shards) {
         std::snprintf(
             line, sizeof(line),
             "%-22s %-5s %9.1f %9.2f %9.2f %9.2f %7lld %6.1f %7llu "
-            "%9.1f\n",
+            "%9.1f %9.1f\n",
             shard.name.c_str(), shard.up ? "yes" : "NO", shard.qps,
             shard.p50Ms, shard.p95Ms, shard.p99Ms,
             static_cast<long long>(shard.queueDepth),
             shard.cacheHitRate * 100.0,
             static_cast<unsigned long long>(shard.rejected),
-            static_cast<double>(shard.rssBytes) / (1024.0 * 1024.0));
+            static_cast<double>(shard.rssBytes) / (1024.0 * 1024.0),
+            static_cast<double>(shard.peakRssBytes) /
+                (1024.0 * 1024.0));
         out += line;
         if (!shard.up && !shard.error.empty())
             out += "  ^ " + shard.error + "\n";

@@ -53,6 +53,9 @@ struct ShardStatus
     std::int64_t queueDepth = 0; ///< hcm_pool_queue_depth gauges, summed
     std::int64_t uptimeSec = 0;
     std::int64_t rssBytes = 0;
+    /** Peak RSS (VmHWM); distinguishes a shard that once ballooned
+     *  from one that is currently large. */
+    std::int64_t peakRssBytes = 0;
     std::uint64_t scrapeAgeMs = 0; ///< now - last successful scrape
 };
 

@@ -3,8 +3,10 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 
 #ifdef __linux__
+#include <sys/resource.h>
 #include <unistd.h>
 #endif
 
@@ -36,6 +38,50 @@ residentBytes()
 #endif
 }
 
+/** Peak resident-set size (VmHWM) in bytes (0 where unreadable).
+ *  statm has no high-water mark, so this one field comes from the
+ *  line-oriented /proc/self/status instead. */
+std::int64_t
+peakResidentBytes()
+{
+#ifdef __linux__
+    std::FILE *f = std::fopen("/proc/self/status", "r");
+    if (!f)
+        return 0;
+    char line[256];
+    long long kb = 0;
+    while (std::fgets(line, sizeof(line), f)) {
+        if (std::sscanf(line, "VmHWM: %lld kB", &kb) == 1)
+            break;
+        kb = 0;
+    }
+    std::fclose(f);
+    return static_cast<std::int64_t>(kb) * 1024;
+#else
+    return 0;
+#endif
+}
+
+/** Context switches since process start from getrusage (0 off
+ *  Linux). Voluntary switches count blocking (I/O, lock waits);
+ *  involuntary ones count preemption — the ratio separates an idle
+ *  shard from an oversubscribed one. */
+std::int64_t
+contextSwitches(bool voluntary)
+{
+#ifdef __linux__
+    struct rusage usage;
+    std::memset(&usage, 0, sizeof(usage));
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    return static_cast<std::int64_t>(voluntary ? usage.ru_nvcsw
+                                               : usage.ru_nivcsw);
+#else
+    (void)voluntary;
+    return 0;
+#endif
+}
+
 } // namespace
 
 void
@@ -50,6 +96,12 @@ registerProcessMetrics(Registry &registry)
     });
     registry.gaugeCallback("hcm_process_resident_memory_bytes",
                            [] { return residentBytes(); });
+    registry.gaugeCallback("hcm_process_peak_resident_memory_bytes",
+                           [] { return peakResidentBytes(); });
+    registry.gaugeCallback("hcm_process_voluntary_context_switches",
+                           [] { return contextSwitches(true); });
+    registry.gaugeCallback("hcm_process_involuntary_context_switches",
+                           [] { return contextSwitches(false); });
 }
 
 } // namespace obs

@@ -1,7 +1,8 @@
 /**
  * @file
  * Process-level gauges every hcm binary exports alongside
- * hcm_build_info: uptime since registration and resident-set size.
+ * hcm_build_info: uptime since registration, resident-set size (live
+ * and peak), and scheduler context-switch counts.
  * Both are callback gauges — sampled at export time rather than
  * maintained on a timer thread — so registering them costs nothing
  * until something scrapes the registry (the metrics control verb, the
@@ -17,10 +18,13 @@ namespace obs {
 class Registry;
 
 /**
- * Register hcm_process_uptime_seconds (whole seconds since this call)
- * and hcm_process_resident_memory_bytes (RSS from /proc/self/statm;
- * 0 where that interface does not exist) in @p registry. Idempotent
- * per registry; re-registration restarts the uptime anchor.
+ * Register hcm_process_uptime_seconds (whole seconds since this call),
+ * hcm_process_resident_memory_bytes (RSS from /proc/self/statm),
+ * hcm_process_peak_resident_memory_bytes (VmHWM from
+ * /proc/self/status), and hcm_process_{voluntary,involuntary}_
+ * context_switches (getrusage) in @p registry. All Linux-sourced
+ * gauges read 0 where their interface does not exist. Idempotent per
+ * registry; re-registration restarts the uptime anchor.
  */
 void registerProcessMetrics(Registry &registry);
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "hwc/counter_region.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "svc/thread_pool.hh"
@@ -60,6 +61,7 @@ evaluateUnit(const SweepSpec &spec, const Unit &unit, SweepRow &row)
     span.arg("f", row.f);
     span.arg("scenario", row.scenario);
     span.arg("organization", row.organization);
+    hwc::CounterRegion counters(&span);
 
     core::OptimizerOptions opts = spec.opts;
     opts.alpha = unit.scenario->alpha;

@@ -1,0 +1,111 @@
+/** @file Tests for the collector gate and the RAII counter region.
+ *  The invariants that hold on every host: a disabled region is inert
+ *  and reports an unavailable delta (never zeros dressed up as data),
+ *  an enabled region's availability mirrors the host probe, and the
+ *  probe is stable across calls. The profiler-attachment test needs
+ *  real counters and self-skips elsewhere. */
+
+#include <cstdint>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "hwc/counter_region.hh"
+#include "prof/profiler.hh"
+
+namespace hcm {
+namespace hwc {
+namespace {
+
+/** Restores the collector gate on scope exit so tests stay isolated. */
+class CollectorGateGuard
+{
+  public:
+    CollectorGateGuard() : _was(Collector::instance().enabled()) {}
+    ~CollectorGateGuard() { Collector::instance().setEnabled(_was); }
+
+  private:
+    bool _was;
+};
+
+TEST(CounterRegionTest, DisabledRegionIsInertAndUnavailable)
+{
+    CollectorGateGuard guard;
+    Collector::instance().setEnabled(false);
+    CounterRegion region;
+    EXPECT_FALSE(region.active());
+    region.end();
+    EXPECT_FALSE(region.delta().available);
+    EXPECT_EQ(region.delta().instructions, 0u);
+}
+
+TEST(CounterRegionTest, EndIsIdempotent)
+{
+    CollectorGateGuard guard;
+    Collector::instance().setEnabled(true);
+    CounterRegion region;
+    region.end();
+    CounterSample first = region.delta();
+    region.end(); // second end must not re-read or re-charge
+    EXPECT_EQ(region.delta().available, first.available);
+    EXPECT_EQ(region.delta().instructions, first.instructions);
+}
+
+TEST(CounterRegionTest, EnabledRegionMirrorsHostAvailability)
+{
+    CollectorGateGuard guard;
+    Collector::instance().setEnabled(true);
+    Availability host = Collector::instance().probe();
+    CounterRegion region;
+    // begin() deactivates the region on hosts without counters, so
+    // active() tracks the probe, not just the gate.
+    EXPECT_EQ(region.active(), host.available);
+    region.end();
+    EXPECT_EQ(region.delta().available, host.available);
+}
+
+TEST(CollectorTest, ProbeIsStableAcrossCalls)
+{
+    Availability first = Collector::instance().probe();
+    Availability second = Collector::instance().probe();
+    EXPECT_EQ(first.available, second.available);
+    EXPECT_EQ(first.reason, second.reason);
+    EXPECT_EQ(first.perfEventParanoid, second.perfEventParanoid);
+    // The probe never requires the gate to be open.
+    if (!first.available) {
+        EXPECT_FALSE(first.reason.empty());
+    }
+}
+
+TEST(CounterRegionTest, ChargesEnclosingProfilerNode)
+{
+    if (!Collector::instance().probe().available)
+        GTEST_SKIP() << "hardware counters unavailable: "
+                     << Collector::instance().probe().reason;
+    CollectorGateGuard guard;
+    Collector::instance().setEnabled(true);
+    prof::Profiler &profiler = prof::Profiler::instance();
+    profiler.setEnabled(true);
+    profiler.clear();
+    {
+        prof::Scope scope("hwc.test.charge");
+        CounterRegion region;
+        volatile std::uint64_t acc = 1;
+        for (int i = 0; i < 100000; ++i)
+            acc = acc * 31 + 7;
+        region.end();
+        scope.end();
+    }
+    std::ostringstream out;
+    profiler.writeJson(out);
+    profiler.setEnabled(false);
+    profiler.clear();
+    // The charged node exports counter columns next to its times.
+    EXPECT_NE(out.str().find("hwc.test.charge"), std::string::npos);
+    EXPECT_NE(out.str().find("\"ipc\""), std::string::npos)
+        << out.str();
+}
+
+} // namespace
+} // namespace hwc
+} // namespace hcm

@@ -445,9 +445,14 @@ TEST(CliTest, BenchSmokeProducesSchemaValidResults)
                               HCM_BENCH_DIR + " --results " + results);
     EXPECT_EQ(code, 0) << out;
     std::string text = readFile(results);
-    EXPECT_NE(text.find("\"schema\":\"hcm-bench-results/v1\""),
+    EXPECT_NE(text.find("\"schema\":\"hcm-bench-results/v2\""),
               std::string::npos)
         << text;
+    // v2 always records what the host offered, available or not.
+    EXPECT_NE(text.find("\"counters\":{\"available\":"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("\"perfEventParanoid\":"), std::string::npos);
     EXPECT_NE(text.find("\"smoke\":true"), std::string::npos);
     EXPECT_NE(text.find("\"binary\":\"bench_obs\""), std::string::npos);
     EXPECT_NE(text.find("\"realTimeNs\":"), std::string::npos);

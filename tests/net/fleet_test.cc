@@ -63,7 +63,9 @@ scrapePayload(int total_queries)
            "{\"name\":\"hcm_pool_queue_depth\",\"value\":2},"
            "{\"name\":\"hcm_process_uptime_seconds\",\"value\":42},"
            "{\"name\":\"hcm_process_resident_memory_bytes\","
-           "\"value\":1048576}],\"histograms\":[]}}";
+           "\"value\":1048576},"
+           "{\"name\":\"hcm_process_peak_resident_memory_bytes\","
+           "\"value\":2097152}],\"histograms\":[]}}";
     return oss.str();
 }
 
@@ -94,6 +96,7 @@ TEST(FleetCollectorTest, ScrapeDistillsTheMetricsPayload)
     EXPECT_EQ(status.queueDepth, 7); // both pool gauges summed
     EXPECT_EQ(status.uptimeSec, 42);
     EXPECT_EQ(status.rssBytes, 1048576);
+    EXPECT_EQ(status.peakRssBytes, 2097152);
     // One sample cannot make a rate.
     EXPECT_DOUBLE_EQ(status.qps, 0.0);
 }
@@ -164,6 +167,7 @@ TEST(FleetStatusTest, JsonRoundTripsThroughTheParser)
     EXPECT_EQ(parsed[0].queries, 10u);
     EXPECT_DOUBLE_EQ(parsed[0].p95Ms, rows[0].p95Ms);
     EXPECT_EQ(parsed[0].queueDepth, rows[0].queueDepth);
+    EXPECT_EQ(parsed[0].peakRssBytes, rows[0].peakRssBytes);
     EXPECT_FALSE(parsed[1].up);
     EXPECT_EQ(parsed[1].error, "connection refused");
     EXPECT_EQ(front.routed, 7u);
@@ -194,6 +198,7 @@ TEST(FleetStatusTest, TableKeysRowsByShardName)
     std::string table = renderFleetTable(fleet.snapshot());
     EXPECT_NE(table.find("SHARD"), std::string::npos);
     EXPECT_NE(table.find("P95MS"), std::string::npos);
+    EXPECT_NE(table.find("PEAK_MB"), std::string::npos);
     EXPECT_NE(table.find("shard-0"), std::string::npos);
     EXPECT_NE(table.find("127.0.0.1:7302"), std::string::npos);
     EXPECT_NE(table.find("connection refused"), std::string::npos);

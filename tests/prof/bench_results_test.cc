@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <tuple>
 
 namespace hcm {
 namespace prof {
@@ -236,6 +237,171 @@ TEST(BenchDiff, WrongSchemaIsRejected)
     error.clear();
     EXPECT_FALSE(diffBenchResults(good, bad, {}, &error));
     EXPECT_NE(error.find("new results"), std::string::npos);
+}
+
+TEST(BenchResults, CountersStanzaRecordsAvailability)
+{
+    BenchCounterMeta meta;
+    meta.available = false;
+    meta.reason = "perf_event_open failed: Permission denied";
+    meta.perfEventParanoid = 3;
+    std::ostringstream out;
+    writeBenchResults(out, {{"suite", gbenchDoc("")}}, false, {}, meta);
+    JsonValue doc = parse(out.str());
+    const JsonValue *counters = doc.find("counters");
+    ASSERT_TRUE(counters && counters->isObject());
+    EXPECT_FALSE(counters->find("available")->asBool());
+    EXPECT_EQ(counters->find("reason")->asString(), meta.reason);
+    EXPECT_EQ(counters->find("perfEventParanoid")->asNumber(), 3.0);
+
+    meta.available = true;
+    meta.reason.clear();
+    meta.perfEventParanoid = 1;
+    std::ostringstream out2;
+    writeBenchResults(out2, {{"suite", gbenchDoc("")}}, false, {},
+                      meta);
+    JsonValue doc2 = parse(out2.str());
+    counters = doc2.find("counters");
+    ASSERT_TRUE(counters);
+    EXPECT_TRUE(counters->find("available")->asBool());
+    EXPECT_EQ(counters->find("reason"), nullptr);
+}
+
+TEST(BenchResults, CounterColumnsCopyOnlyWhenMeasured)
+{
+    std::ostringstream out;
+    writeBenchResults(
+        out,
+        {{"suite",
+          gbenchDoc(R"({"name":"BM_Counted","real_time":10.0,)"
+                    R"("time_unit":"ns","iterations":5,)"
+                    R"("instructions":4096.0,"cycles":2048.0,)"
+                    R"("ipc":2.0,"llcMissRate":0.25},)"
+                    R"({"name":"BM_Plain","real_time":10.0,)"
+                    R"("time_unit":"ns","iterations":5})")}},
+        false);
+    JsonValue doc = parse(out.str());
+    const JsonValue *benchmarks =
+        doc.find("suites")->items()[0].find("benchmarks");
+    ASSERT_EQ(benchmarks->size(), 2u);
+    const JsonValue &counted = benchmarks->items()[0];
+    EXPECT_DOUBLE_EQ(counted.find("instructions")->asNumber(), 4096.0);
+    EXPECT_DOUBLE_EQ(counted.find("cycles")->asNumber(), 2048.0);
+    EXPECT_DOUBLE_EQ(counted.find("ipc")->asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(counted.find("llcMissRate")->asNumber(), 0.25);
+    // Uncounted rows carry no fabricated counter columns.
+    const JsonValue &plain = benchmarks->items()[1];
+    EXPECT_EQ(plain.find("instructions"), nullptr);
+    EXPECT_EQ(plain.find("ipc"), nullptr);
+}
+
+/** A results doc with an IPC column per row ({name, ns, ipc}; ipc 0
+ *  omits the column, modeling a host without counters). */
+JsonValue
+resultsDocIpc(
+    const std::vector<std::tuple<std::string, double, double>> &rows)
+{
+    std::string benchmarks;
+    for (const auto &[name, ns, ipc] : rows) {
+        if (!benchmarks.empty())
+            benchmarks += ",";
+        benchmarks += R"({"name":")" + name +
+                      R"(","real_time":)" + std::to_string(ns) +
+                      R"(,"cpu_time":1.0,"time_unit":"ns",)"
+                      R"("iterations":100)";
+        if (ipc > 0.0)
+            benchmarks += R"(,"ipc":)" + std::to_string(ipc);
+        benchmarks += "}";
+    }
+    std::ostringstream out;
+    writeBenchResults(out, {{"suite", gbenchDoc(benchmarks)}}, false);
+    return parse(out.str());
+}
+
+TEST(BenchDiff, V1FilesStillDiff)
+{
+    // A pre-counter results file: same shape, old schema tag.
+    JsonValue v1 = parse(
+        std::string(R"({"schema":")") + kBenchSchemaV1 +
+        R"(","suites":[{"binary":"suite","benchmarks":[)"
+        R"({"name":"BM_A","realTimeNs":100.0}]}]})");
+    JsonValue v2 = resultsDoc({{"BM_A", 100.0}});
+    std::string error;
+    auto report = diffBenchResults(v1, v2, {}, &error);
+    ASSERT_TRUE(report) << error;
+    EXPECT_FALSE(report->hasRegressions());
+    EXPECT_EQ(report->unchanged.size(), 1u);
+}
+
+TEST(BenchDiff, IpcDropGatesWhenBothSidesHaveCounters)
+{
+    JsonValue before = resultsDocIpc({{"BM_A", 100.0, 2.0}});
+    JsonValue after = resultsDocIpc({{"BM_A", 100.0, 1.0}});
+    BenchDiffOptions opts;
+    opts.counterTolerancePct = 10.0;
+    std::string error;
+    auto report = diffBenchResults(before, after, opts, &error);
+    ASSERT_TRUE(report) << error;
+    // Wall time is flat; only the counter gate catches the rot.
+    ASSERT_EQ(report->regressions.size(), 1u);
+    EXPECT_TRUE(report->regressions[0].ipcRegression);
+    EXPECT_DOUBLE_EQ(report->regressions[0].oldIpc, 2.0);
+    EXPECT_DOUBLE_EQ(report->regressions[0].newIpc, 1.0);
+    EXPECT_EQ(report->counterCompared, 1u);
+    EXPECT_EQ(report->counterOneSided, 0u);
+    // The same IPC delta with gating off passes.
+    report = diffBenchResults(before, after, {}, &error);
+    ASSERT_TRUE(report) << error;
+    EXPECT_FALSE(report->hasRegressions());
+}
+
+TEST(BenchDiff, IpcWithinToleranceDoesNotGate)
+{
+    JsonValue before = resultsDocIpc({{"BM_A", 100.0, 2.0}});
+    JsonValue after = resultsDocIpc({{"BM_A", 100.0, 1.9}});
+    BenchDiffOptions opts;
+    opts.counterTolerancePct = 10.0;
+    std::string error;
+    auto report = diffBenchResults(before, after, opts, &error);
+    ASSERT_TRUE(report) << error;
+    EXPECT_FALSE(report->hasRegressions());
+    EXPECT_EQ(report->counterCompared, 1u);
+}
+
+TEST(BenchDiff, OneSidedCounterDataIsNotedNeverGated)
+{
+    // Old run on a counter-less host, new run with counters (or the
+    // reverse): IPC cannot be compared, so it must not gate.
+    JsonValue without = resultsDocIpc({{"BM_A", 100.0, 0.0}});
+    JsonValue with = resultsDocIpc({{"BM_A", 100.0, 0.5}});
+    BenchDiffOptions opts;
+    opts.counterTolerancePct = 10.0;
+    std::string error;
+    auto report = diffBenchResults(with, without, opts, &error);
+    ASSERT_TRUE(report) << error;
+    EXPECT_FALSE(report->hasRegressions());
+    EXPECT_EQ(report->counterOneSided, 1u);
+    EXPECT_EQ(report->counterCompared, 0u);
+    report = diffBenchResults(without, with, opts, &error);
+    ASSERT_TRUE(report) << error;
+    EXPECT_FALSE(report->hasRegressions());
+    EXPECT_EQ(report->counterOneSided, 1u);
+}
+
+TEST(BenchDiff, ReportSummarizesTheCounterGate)
+{
+    JsonValue before = resultsDocIpc({{"BM_A", 100.0, 2.0}});
+    JsonValue after = resultsDocIpc({{"BM_A", 100.0, 1.0}});
+    BenchDiffOptions opts;
+    opts.counterTolerancePct = 10.0;
+    std::string error;
+    auto report = diffBenchResults(before, after, opts, &error);
+    ASSERT_TRUE(report) << error;
+    std::ostringstream out;
+    writeDiffReport(out, *report, opts);
+    EXPECT_NE(out.str().find("IPC"), std::string::npos) << out.str();
+    EXPECT_NE(out.str().find("IPC-compared"), std::string::npos)
+        << out.str();
 }
 
 TEST(BenchDiff, ReportLeadsWithWorstRegression)

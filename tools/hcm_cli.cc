@@ -24,6 +24,8 @@
 #include "devices/roofline.hh"
 #include "core/pareto.hh"
 #include "core/projection.hh"
+#include "hwc/counter_region.hh"
+#include "hwc/self_roofline.hh"
 #include "mem/traffic.hh"
 #include "obs/build_info.hh"
 #include "obs/metrics.hh"
@@ -73,7 +75,14 @@ commands:
   mixed                   multi-kernel chip with per-slot fabrics
                           (repeat --slot device:workload:fraction)
   crossover               minimum f where a HET beats the best CMP
-  roofline                device roofline + workload placement
+  roofline                device roofline + workload placement;
+                          --measured probes THIS host's ceilings with
+                          calibrated microkernels and places the
+                          model's hot loops on them via hardware
+                          counters (ascii chart; --json for the
+                          machine-readable report, --output <file>
+                          to also write it; --smoke shrinks the
+                          probes for CI)
   scenarios               Section 6.2 scenario summary
   batch <requests.json>   evaluate a batch of JSON queries on the
                           thread-pooled engine; emits results + metrics
@@ -232,6 +241,10 @@ options (bench/bench-diff):
                               is a regression (default 10)
   --min-time-ns <ns>          bench-diff: ignore benchmarks faster than
                               this in both files (default 0)
+  --counter-tolerance-pct <p> bench-diff: median IPC drop beyond this
+                              percentage is a regression; gates only
+                              benchmarks with counter data in both
+                              files (default 0 = off)
 
 observability (batch/serve/simulate):
   --trace-out <file>          enable span tracing and write a Chrome
@@ -243,6 +256,12 @@ observability (batch/serve/simulate):
                               input) | json (default collapsed)
   --metrics-out <file>        write collected metrics on exit
   --metrics-format <fmt>      json | prom (default json)
+  --counters                  collect hardware counters (perf events)
+                              at the instrumented regions: spans grow
+                              instructions/cycles/IPC args, profile
+                              JSON grows IPC and LLC-miss-rate
+                              columns; degrades to a single warning
+                              when the host offers no counters
   --verbose                   lower the log threshold one step per
                               occurrence (-> Info -> Debug;
                               HCM_LOG_LEVEL wins when set; serve
@@ -291,6 +310,9 @@ struct Options
     std::string results = "BENCH_RESULTS.json";
     double tolerancePct = 10.0;
     double minTimeNs = 0.0;
+    double counterTolerancePct = 0.0;
+    bool measured = false;
+    bool counters = false;
     bool csv = false;
     sweep::SpecStrings sweepSpec;
     std::size_t jobs = 0;
@@ -444,6 +466,12 @@ parseOptions(const std::vector<std::string> &args, std::size_t start)
             opts.tolerancePct = std::stod(next());
         else if (a == "--min-time-ns")
             opts.minTimeNs = std::stod(next());
+        else if (a == "--counter-tolerance-pct")
+            opts.counterTolerancePct = std::stod(next());
+        else if (a == "--measured")
+            opts.measured = true;
+        else if (a == "--counters")
+            opts.counters = true;
         else if (a == "--results-only")
             opts.resultsOnly = true;
         else if (a == "--port")
@@ -508,6 +536,8 @@ parseOptions(const std::vector<std::string> &args, std::size_t start)
         hcm_fatal("--scrape-interval-ms must be >= 0");
     if (opts.intervalMs <= 0.0)
         hcm_fatal("--interval-ms must be > 0");
+    if (opts.counterTolerancePct < 0.0)
+        hcm_fatal("--counter-tolerance-pct must be >= 0");
     return opts;
 }
 
@@ -601,6 +631,38 @@ class ProfileSession
   private:
     std::string _path;
     std::string _format;
+};
+
+/**
+ * RAII counter session: --counters enables hardware-counter
+ * collection at the instrumented regions for the command's lifetime.
+ * Probing up front surfaces the one unavailability warning before any
+ * work runs, so an operator sees immediately that the flag will
+ * degrade to wall time on this host.
+ */
+class CounterSession
+{
+  public:
+    explicit CounterSession(const Options &opts) : _on(opts.counters)
+    {
+        if (!_on)
+            return;
+        hwc::Collector::instance().setEnabled(true);
+        hwc::Availability avail = hwc::Collector::instance().probe();
+        if (avail.available)
+            hcm_inform("hardware counters enabled",
+                       logField("perf_event_paranoid",
+                                avail.perfEventParanoid));
+    }
+
+    ~CounterSession()
+    {
+        if (_on)
+            hwc::Collector::instance().setEnabled(false);
+    }
+
+  private:
+    bool _on;
 };
 
 /**
@@ -751,6 +813,7 @@ cmdSweep(const Options &opts)
     applyLogOptions(opts, false);
     TraceSession trace(opts);
     ProfileSession profile(opts);
+    CounterSession counters(opts);
     std::string error;
     auto spec = sweep::parseSweepSpec(opts.sweepSpec, &error);
     if (!spec)
@@ -1068,8 +1131,39 @@ cmdCrossover(const Options &opts)
 }
 
 int
+cmdRooflineMeasured(const Options &opts)
+{
+    applyLogOptions(opts, false);
+    hwc::SelfRooflineOptions sopts;
+    if (opts.smoke) {
+        // CI-sized probes: the ceilings are noisier but the whole
+        // command finishes in well under a second.
+        sopts.probe.streamElems = 1u << 18;
+        sopts.probe.minSeconds = 0.01;
+        sopts.probe.passes = 1;
+        sopts.loopMinSeconds = 0.02;
+    }
+    hwc::SelfRooflineReport report = hwc::measureSelfRoofline(sopts);
+    if (!opts.output.empty()) {
+        std::ofstream out(opts.output);
+        if (!out)
+            hcm_fatal("cannot write '", opts.output, "'");
+        hwc::writeSelfRooflineJson(report, out);
+        hcm_inform("self-roofline written",
+                   logField("file", opts.output));
+    }
+    if (opts.json)
+        hwc::writeSelfRooflineJson(report, std::cout);
+    else
+        std::cout << hwc::renderSelfRoofline(report);
+    return 0;
+}
+
+int
 cmdRoofline(const Options &opts)
 {
+    if (opts.measured)
+        return cmdRooflineMeasured(opts);
     TextTable t("Rooflines for " + opts.workload.name());
     t.setHeaders({"Device", "peak Gops/s", "peak GB/s", "ridge ops/B",
                   "workload ops/B", "attainable", "compute-bound?"});
@@ -1129,6 +1223,7 @@ cmdBatch(const std::string &path, const Options &opts)
     applyFaultSpec(opts);
     TraceSession trace(opts);
     ProfileSession profile(opts);
+    CounterSession counters(opts);
     svc::QueryEngine engine(engineOptions(opts));
     std::string error;
     if (!svc::runBatch(buffer.str(), engine, std::cout, &error,
@@ -1166,6 +1261,7 @@ cmdServe(const Options &opts)
     svc::FlightRecorder::instance().configure(opts.flightRecorderSize);
     TraceSession trace(opts);
     ProfileSession profile(opts);
+    CounterSession counters(opts);
 
     if (opts.port < 0) {
         // The historical stdin/stdout loop.
@@ -1397,6 +1493,12 @@ cmdBench(const Options &opts)
     bopts.only = opts.only;
     bopts.smoke = opts.smoke;
     bopts.repetitions = opts.repetitions;
+    // Stamp counter availability into the results metadata so a diff
+    // reader can tell "no counter columns" from "host had none".
+    hwc::Availability avail = hwc::Collector::instance().probe();
+    bopts.counters.available = avail.available;
+    bopts.counters.reason = avail.reason;
+    bopts.counters.perfEventParanoid = avail.perfEventParanoid;
     std::ostringstream merged;
     std::string error;
     if (!prof::runBenchPipeline(bopts, merged, &error))
@@ -1436,6 +1538,7 @@ cmdBenchDiff(const std::string &old_path, const std::string &new_path,
     prof::BenchDiffOptions dopts;
     dopts.tolerancePct = opts.tolerancePct;
     dopts.minTimeNs = opts.minTimeNs;
+    dopts.counterTolerancePct = opts.counterTolerancePct;
     std::string error;
     auto report =
         prof::diffBenchResults(old_doc, new_doc, dopts, &error);
