@@ -24,6 +24,16 @@ limiterName(Limiter limiter)
     hcm_panic("bad limiter");
 }
 
+Limiter
+classifyLimiter(double n_area, double n_power, double n_bw)
+{
+    if (n_area <= n_power && n_area <= n_bw)
+        return Limiter::Area;
+    if (n_bw <= n_power)
+        return Limiter::Bandwidth;
+    return Limiter::Power;
+}
+
 double
 areaBoundN(const Budget &budget)
 {
@@ -84,15 +94,7 @@ parallelBound(const Organization &org, double r, const Budget &budget,
 
     ParallelBound out;
     out.n = std::min({n_area, n_power, n_bw});
-    // Classification per the paper's figure conventions: area-limited
-    // designs use the full die; otherwise bandwidth takes precedence
-    // over power in the (measure-zero) tie case.
-    if (n_area <= n_power && n_area <= n_bw)
-        out.limiter = Limiter::Area;
-    else if (n_bw <= n_power)
-        out.limiter = Limiter::Bandwidth;
-    else
-        out.limiter = Limiter::Power;
+    out.limiter = classifyLimiter(n_area, n_power, n_bw);
     return out;
 }
 

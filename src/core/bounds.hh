@@ -36,6 +36,16 @@ enum class Limiter {
 /** Display name ("area", "power", "bandwidth"). */
 std::string limiterName(Limiter limiter);
 
+/**
+ * The binding constraint given the three parallel bound values, per the
+ * paper's figure conventions: area-limited designs use the full die;
+ * otherwise bandwidth takes precedence over power in the (measure-zero)
+ * tie case. This is the ONE definition of the tie-break — parallelBound()
+ * and the dynamic-CMP optimizer both classify through it, so the two
+ * paths cannot drift.
+ */
+Limiter classifyLimiter(double n_area, double n_power, double n_bw);
+
 /** Result of evaluating the parallel-phase bounds at a given r. */
 struct ParallelBound
 {

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "amdahl/multicore.hh"
+#include "core/optimizer_batch.hh"
 #include "util/logging.hh"
 #include "util/math.hh"
 
@@ -48,10 +49,12 @@ better(const DesignPoint &candidate, const DesignPoint &best,
     return candidate.energy.total() < best.energy.total();
 }
 
+} // namespace
+
 /** Dynamic CMP: no independent r; n takes the tightest of all bounds. */
 DesignPoint
-optimizeDynamic(const Organization &org, double f, const Budget &budget,
-                const OptimizerOptions &opts)
+optimizeDynamicCmp(const Organization &org, double f, const Budget &budget,
+                   const OptimizerOptions &opts)
 {
     DesignPoint dp;
     dp.f = f;
@@ -64,12 +67,7 @@ optimizeDynamic(const Organization &org, double f, const Budget &budget,
     double n = std::min({budget.area, n_power, n_bw});
     if (n < 1.0)
         return dp; // infeasible
-    if (budget.area <= n_power && budget.area <= n_bw)
-        dp.limiter = Limiter::Area;
-    else if (n_bw <= n_power)
-        dp.limiter = Limiter::Bandwidth;
-    else
-        dp.limiter = Limiter::Power;
+    dp.limiter = classifyLimiter(budget.area, n_power, n_bw);
     dp.r = n;
     dp.n = n;
     dp.speedup = model::speedupDynamic(f, n);
@@ -77,8 +75,6 @@ optimizeDynamic(const Organization &org, double f, const Budget &budget,
     dp.feasible = true;
     return dp;
 }
-
-} // namespace
 
 bool
 needsParallelHeadroom(const Organization &org, double f)
@@ -89,16 +85,32 @@ needsParallelHeadroom(const Organization &org, double f)
            org.kind == OrgKind::Heterogeneous;
 }
 
+void
+rCandidateGridInto(double cap, std::vector<double> &candidates)
+{
+    candidates.clear();
+    // A NaN cap fails every comparison: without this guard it would
+    // skip the `cap < 1` rejection AND produce an empty grid whose
+    // back() we then read — reject it explicitly.
+    if (std::isnan(cap) || cap < 1.0)
+        return;
+    // Non-finite and absurd caps (a bandwidth-exempt organization under
+    // an unbounded budget reaching here past opts.rMax) previously
+    // looped and allocated without bound; clamp to the documented
+    // ceiling instead of enumerating a budget.
+    double clamped = std::min(cap, kMaxRGridCap);
+    double top = std::floor(clamped);
+    for (double r = 1.0; r <= top; r += 1.0)
+        candidates.push_back(r);
+    if (clamped > candidates.back())
+        candidates.push_back(clamped);
+}
+
 std::vector<double>
 rCandidateGrid(double cap)
 {
     std::vector<double> candidates;
-    if (cap < 1.0)
-        return candidates;
-    for (double r = 1.0; r <= std::floor(cap); r += 1.0)
-        candidates.push_back(r);
-    if (cap > candidates.back())
-        candidates.push_back(cap);
+    rCandidateGridInto(cap, candidates);
     return candidates;
 }
 
@@ -123,8 +135,8 @@ evaluateSpeedup(const Organization &org, double f, double r, double n)
 }
 
 DesignPoint
-optimize(const Organization &org, double f, const Budget &budget,
-         OptimizerOptions opts)
+optimizeScalar(const Organization &org, double f, const Budget &budget,
+               OptimizerOptions opts)
 {
     hcm_assert(f >= 0.0 && f <= 1.0, "fraction outside [0,1]");
     budget.check();
@@ -132,7 +144,7 @@ optimize(const Organization &org, double f, const Budget &budget,
         org.ucore.check();
 
     if (org.kind == OrgKind::DynamicCmp)
-        return optimizeDynamic(org, f, budget, opts);
+        return optimizeDynamicCmp(org, f, budget, opts);
 
     DesignPoint best;
     best.f = f;
@@ -142,10 +154,13 @@ optimize(const Organization &org, double f, const Budget &budget,
     if (candidates.empty())
         return best; // even a single-BCE core violates the serial bounds
 
-    for (double r : candidates) {
-        auto dp = evaluateAtR(org, f, r, budget, opts);
-        if (dp && better(*dp, best, opts.objective))
+    std::size_t best_idx = 0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        auto dp = evaluateAtR(org, f, candidates[i], budget, opts);
+        if (dp && better(*dp, best, opts.objective)) {
             best = *dp;
+            best_idx = i;
+        }
     }
 
     if (opts.continuousR && best.feasible) {
@@ -157,12 +172,42 @@ optimize(const Organization &org, double f, const Budget &budget,
                        ? dp->speedup
                        : -dp->energy.total();
         };
-        double r_star = goldenMax(objective_value, 1.0, cap, 1e-6);
-        auto dp = evaluateAtR(org, f, r_star, budget, opts);
-        if (dp && better(*dp, best, opts.objective))
-            best = *dp;
+        // Bracket the golden-section search to the grid neighborhood of
+        // the discrete argmax. The objective carries a -1e300 plateau
+        // wherever the candidate is infeasible, which violates the
+        // unimodality contract: a [1, cap] bracket whose initial probes
+        // both land on the plateau walks INTO it and converges there,
+        // silently discarding the refinement (see the regression test).
+        // Between the argmax's grid neighbors the feasible region is a
+        // single interval, so the contract holds.
+        double lo = candidates[best_idx > 0 ? best_idx - 1 : 0];
+        double hi = candidates[std::min(best_idx + 1,
+                                        candidates.size() - 1)];
+        if (hi > lo) {
+            double r_star = goldenMax(objective_value, lo, hi, 1e-6);
+            auto dp = evaluateAtR(org, f, r_star, budget, opts);
+            if (dp && better(*dp, best, opts.objective))
+                best = *dp;
+        }
     }
     return best;
+}
+
+DesignPoint
+optimize(const Organization &org, double f, const Budget &budget,
+         OptimizerOptions opts)
+{
+    hcm_assert(f >= 0.0 && f <= 1.0, "fraction outside [0,1]");
+    if (org.kind == OrgKind::DynamicCmp) {
+        budget.check();
+        return optimizeDynamicCmp(org, f, budget, opts);
+    }
+    // Route through the SoA batch kernel. The scratch evaluator is
+    // reused across calls so steady-state single-shot optimization
+    // never allocates; results are bit-identical to optimizeScalar().
+    thread_local BatchEvaluator scratch;
+    scratch.assign(org, budget, opts);
+    return scratch.best(f);
 }
 
 } // namespace core

@@ -32,6 +32,18 @@ enum class Objective {
  */
 constexpr double kMinParallelHeadroom = 1e-9;
 
+/**
+ * Hard ceiling on the r-candidate grid. The paper sweeps r <= 16; the
+ * grid exists to walk integer core sizes, not to enumerate a budget.
+ * A caller that bypasses opts.rMax (or sets it huge) with an enormous
+ * or non-finite serial cap — e.g. a bandwidth-exempt organization under
+ * an unbounded budget — would otherwise loop and allocate without
+ * bound. Caps above this value are clamped to it (and a NaN cap yields
+ * an empty grid); the clamp truncates the sweep, it never invents
+ * candidates.
+ */
+constexpr double kMaxRGridCap = 4096.0;
+
 /** Optimizer knobs. */
 struct OptimizerOptions
 {
@@ -77,15 +89,45 @@ bool needsParallelHeadroom(const Organization &org, double f);
 /**
  * The paper's discrete r sweep for a serial cap of @p cap:
  * r = 1 .. floor(cap) plus the fractional cap itself (the largest core
- * the serial bounds allow). Empty when @p cap < 1 — not even a
- * single-BCE core fits. Both optimize() and enumerateDesigns() draw
- * their candidates from here, so the two paths can never diverge.
+ * the serial bounds allow). Empty when @p cap < 1 or NaN — not even a
+ * single-BCE core fits. Caps beyond kMaxRGridCap (including +inf) are
+ * clamped to it. Both optimize() and enumerateDesigns() draw their
+ * candidates from here, so the two paths can never diverge.
  */
 std::vector<double> rCandidateGrid(double cap);
 
-/** Best design for @p org under @p budget at parallel fraction @p f. */
+/** rCandidateGrid() written into @p out (reuses capacity, no realloc
+ *  in steady state — the batch kernel's scratch path). */
+void rCandidateGridInto(double cap, std::vector<double> &out);
+
+/**
+ * Best design for @p org under @p budget at parallel fraction @p f.
+ * Routed through the structure-of-arrays batch kernel
+ * (core::BatchEvaluator); results are bit-identical to
+ * optimizeScalar(), which tests and CI enforce.
+ */
 DesignPoint optimize(const Organization &org, double f,
                      const Budget &budget, OptimizerOptions opts = {});
+
+/**
+ * The scalar reference implementation — one candidate at a time through
+ * parallelBound() / evaluateSpeedup() / designEnergy(). Kept as the
+ * oracle the batch kernel is verified against (0-ULP; see DESIGN.md);
+ * not a hot path.
+ */
+DesignPoint optimizeScalar(const Organization &org, double f,
+                           const Budget &budget,
+                           OptimizerOptions opts = {});
+
+/**
+ * Dynamic CMP has no independent r (all n resources morph between one
+ * big core and n BCEs), so it skips the r grid entirely; exposed so
+ * optimize(), optimizeScalar(), and the batch kernel share one copy of
+ * the bound-and-classify logic.
+ */
+DesignPoint optimizeDynamicCmp(const Organization &org, double f,
+                               const Budget &budget,
+                               const OptimizerOptions &opts);
 
 } // namespace core
 } // namespace hcm

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/optimizer_batch.hh"
 #include "util/logging.hh"
 
 namespace hcm {
@@ -26,9 +27,10 @@ ParetoPoint::dominates(const ParetoPoint &other) const
 }
 
 std::vector<ParetoPoint>
-enumerateDesigns(const wl::Workload &w, double f,
-                 const itrs::NodeParams &node, const Scenario &scenario,
-                 OptimizerOptions opts, const BceCalibration &calib)
+enumerateDesignsScalar(const wl::Workload &w, double f,
+                       const itrs::NodeParams &node,
+                       const Scenario &scenario, OptimizerOptions opts,
+                       const BceCalibration &calib)
 {
     opts.alpha = scenario.alpha;
     Budget budget = makeBudget(node, w, scenario, calib);
@@ -58,6 +60,37 @@ enumerateDesigns(const wl::Workload &w, double f,
             pt.design.feasible = true;
             pt.energyNormalized = normalizedEnergy(
                 pt.design.energy, node.relPowerPerTransistor);
+            points.push_back(pt);
+        }
+    }
+    return points;
+}
+
+std::vector<ParetoPoint>
+enumerateDesigns(const wl::Workload &w, double f,
+                 const itrs::NodeParams &node, const Scenario &scenario,
+                 OptimizerOptions opts, const BceCalibration &calib)
+{
+    opts.alpha = scenario.alpha;
+    Budget budget = makeBudget(node, w, scenario, calib);
+
+    // One SoA table per organization; the per-candidate bound walk of
+    // the scalar oracle above becomes contiguous array passes. Results
+    // are bit-identical (enforced by tests/core/optimizer_batch_test.cc).
+    std::vector<ParetoPoint> points;
+    std::vector<DesignPoint> designs;
+    BatchEvaluator evaluator;
+    for (const Organization &org : paperOrganizations(w, calib)) {
+        evaluator.assign(org, budget, opts);
+        designs.clear();
+        evaluator.evaluateAll(f, designs);
+        for (const DesignPoint &dp : designs) {
+            ParetoPoint pt;
+            pt.orgName = org.name;
+            pt.paperIndex = org.paperIndex;
+            pt.design = dp;
+            pt.energyNormalized =
+                normalizedEnergy(dp.energy, node.relPowerPerTransistor);
             points.push_back(pt);
         }
     }

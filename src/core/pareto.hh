@@ -35,9 +35,21 @@ struct ParetoPoint
 /**
  * Enumerate all feasible designs for @p w at @p node: every paper
  * organization crossed with every integer r up to the serial cap
- * (plus the fractional cap).
+ * (plus the fractional cap). Routed through the SoA batch kernel
+ * (core::BatchEvaluator), bit-identical to enumerateDesignsScalar().
  */
 std::vector<ParetoPoint> enumerateDesigns(
+    const wl::Workload &w, double f, const itrs::NodeParams &node,
+    const Scenario &scenario = baselineScenario(),
+    OptimizerOptions opts = {},
+    const BceCalibration &calib = BceCalibration::standard());
+
+/**
+ * Scalar reference enumeration — one candidate at a time through
+ * parallelBound() / evaluateSpeedup() / designEnergy(). Kept as the
+ * oracle the batch enumeration is verified against; not a hot path.
+ */
+std::vector<ParetoPoint> enumerateDesignsScalar(
     const wl::Workload &w, double f, const itrs::NodeParams &node,
     const Scenario &scenario = baselineScenario(),
     OptimizerOptions opts = {},

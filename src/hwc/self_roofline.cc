@@ -84,7 +84,10 @@ measureSelfRoofline(const SelfRooflineOptions &opts)
 
     // Hot loop 1: the optimizer's r-grid sweep — every organization the
     // paper plots, optimized at the 40nm budgets. This is the inner
-    // loop of every projection and sweep verb.
+    // loop of every projection and sweep verb; it now exercises the SoA
+    // batch kernel (core::BatchEvaluator) that optimize() routes
+    // through, so its arithmetic intensity reflects the shipped path,
+    // not the scalar oracle.
     const wl::Workload w = wl::Workload::mmm();
     const auto orgs = core::paperOrganizations(w);
     const core::Budget budget =

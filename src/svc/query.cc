@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/budget.hh"
+#include "core/optimizer_batch.hh"
 #include "core/organization.hh"
 #include "core/pareto.hh"
 #include "core/projection.hh"
@@ -36,11 +37,16 @@ evaluateAtNode(const Query &q, core::Objective objective)
     opts.objective = objective;
 
     std::vector<ResultRow> rows;
+    core::BatchEvaluator evaluator;
     for (const core::Organization &org :
          core::paperOrganizations(q.workload)) {
         if (q.device && org.isHet() && org.device != q.device)
             continue;
-        core::DesignPoint dp = core::optimize(org, q.f, budget, opts);
+        // One SoA evaluator reused across the organization loop: each
+        // assign() recycles the previous table's capacity; bit-identical
+        // to core::optimize on the same (org, budget, opts).
+        evaluator.assign(org, budget, opts);
+        core::DesignPoint dp = evaluator.best(q.f);
         ResultRow row;
         row.org = org.name;
         row.node = node.label();

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/optimizer_batch.hh"
 #include "hwc/counter_region.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -27,6 +28,13 @@ struct Unit
     const core::Organization *org = nullptr;
     /** Per-node budgets shared by every unit of (workload, scenario). */
     const std::vector<core::Budget> *budgets = nullptr;
+    /**
+     * Precomputed SoA tables shared by every unit of (workload,
+     * scenario), indexed [org * nodes + node]; best(f) is const, so one
+     * table serves the whole f-grid across all worker threads.
+     */
+    const std::vector<core::BatchEvaluator> *evaluators = nullptr;
+    std::size_t orgIndex = 0;
 };
 
 /** Completion bookkeeping shared by the workers and the caller. */
@@ -54,7 +62,7 @@ validate(const SweepSpec &spec)
 
 /** Evaluate one unit into @p row (pure: no shared mutable state). */
 void
-evaluateUnit(const SweepSpec &spec, const Unit &unit, SweepRow &row)
+evaluateUnit(const Unit &unit, SweepRow &row)
 {
     obs::Span span("sweep.unit", "sweep");
     span.arg("workload", row.workload);
@@ -63,8 +71,6 @@ evaluateUnit(const SweepSpec &spec, const Unit &unit, SweepRow &row)
     span.arg("organization", row.organization);
     hwc::CounterRegion counters(&span);
 
-    core::OptimizerOptions opts = spec.opts;
-    opts.alpha = unit.scenario->alpha;
     const std::vector<itrs::NodeParams> &nodes = itrs::nodeTable();
     row.cells.clear();
     row.cells.reserve(nodes.size());
@@ -72,8 +78,13 @@ evaluateUnit(const SweepSpec &spec, const Unit &unit, SweepRow &row)
         SweepCell cell;
         cell.node = nodes[i];
         cell.budget = (*unit.budgets)[i];
-        cell.design = core::optimize(*unit.org, unit.f, cell.budget,
-                                     opts);
+        // Shared table lookup: the f-independent work (bounds, limiter
+        // classification, pow) was done once in runSweep's evaluator
+        // pass and is amortized over the whole fraction grid. Results
+        // are bit-identical to core::optimize on (org, budget, opts).
+        cell.design =
+            (*unit.evaluators)[unit.orgIndex * nodes.size() + i]
+                .best(unit.f);
         cell.energyNormalized =
             cell.design.feasible
                 ? core::normalizedEnergy(
@@ -86,9 +97,8 @@ evaluateUnit(const SweepSpec &spec, const Unit &unit, SweepRow &row)
 
 /** Run @p unit with instrumentation and completion accounting. */
 void
-runUnit(const SweepSpec &spec, const Unit &unit, SweepRow &row,
-        Progress &progress, std::size_t total,
-        const SweepOptions &opts)
+runUnit(const Unit &unit, SweepRow &row, Progress &progress,
+        std::size_t total, const SweepOptions &opts)
 {
     static obs::Counter &units_total =
         obs::globalRegistry().counter("hcm_sweep_units_total");
@@ -96,7 +106,7 @@ runUnit(const SweepSpec &spec, const Unit &unit, SweepRow &row,
         obs::globalRegistry().gauge("hcm_sweep_active_units");
     active.add(1);
     try {
-        evaluateUnit(spec, unit, row);
+        evaluateUnit(unit, row);
     } catch (...) {
         std::lock_guard<std::mutex> lock(progress.mu);
         if (!progress.firstError)
@@ -150,6 +160,28 @@ runSweep(const SweepSpec &spec, const SweepOptions &opts)
             budgets.push_back(std::move(per_node));
         }
     }
+    // Shared BatchEvaluator tables per (workload, scenario), indexed
+    // [org * nodes + node]. Everything f-independent — Table 1 bounds,
+    // limiter classification, the serial-power pow() table — is computed
+    // here ONCE and then read by every fraction of the grid from every
+    // worker thread (best() is const and allocation-free).
+    std::vector<std::vector<core::BatchEvaluator>> evaluators;
+    evaluators.reserve(budgets.size());
+    for (std::size_t wi = 0; wi < spec.workloads.size(); ++wi) {
+        for (std::size_t si = 0; si < spec.scenarios.size(); ++si) {
+            core::OptimizerOptions eopts = spec.opts;
+            eopts.alpha = spec.scenarios[si].alpha;
+            const std::vector<core::Budget> &per_node =
+                budgets[wi * spec.scenarios.size() + si];
+            std::vector<core::BatchEvaluator> table(orgs[wi].size() *
+                                                    nodes.size());
+            for (std::size_t oi = 0; oi < orgs[wi].size(); ++oi)
+                for (std::size_t ni = 0; ni < nodes.size(); ++ni)
+                    table[oi * nodes.size() + ni].assign(
+                        orgs[wi][oi], per_node[ni], eopts);
+            evaluators.push_back(std::move(table));
+        }
+    }
 
     // Canonical decomposition: one unit per (workload, f, scenario,
     // organization), row index == unit index.
@@ -159,7 +191,8 @@ runSweep(const SweepSpec &spec, const SweepOptions &opts)
         std::string workload_name = spec.workloads[wi].name();
         for (std::size_t fi = 0; fi < spec.fractions.size(); ++fi) {
             for (std::size_t si = 0; si < spec.scenarios.size(); ++si) {
-                for (const core::Organization &org : orgs[wi]) {
+                for (std::size_t oi = 0; oi < orgs[wi].size(); ++oi) {
+                    const core::Organization &org = orgs[wi][oi];
                     Unit unit;
                     unit.row = units.size();
                     unit.workload = &spec.workloads[wi];
@@ -168,6 +201,9 @@ runSweep(const SweepSpec &spec, const SweepOptions &opts)
                     unit.org = &org;
                     unit.budgets =
                         &budgets[wi * spec.scenarios.size() + si];
+                    unit.evaluators =
+                        &evaluators[wi * spec.scenarios.size() + si];
+                    unit.orgIndex = oi;
                     units.push_back(unit);
 
                     SweepRow row;
@@ -195,8 +231,8 @@ runSweep(const SweepSpec &spec, const SweepOptions &opts)
         // Inline serial path: identical code, no pool — `--jobs 1`
         // output is the byte-for-byte reference.
         for (const Unit &unit : units)
-            runUnit(spec, unit, result.rows[unit.row], progress,
-                    units.size(), opts);
+            runUnit(unit, result.rows[unit.row], progress, units.size(),
+                    opts);
     } else {
         // Units are a few microseconds each, so submitting them
         // one-per-task would spend comparable time in the pool's queue.
@@ -213,11 +249,10 @@ runSweep(const SweepSpec &spec, const SweepOptions &opts)
         svc::ThreadPool pool(jobs);
         for (std::size_t begin = 0; begin < total; begin += per_block) {
             std::size_t end = std::min(begin + per_block, total);
-            bool accepted = pool.submit([&spec, &units, &result,
-                                         &progress, &opts, begin, end,
-                                         total] {
+            bool accepted = pool.submit([&units, &result, &progress,
+                                         &opts, begin, end, total] {
                 for (std::size_t i = begin; i < end; ++i)
-                    runUnit(spec, units[i], result.rows[units[i].row],
+                    runUnit(units[i], result.rows[units[i].row],
                             progress, total, opts);
             });
             hcm_assert(accepted, "sweep pool rejected a unit block");

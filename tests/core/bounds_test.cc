@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/bounds.hh"
+#include "core/optimizer.hh"
 
 namespace hcm {
 namespace core {
@@ -108,6 +109,40 @@ TEST(BoundsTest, LimiterClassification)
     EXPECT_EQ(
         parallelBound(o, 1.0, budget(1e9, 1e9, 3.0), kAlpha).limiter,
         Limiter::Bandwidth);
+}
+
+TEST(BoundsTest, ClassifyLimiterBreaksTiesAreaFirstThenBandwidth)
+{
+    // The one shared tie-break definition: area wins any tie it is part
+    // of, bandwidth beats power. Every caller (parallelBound, the
+    // dynamic-CMP optimizer, the batch kernel) must agree on these.
+    EXPECT_EQ(classifyLimiter(5.0, 5.0, 5.0), Limiter::Area);
+    EXPECT_EQ(classifyLimiter(5.0, 5.0, 9.0), Limiter::Area);
+    EXPECT_EQ(classifyLimiter(5.0, 9.0, 5.0), Limiter::Area);
+    EXPECT_EQ(classifyLimiter(9.0, 5.0, 5.0), Limiter::Bandwidth);
+    EXPECT_EQ(classifyLimiter(9.0, 5.0, 4.0), Limiter::Bandwidth);
+    EXPECT_EQ(classifyLimiter(9.0, 4.0, 5.0), Limiter::Power);
+}
+
+TEST(BoundsTest, DynamicOptimizerAgreesWithParallelBoundOnTies)
+{
+    // Regression: optimizeDynamicCmp carried its own copy of the
+    // limiter classification, which could drift from parallelBound's
+    // on exact ties. Both now call classifyLimiter; pin a power ==
+    // bandwidth tie and check they report the same binding constraint.
+    Organization dyn = dynamicCmp();
+    Budget b = budget(30.0, 12.0, 12.0);
+    ParallelBound pb = parallelBound(dyn, 1.0, b, kAlpha);
+    EXPECT_EQ(pb.limiter, Limiter::Bandwidth);
+    DesignPoint dp = optimizeDynamicCmp(dyn, 0.9, b, {});
+    ASSERT_TRUE(dp.feasible);
+    EXPECT_EQ(dp.limiter, pb.limiter);
+    // And the area-tie case: area == power == bandwidth -> Area.
+    Budget tie = budget(7.0, 7.0, 7.0);
+    EXPECT_EQ(parallelBound(dyn, 1.0, tie, kAlpha).limiter,
+              Limiter::Area);
+    EXPECT_EQ(optimizeDynamicCmp(dyn, 0.9, tie, {}).limiter,
+              Limiter::Area);
 }
 
 TEST(BoundsTest, ParallelBoundTakesTheMinimum)

@@ -1,6 +1,7 @@
 /** @file Tests for the design-point optimizer. */
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -163,6 +164,57 @@ TEST(OptimizerTest, RCandidateGridCoversIntegersPlusFractionalCap)
     EXPECT_EQ(rCandidateGrid(1.0), (std::vector<double>{1.0}));
     EXPECT_TRUE(rCandidateGrid(0.5).empty());
     EXPECT_TRUE(rCandidateGrid(-2.0).empty());
+}
+
+TEST(OptimizerTest, RCandidateGridClampsNonFiniteAndHugeCaps)
+{
+    // Regression: an infinite or absurd cap (a bandwidth-exempt
+    // organization under an unbounded budget, reaching the grid past
+    // opts.rMax) used to loop and allocate without bound, and a NaN cap
+    // slipped past the `cap < 1` rejection into back() on an empty
+    // vector. Both now clamp to the documented kMaxRGridCap ceiling /
+    // an empty grid.
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    std::vector<double> grid = rCandidateGrid(inf);
+    ASSERT_FALSE(grid.empty());
+    EXPECT_EQ(grid.size(), static_cast<std::size_t>(kMaxRGridCap));
+    EXPECT_DOUBLE_EQ(grid.back(), kMaxRGridCap);
+
+    EXPECT_EQ(rCandidateGrid(1e9), grid);
+    EXPECT_EQ(rCandidateGrid(kMaxRGridCap + 0.5), grid);
+
+    EXPECT_TRUE(
+        rCandidateGrid(std::numeric_limits<double>::quiet_NaN()).empty());
+    EXPECT_TRUE(rCandidateGrid(-inf).empty());
+
+    // Caps below the ceiling are untouched by the clamp.
+    EXPECT_EQ(rCandidateGrid(3.5),
+              (std::vector<double>{1.0, 2.0, 3.0, 3.5}));
+}
+
+TEST(OptimizerTest, ContinuousRefinementEscapesInfeasibilityPlateau)
+{
+    // Regression: the golden-section refinement used to bracket over
+    // the whole [1, cap] range, where the objective is a -1e300 plateau
+    // wherever the candidate is infeasible. Here n = 4 for every r, so
+    // r > 4 is infeasible and the cap is 16: both initial probes
+    // (r ~ 6.7 and ~ 10.3) land on the plateau, the search walks INTO
+    // it, and the refinement is silently discarded. The bracket is now
+    // the grid neighborhood of the discrete argmax, which contains the
+    // true continuous optimum r* = n(1-f)/f = 8/3.
+    Budget b = budget(4.0, 60.0, 5.0);
+    OptimizerOptions discrete;
+    OptimizerOptions continuous;
+    continuous.continuousR = true;
+    DesignPoint d = optimize(symmetricCmp(), 0.6, b, discrete);
+    DesignPoint c = optimize(symmetricCmp(), 0.6, b, continuous);
+    ASSERT_TRUE(d.feasible && c.feasible);
+    EXPECT_DOUBLE_EQ(d.r, 3.0); // discrete argmax
+    // The refinement must actually beat the discrete optimum, not just
+    // match it (the old code returned d verbatim).
+    EXPECT_GT(c.speedup, d.speedup + 1e-4);
+    EXPECT_NEAR(c.r, 8.0 / 3.0, 1e-3);
+    EXPECT_NEAR(c.speedup, 2.0412, 1e-3);
 }
 
 TEST(OptimizerTest, ParallelHeadroomAppliesToSharedSerialCoreOrgs)
