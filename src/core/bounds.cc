@@ -20,18 +20,30 @@ limiterName(Limiter limiter)
         return "power";
       case Limiter::Bandwidth:
         return "bandwidth";
+      case Limiter::Thermal:
+        return "thermal";
     }
     hcm_panic("bad limiter");
 }
 
 Limiter
+classifyLimiter(double n_area, double n_power, double n_bw,
+                double n_thermal)
+{
+    if (n_area <= n_power && n_area <= n_bw && n_area <= n_thermal)
+        return Limiter::Area;
+    if (n_bw <= n_power && n_bw <= n_thermal)
+        return Limiter::Bandwidth;
+    if (n_thermal <= n_power)
+        return Limiter::Thermal;
+    return Limiter::Power;
+}
+
+Limiter
 classifyLimiter(double n_area, double n_power, double n_bw)
 {
-    if (n_area <= n_power && n_area <= n_bw)
-        return Limiter::Area;
-    if (n_bw <= n_power)
-        return Limiter::Bandwidth;
-    return Limiter::Power;
+    return classifyLimiter(n_area, n_power, n_bw,
+                           std::numeric_limits<double>::infinity());
 }
 
 double
@@ -83,6 +95,26 @@ bandwidthBoundN(const Organization &org, double r, const Budget &budget)
     hcm_panic("bad organization kind");
 }
 
+double
+thermalBoundN(const Organization &org, double r, const Budget &budget,
+              double alpha)
+{
+    // The thermal budget caps the same quantity the power budget does
+    // (active watts), so its rows are powerBoundN's with TH for P.
+    double th = budget.thermal;
+    switch (org.kind) {
+      case OrgKind::SymmetricCmp:
+        return th / std::pow(r, alpha / 2.0 - 1.0);
+      case OrgKind::AsymmetricCmp:
+        return th + r;
+      case OrgKind::Heterogeneous:
+        return th / org.ucore.phi + r;
+      case OrgKind::DynamicCmp:
+        return th;
+    }
+    hcm_panic("bad organization kind");
+}
+
 ParallelBound
 parallelBound(const Organization &org, double r, const Budget &budget,
               double alpha)
@@ -91,18 +123,20 @@ parallelBound(const Organization &org, double r, const Budget &budget,
     double n_area = areaBoundN(budget);
     double n_power = powerBoundN(org, r, budget, alpha);
     double n_bw = bandwidthBoundN(org, r, budget);
+    double n_thermal = thermalBoundN(org, r, budget, alpha);
 
     ParallelBound out;
-    out.n = std::min({n_area, n_power, n_bw});
-    out.limiter = classifyLimiter(n_area, n_power, n_bw);
+    out.n = std::min({n_area, n_power, n_bw, n_thermal});
+    out.limiter = classifyLimiter(n_area, n_power, n_bw, n_thermal);
     return out;
 }
 
 double
 serialRCap(const Budget &budget, double alpha)
 {
-    return std::min(model::maxSerialRForPower(budget.power, alpha),
-                    model::maxSerialRForBandwidth(budget.bandwidth));
+    return std::min({model::maxSerialRForPower(budget.power, alpha),
+                     model::maxSerialRForBandwidth(budget.bandwidth),
+                     model::maxSerialRForPower(budget.thermal, alpha)});
 }
 
 } // namespace core

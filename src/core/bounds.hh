@@ -10,9 +10,20 @@
  *  parallel bw       n <= B sqrt(r)   n <= B + r      n <= B/mu + r
  *  serial bw         r <= B^2         r <= B^2        r <= B^2
  *
+ * Thermal-bounded scenarios (Yavits-style junction cap) add a fourth
+ * budget TH — the thermally admissible dynamic power in the same BCE
+ * units as P — which bounds the same quantity power does, so its rows
+ * are P's rows with TH substituted:
+ *
+ *  parallel thermal  n <= TH/r^(a/2-1) n <= TH + r    n <= TH/phi + r
+ *  serial thermal    r^(a/2) <= TH     r^(a/2) <= TH  r^(a/2) <= TH
+ *
+ * TH = +inf for every non-thermal scenario, which makes all four rows
+ * vacuous and reproduces the three-budget model bit-for-bit.
+ *
  * The binding parallel constraint is recorded as the design's Limiter —
  * the paper's dashed (power) / solid (bandwidth) / unconnected (area)
- * line classification.
+ * line classification, extended with "thermal".
  */
 
 #ifndef HCM_CORE_BOUNDS_HH
@@ -31,19 +42,24 @@ enum class Limiter {
     Area,
     Power,
     Bandwidth,
+    Thermal,
 };
 
-/** Display name ("area", "power", "bandwidth"). */
+/** Display name ("area", "power", "bandwidth", "thermal"). */
 std::string limiterName(Limiter limiter);
 
 /**
- * The binding constraint given the three parallel bound values, per the
+ * The binding constraint given the parallel bound values, per the
  * paper's figure conventions: area-limited designs use the full die;
- * otherwise bandwidth takes precedence over power in the (measure-zero)
- * tie case. This is the ONE definition of the tie-break — parallelBound()
- * and the dynamic-CMP optimizer both classify through it, so the two
- * paths cannot drift.
+ * otherwise precedence in the (measure-zero) tie cases is
+ * bandwidth > thermal > power. This is the ONE definition of the
+ * tie-break — parallelBound() and the dynamic-CMP optimizer both
+ * classify through it, so the two paths cannot drift.
  */
+Limiter classifyLimiter(double n_area, double n_power, double n_bw,
+                        double n_thermal);
+
+/** Three-budget form: classifies with a vacuous (+inf) thermal bound. */
 Limiter classifyLimiter(double n_area, double n_power, double n_bw);
 
 /** Result of evaluating the parallel-phase bounds at a given r. */
@@ -55,14 +71,15 @@ struct ParallelBound
 
 /**
  * Usable total resources n for organization @p org with a sequential
- * core of size @p r (Table 1, parallel rows + area row).
+ * core of size @p r (Table 1, parallel rows + area row, plus the
+ * thermal row when the budget carries a finite TH).
  */
 ParallelBound parallelBound(const Organization &org, double r,
                             const Budget &budget, double alpha);
 
 /**
  * Largest sequential core size satisfying the serial rows of Table 1:
- * min(P^(2/alpha), B^2).
+ * min(P^(2/alpha), B^2, TH^(2/alpha)).
  */
 double serialRCap(const Budget &budget, double alpha);
 
@@ -72,6 +89,8 @@ double powerBoundN(const Organization &org, double r, const Budget &budget,
                    double alpha);
 double bandwidthBoundN(const Organization &org, double r,
                        const Budget &budget);
+double thermalBoundN(const Organization &org, double r, const Budget &budget,
+                     double alpha);
 
 } // namespace core
 } // namespace hcm

@@ -11,6 +11,7 @@ Budget::check() const
     hcm_assert(area > 0.0, "area budget must be positive");
     hcm_assert(power > 0.0, "power budget must be positive");
     hcm_assert(bandwidth > 0.0, "bandwidth budget must be positive");
+    hcm_assert(thermal > 0.0, "thermal budget must be positive");
 }
 
 Budget
@@ -23,6 +24,9 @@ makeBudget(const itrs::NodeParams &node, const wl::Workload &w,
               (calib.bcePower().value() * node.relPowerPerTransistor);
     double bce_gbs = calib.bceBandwidth(w).value();
     b.bandwidth = scenario.baseBwGBs * node.relBandwidth / bce_gbs;
+    if (scenario.thermalBounded())
+        b.thermal = thermalDynamicPowerW(scenario) /
+                    (calib.bcePower().value() * node.relPowerPerTransistor);
     b.check();
     return b;
 }

@@ -9,6 +9,8 @@
 #ifndef HCM_CORE_BUDGET_HH
 #define HCM_CORE_BUDGET_HH
 
+#include <limits>
+
 #include "core/calibration.hh"
 #include "core/scenario.hh"
 #include "itrs/scaling.hh"
@@ -23,6 +25,14 @@ struct Budget
     double area = 0.0;      ///< A: max BCE tiles that fit the die
     double power = 0.0;     ///< P: watts / (BCE watts)
     double bandwidth = 0.0; ///< B: GB/s / (BCE compulsory GB/s)
+    /**
+     * TH: thermally admissible dynamic power in the same BCE units as
+     * P (thermalDynamicPowerW derated through the calibration). +inf
+     * when the scenario has no junction cap: it then never wins a
+     * min() and r^(alpha/2) <= inf always holds, so non-thermal
+     * scenarios evaluate bit-identically to the three-budget model.
+     */
+    double thermal = std::numeric_limits<double>::infinity();
 
     /** Validate positivity; panics otherwise. */
     void check() const;
@@ -33,9 +43,11 @@ struct Budget
  * workload @p w (which sets the compulsory bytes/op that turn GB/s into
  * BCE bandwidth units):
  *
- *   A = maxAreaBce * areaScale
- *   P = powerBudgetW / (bcePowerW * relPowerPerTransistor)
- *   B = baseBwGBs * relBandwidth / (bcePerf(w) * bytesPerOp(w))
+ *   A  = maxAreaBce * areaScale
+ *   P  = powerBudgetW / (bcePowerW * relPowerPerTransistor)
+ *   B  = baseBwGBs * relBandwidth / (bcePerf(w) * bytesPerOp(w))
+ *   TH = thermalDynamicPowerW / (bcePowerW * relPowerPerTransistor)
+ *        (+inf when the scenario has no junction cap)
  */
 Budget makeBudget(const itrs::NodeParams &node, const wl::Workload &w,
                   const Scenario &scenario = baselineScenario(),

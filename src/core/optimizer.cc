@@ -64,10 +64,13 @@ optimizeDynamicCmp(const Organization &org, double f, const Budget &budget,
                                                         opts.alpha));
     double n_bw = std::min(budget.bandwidth,
                            model::maxSerialRForBandwidth(budget.bandwidth));
-    double n = std::min({budget.area, n_power, n_bw});
+    double n_thermal = std::min(budget.thermal,
+                                model::maxSerialRForPower(budget.thermal,
+                                                          opts.alpha));
+    double n = std::min({budget.area, n_power, n_bw, n_thermal});
     if (n < 1.0)
         return dp; // infeasible
-    dp.limiter = classifyLimiter(budget.area, n_power, n_bw);
+    dp.limiter = classifyLimiter(budget.area, n_power, n_bw, n_thermal);
     dp.r = n;
     dp.n = n;
     dp.speedup = model::speedupDynamic(f, n);

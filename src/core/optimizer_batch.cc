@@ -225,6 +225,7 @@ BatchEvaluator::assign(const Organization &org, const Budget &budget,
     const double area = budget.area;
     const double p = budget.power;
     const double b = budget.bandwidth;
+    const double th = budget.thermal;
     switch (kind_) {
       case OrgKind::SymmetricCmp: {
         powSym_.resize(g);
@@ -233,9 +234,10 @@ BatchEvaluator::assign(const Organization &org, const Budget &budget,
         for (std::size_t i = 0; i < g; ++i) {
             double n_power = p / powSym_[i];
             double n_bw = b * sqrtR_[i];
-            n_[i] = std::min({area, n_power, n_bw});
+            double n_thermal = th / powSym_[i];
+            n_[i] = std::min({area, n_power, n_bw, n_thermal});
             limiter_[i] = static_cast<unsigned char>(
-                classifyLimiter(area, n_power, n_bw));
+                classifyLimiter(area, n_power, n_bw, n_thermal));
             parPerf_[i] = (n_[i] / r_[i]) * sqrtR_[i];
         }
         break;
@@ -245,9 +247,10 @@ BatchEvaluator::assign(const Organization &org, const Budget &budget,
         for (std::size_t i = 0; i < g; ++i) {
             double n_power = p + r_[i];
             double n_bw = b + r_[i];
-            n_[i] = std::min({area, n_power, n_bw});
+            double n_thermal = th + r_[i];
+            n_[i] = std::min({area, n_power, n_bw, n_thermal});
             limiter_[i] = static_cast<unsigned char>(
-                classifyLimiter(area, n_power, n_bw));
+                classifyLimiter(area, n_power, n_bw, n_thermal));
             parPerf_[i] = n_[i] - r_[i];
         }
         break;
@@ -256,12 +259,14 @@ BatchEvaluator::assign(const Organization &org, const Budget &budget,
         powSym_.clear();
         pOverPhi_ = p / phi_;
         bOverMu_ = b / mu_;
+        thOverPhi_ = th / phi_;
         for (std::size_t i = 0; i < g; ++i) {
             double n_power = pOverPhi_ + r_[i];
             double n_bw = bandwidthExempt_ ? kPosInf : bOverMu_ + r_[i];
-            n_[i] = std::min({area, n_power, n_bw});
+            double n_thermal = thOverPhi_ + r_[i];
+            n_[i] = std::min({area, n_power, n_bw, n_thermal});
             limiter_[i] = static_cast<unsigned char>(
-                classifyLimiter(area, n_power, n_bw));
+                classifyLimiter(area, n_power, n_bw, n_thermal));
             parPerf_[i] = mu_ * (n_[i] - r_[i]);
         }
         break;
@@ -450,23 +455,29 @@ BatchEvaluator::evaluateContinuous(double r, double f,
     // feasibility, speedup, and energy expressions at an arbitrary r.
     double n_power = 0.0;
     double n_bw = 0.0;
+    double n_thermal = 0.0;
     switch (kind_) {
-      case OrgKind::SymmetricCmp:
-        n_power = budget_.power / std::pow(r, alphaHalfM1_);
+      case OrgKind::SymmetricCmp: {
+        double pow_sym = std::pow(r, alphaHalfM1_);
+        n_power = budget_.power / pow_sym;
         n_bw = budget_.bandwidth * std::sqrt(r);
+        n_thermal = budget_.thermal / pow_sym;
         break;
+      }
       case OrgKind::AsymmetricCmp:
         n_power = budget_.power + r;
         n_bw = budget_.bandwidth + r;
+        n_thermal = budget_.thermal + r;
         break;
       case OrgKind::Heterogeneous:
         n_power = pOverPhi_ + r;
         n_bw = bandwidthExempt_ ? kPosInf : bOverMu_ + r;
+        n_thermal = thOverPhi_ + r;
         break;
       case OrgKind::DynamicCmp:
         hcm_panic("unreachable: dynamic has no grid");
     }
-    double n = std::min({budget_.area, n_power, n_bw});
+    double n = std::min({budget_.area, n_power, n_bw, n_thermal});
     if (n < r)
         return false;
     bool need_headroom = f > 0.0 && (kind_ == OrgKind::AsymmetricCmp ||
@@ -478,7 +489,7 @@ BatchEvaluator::evaluateContinuous(double r, double f,
     dp.f = f;
     dp.r = r;
     dp.n = n;
-    dp.limiter = classifyLimiter(budget_.area, n_power, n_bw);
+    dp.limiter = classifyLimiter(budget_.area, n_power, n_bw, n_thermal);
 
     double par_perf = 0.0;
     switch (kind_) {

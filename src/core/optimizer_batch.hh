@@ -141,6 +141,7 @@ class BatchEvaluator
     double alphaHalfM1_ = 0.0; ///< alpha/2 - 1, the symmetric pow exponent
     double pOverPhi_ = 0.0;    ///< P/phi (heterogeneous power bound)
     double bOverMu_ = 0.0;     ///< B/mu (heterogeneous bandwidth bound)
+    double thOverPhi_ = 0.0;   ///< TH/phi (heterogeneous thermal bound)
     double cap_ = 0.0;         ///< serial-bound r cap (continuousR upper)
 
     // SoA tables over the r-candidate grid.

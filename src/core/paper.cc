@@ -33,6 +33,10 @@ styleFor(Limiter limiter)
         return plot::LineStyle::Solid;
       case Limiter::Area:
         return plot::LineStyle::Points;
+      case Limiter::Thermal:
+        // Thermal caps heat like power caps watts: share the dashed
+        // family the paper uses for power-limited segments.
+        return plot::LineStyle::Dashed;
     }
     hcm_panic("bad limiter");
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/multi_amdahl.hh"
 #include "core/optimizer_batch.hh"
 #include "util/logging.hh"
 
@@ -38,25 +39,29 @@ enumerateDesignsScalar(const wl::Workload &w, double f,
     std::vector<ParetoPoint> points;
     double cap = std::min(opts.rMax, serialRCap(budget, opts.alpha));
     std::vector<double> candidates = rCandidateGrid(cap);
+    double f_eff = effectiveFraction(f, scenario.segments);
     for (const Organization &org : paperOrganizations(w, calib)) {
+        EffectiveOrg eff = effectiveOrganization(org, scenario.segments);
         for (double r : candidates) {
             // Evaluate the design at exactly this r.
-            ParallelBound pb = parallelBound(org, r, budget, opts.alpha);
+            ParallelBound pb =
+                parallelBound(eff.org, r, budget, opts.alpha);
             if (pb.n < r)
                 continue;
-            if (needsParallelHeadroom(org, f) &&
+            if (needsParallelHeadroom(eff.org, f_eff) &&
                 pb.n - r < kMinParallelHeadroom)
                 continue;
 
             ParetoPoint pt;
             pt.orgName = org.name;
             pt.paperIndex = org.paperIndex;
-            pt.design.f = f;
+            pt.design.f = f_eff;
             pt.design.r = r;
             pt.design.n = pb.n;
             pt.design.limiter = pb.limiter;
-            pt.design.speedup = evaluateSpeedup(org, f, r, pb.n);
-            pt.design.energy = designEnergy(org, f, r, pb.n, opts.alpha);
+            pt.design.speedup = evaluateSpeedup(eff.org, f_eff, r, pb.n);
+            pt.design.energy =
+                designEnergy(eff.org, f_eff, r, pb.n, opts.alpha);
             pt.design.feasible = true;
             pt.energyNormalized = normalizedEnergy(
                 pt.design.energy, node.relPowerPerTransistor);
@@ -80,10 +85,12 @@ enumerateDesigns(const wl::Workload &w, double f,
     std::vector<ParetoPoint> points;
     std::vector<DesignPoint> designs;
     BatchEvaluator evaluator;
+    double f_eff = effectiveFraction(f, scenario.segments);
     for (const Organization &org : paperOrganizations(w, calib)) {
-        evaluator.assign(org, budget, opts);
+        EffectiveOrg eff = effectiveOrganization(org, scenario.segments);
+        evaluator.assign(eff.org, budget, opts);
         designs.clear();
-        evaluator.evaluateAll(f, designs);
+        evaluator.evaluateAll(f_eff, designs);
         for (const DesignPoint &dp : designs) {
             ParetoPoint pt;
             pt.orgName = org.name;

@@ -1,5 +1,7 @@
 #include "projection.hh"
 
+#include "core/multi_amdahl.hh"
+
 namespace hcm {
 namespace core {
 
@@ -9,6 +11,10 @@ projectOrganization(const Organization &org, const wl::Workload &w,
                     OptimizerOptions opts, const BceCalibration &calib)
 {
     opts.alpha = scenario.alpha;
+    // Multi-Amdahl scenarios reduce to the single-f model evaluated at
+    // an effective (org, f); identity for single-f scenarios.
+    EffectiveOrg eff = effectiveOrganization(org, scenario.segments);
+    double f_eff = effectiveFraction(f, scenario.segments);
 
     ProjectionSeries series;
     series.org = org;
@@ -16,7 +22,7 @@ projectOrganization(const Organization &org, const wl::Workload &w,
         NodePoint pt;
         pt.node = node;
         pt.budget = makeBudget(node, w, scenario, calib);
-        pt.design = optimize(org, f, pt.budget, opts);
+        pt.design = optimize(eff.org, f_eff, pt.budget, opts);
         series.points.push_back(pt);
     }
     return series;

@@ -1,9 +1,58 @@
 #include "scenario.hh"
 
+#include <cmath>
+
+#include "util/format.hh"
 #include "util/logging.hh"
 
 namespace hcm {
 namespace core {
+
+void
+SegmentProfile::check() const
+{
+    if (segments.empty())
+        return;
+    double total = 0.0;
+    for (const Segment &seg : segments) {
+        hcm_assert(seg.weight > 0.0, "segment weight must be positive");
+        hcm_assert(seg.f >= 0.0 && seg.f <= 1.0,
+                   "segment fraction must lie in [0, 1]");
+        hcm_assert(seg.muScale > 0.0, "segment muScale must be positive");
+        hcm_assert(seg.phiScale > 0.0, "segment phiScale must be positive");
+        total += seg.weight;
+    }
+    hcm_assert(std::abs(total - 1.0) < 1e-9,
+               "segment weights must sum to 1, got ", total);
+}
+
+double
+SegmentProfile::parallelWeight() const
+{
+    double sum = 0.0;
+    for (const Segment &seg : segments)
+        sum += seg.weight * seg.f;
+    return sum;
+}
+
+double
+thermalDynamicPowerW(const Scenario &scenario)
+{
+    hcm_assert(scenario.thermalBounded(),
+               "scenario '", scenario.name, "' has no thermal bound");
+    hcm_assert(scenario.maxJunctionC > scenario.ambientC,
+               "junction cap must exceed ambient");
+    hcm_assert(scenario.thermalResistCPerW > 0.0,
+               "thermal resistance must be positive");
+    double total_w = (scenario.maxJunctionC - scenario.ambientC) /
+                     scenario.thermalResistCPerW;
+    double leak_at_cap =
+        scenario.leakRefFrac *
+        (1.0 + scenario.leakSlopePerC *
+                   (scenario.maxJunctionC - scenario.leakRefC));
+    hcm_assert(leak_at_cap >= 0.0, "leakage fraction went negative");
+    return total_w / (1.0 + leak_at_cap);
+}
 
 Scenario
 baselineScenario()
@@ -53,20 +102,71 @@ alternativeScenarios()
         s6.alpha = model::kHighAlpha;
         out.push_back(s6);
 
+        // --- Extension scenarios (ROADMAP open item 3) ------------
+
+        Scenario s7;
+        s7.name = "multi-amdahl";
+        s7.description =
+            "Multi-Amdahl: 3-segment workload, Lagrange area allocation";
+        s7.segments.segments = {
+            {"scalar-control", 0.55, 0.999, 1.0, 1.0},
+            {"stream-filter", 0.30, 0.95, 0.4, 0.9},
+            {"irregular-graph", 0.15, 0.60, 0.1, 0.8},
+        };
+        s7.segments.check();
+        out.push_back(s7);
+
+        Scenario s8;
+        s8.name = "thermal-85c";
+        s8.description =
+            "85 C junction cap, leakage-derated power (approx 88 W)";
+        s8.maxJunctionC = 85.0;
+        out.push_back(s8);
+
+        Scenario s9;
+        s9.name = "thermal-3d";
+        s9.description =
+            "3D stack: 2x area, 1 TB/s memory, shared heatsink path";
+        s9.maxJunctionC = 85.0;
+        s9.thermalResistCPerW = 0.70;
+        s9.areaScale = 2.0;
+        s9.baseBwGBs = 1000.0;
+        s9.stacked3d = true;
+        out.push_back(s9);
+
         return out;
     }();
     return scenarios;
 }
 
+const std::vector<Scenario> &
+allScenarios()
+{
+    static const std::vector<Scenario> scenarios = [] {
+        std::vector<Scenario> out;
+        out.push_back(baselineScenario());
+        for (const Scenario &s : alternativeScenarios())
+            out.push_back(s);
+        return out;
+    }();
+    return scenarios;
+}
+
+const Scenario *
+findScenario(const std::string &name)
+{
+    for (const Scenario &s : allScenarios())
+        if (iequals(s.name, name))
+            return &s;
+    return nullptr;
+}
+
 const Scenario &
 scenarioByName(const std::string &name)
 {
-    static const Scenario baseline = baselineScenario();
-    if (name == baseline.name)
-        return baseline;
-    for (const Scenario &s : alternativeScenarios())
-        if (s.name == name)
-            return s;
+    const Scenario *found = findScenario(name);
+    if (found != nullptr)
+        return *found;
     hcm_panic("unknown scenario '", name, "'");
 }
 

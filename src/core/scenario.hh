@@ -1,8 +1,8 @@
 /**
  * @file
- * Projection scenarios (Section 6.2). The baseline uses Table 6 budgets
- * (432 mm^2 core area, 100 W, 180 GB/s at 40nm scaling with ITRS); the
- * six alternatives perturb one input each:
+ * Projection scenarios (Section 6.2 and extensions). The baseline uses
+ * Table 6 budgets (432 mm^2 core area, 100 W, 180 GB/s at 40nm scaling
+ * with ITRS); the six paper alternatives perturb one input each:
  *
  *   1. bandwidth-90:   cheaper packaging, 90 GB/s at 40nm
  *   2. bandwidth-1tb:  disruptive memory (eDRAM/3D), 1 TB/s at 40nm
@@ -10,6 +10,22 @@
  *   4. power-200w:     200 W (high-end cooling)
  *   5. power-10w:      10 W (laptop/mobile)
  *   6. alpha-2.25:     steeper serial power law
+ *
+ * Two extension families follow the paper's six (ROADMAP open item 3):
+ *
+ *   7. multi-amdahl:   Zidenberg et al.'s Multi-Amdahl — the workload
+ *                      splits into segments with distinct U-core
+ *                      affinities; chip area is allocated across the
+ *                      per-segment accelerators by a Lagrange-multiplier
+ *                      optimum (see core/multi_amdahl.hh)
+ *   8. thermal-85c:    Yavits et al.-style temperature bound — an 85 C
+ *                      junction cap with temperature-dependent leakage
+ *                      becomes a fourth budget beside area, power, and
+ *                      bandwidth
+ *   9. thermal-3d:     3D-stacked variant: two logic layers double the
+ *                      area and stacked memory lifts bandwidth, but the
+ *                      layers share one heatsink path, so the thermal
+ *                      resistance doubles and the thermal bound bites
  */
 
 #ifndef HCM_CORE_SCENARIO_HH
@@ -24,7 +40,56 @@
 namespace hcm {
 namespace core {
 
-/** One projection scenario: the model inputs Section 6.2 varies. */
+/**
+ * One program segment of a Multi-Amdahl workload description: a share
+ * of the total work with its own parallelizable fraction and its own
+ * affinity to the organization's U-core. The affinity scales express
+ * how well the segment maps onto the accelerator: a segment with
+ * muScale = 1 runs at the U-core's full calibrated rate, one with
+ * muScale = 0.1 gets a tenth of it (poor match), while phiScale scales
+ * the power the mapped segment draws per BCE tile.
+ */
+struct Segment
+{
+    std::string name;
+    /** Share of total work (weights across a profile sum to 1). */
+    double weight = 1.0;
+    /**
+     * Parallelizable fraction of this segment, relative to the sweep's
+     * f: the segment's effective fraction is f * this value, so the
+     * canonical single-segment profile (weight 1, f 1) reproduces the
+     * paper's single-f model exactly.
+     */
+    double f = 1.0;
+    /** U-core performance affinity (multiplies the org's mu). */
+    double muScale = 1.0;
+    /** U-core power affinity (multiplies the org's phi). */
+    double phiScale = 1.0;
+};
+
+/**
+ * A Multi-Amdahl workload description: N segments whose weights sum
+ * to 1. Empty means "classic single-f model" (no transform applied).
+ */
+struct SegmentProfile
+{
+    std::vector<Segment> segments;
+
+    bool empty() const { return segments.empty(); }
+
+    /** Validate weights/fractions/affinities; panics otherwise. */
+    void check() const;
+
+    /**
+     * Sum of weight_i * f_i: the scale the sweep fraction f is
+     * multiplied by to obtain the effective single-model fraction
+     * (1.0 for the canonical single-segment profile).
+     */
+    double parallelWeight() const;
+};
+
+/** One projection scenario: the model inputs Section 6.2 varies, plus
+ *  the extension families' thermal bound and segment profile. */
 struct Scenario
 {
     std::string name = "baseline";
@@ -37,15 +102,64 @@ struct Scenario
     double areaScale = 1.0;
     /** Serial power exponent. */
     double alpha = model::kDefaultAlpha;
+
+    // --- Thermal bound (disabled unless maxJunctionC > 0) ---------
+    /** Junction temperature cap (C); <= 0 disables the thermal bound. */
+    double maxJunctionC = 0.0;
+    /** Ambient/heatsink reference temperature (C). */
+    double ambientC = 45.0;
+    /** Junction-to-ambient thermal resistance (C/W); doubles when two
+     *  stacked logic layers share one heatsink path. */
+    double thermalResistCPerW = 0.35;
+    /** Leakage as a fraction of dynamic power at leakRefC. */
+    double leakRefFrac = 0.30;
+    /** Linear growth of that fraction per degree C above leakRefC. */
+    double leakSlopePerC = 0.01;
+    /** Temperature at which leakRefFrac was characterized (C). */
+    double leakRefC = 85.0;
+    /** Descriptive: true when the scenario models 3D-stacked logic. */
+    bool stacked3d = false;
+
+    // --- Multi-Amdahl workload description (empty = single-f) ------
+    SegmentProfile segments;
+
+    /** True when the thermal bound participates in Table 1. */
+    bool thermalBounded() const { return maxJunctionC > 0.0; }
 };
+
+/**
+ * The dynamic power (W) a thermal-bounded scenario admits: the heat
+ * path allows (Tmax - Tamb) / Rth watts total, and temperature-
+ * dependent leakage at Tmax claims its share of that, leaving
+ *
+ *   P_dyn = (Tmax - Tamb) / Rth / (1 + leak(Tmax))
+ *   leak(T) = leakRefFrac * (1 + leakSlopePerC * (T - leakRefC))
+ *
+ * evaluated self-consistently at the cap (the worst admissible case).
+ * Panics unless the scenario is thermal-bounded with Tmax > Tamb.
+ */
+double thermalDynamicPowerW(const Scenario &scenario);
 
 /** The paper's primary projection configuration. */
 Scenario baselineScenario();
 
-/** Section 6.2 scenarios 1-6, in order. */
+/** Section 6.2 scenarios 1-6 followed by the extension scenarios
+ *  (multi-amdahl, thermal-85c, thermal-3d), in registry order. */
 const std::vector<Scenario> &alternativeScenarios();
 
-/** Scenario by name ("bandwidth-1tb", ...); panics when unknown. */
+/** Baseline followed by every alternative: the full registry, the set
+ *  `--scenarios all` expands to. */
+const std::vector<Scenario> &allScenarios();
+
+/**
+ * Case-insensitive scenario lookup; nullptr when unknown. The single
+ * matching rule shared by scenarioByName(), the sweep spec parser, and
+ * the svc request parser, so the three can never drift.
+ */
+const Scenario *findScenario(const std::string &name);
+
+/** Scenario by name ("bandwidth-1tb", ..., case-insensitive); panics
+ *  when unknown. */
 const Scenario &scenarioByName(const std::string &name);
 
 } // namespace core

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/budget.hh"
+#include "core/multi_amdahl.hh"
 #include "core/optimizer_batch.hh"
 #include "core/organization.hh"
 #include "core/pareto.hh"
@@ -36,6 +37,9 @@ evaluateAtNode(const Query &q, core::Objective objective)
     opts.alpha = scenario.alpha;
     opts.objective = objective;
 
+    // Multi-Amdahl scenarios evaluate at the effective (org, f)
+    // reduction; identity for single-f scenarios.
+    double f_eff = core::effectiveFraction(q.f, scenario.segments);
     std::vector<ResultRow> rows;
     core::BatchEvaluator evaluator;
     for (const core::Organization &org :
@@ -45,8 +49,10 @@ evaluateAtNode(const Query &q, core::Objective objective)
         // One SoA evaluator reused across the organization loop: each
         // assign() recycles the previous table's capacity; bit-identical
         // to core::optimize on the same (org, budget, opts).
-        evaluator.assign(org, budget, opts);
-        core::DesignPoint dp = evaluator.best(q.f);
+        core::EffectiveOrg eff =
+            core::effectiveOrganization(org, scenario.segments);
+        evaluator.assign(eff.org, budget, opts);
+        core::DesignPoint dp = evaluator.best(f_eff);
         ResultRow row;
         row.org = org.name;
         row.node = node.label();

@@ -12,17 +12,9 @@ namespace hcm {
 namespace svc {
 namespace {
 
-/** Non-fatal counterpart of core::scenarioByName(). */
-bool
-scenarioExists(const std::string &name)
-{
-    if (name == core::baselineScenario().name)
-        return true;
-    for (const core::Scenario &s : core::alternativeScenarios())
-        if (s.name == name)
-            return true;
-    return false;
-}
+// Scenario lookups go through core::findScenario — the one
+// case-insensitive registry shared with scenarioByName and the sweep
+// spec parser.
 
 /** Non-fatal counterpart of itrs::nodeParams(). */
 bool
@@ -45,11 +37,17 @@ parseWorkloadSpec(const std::string &spec, std::string *error)
         return wl::Workload::blackScholes();
     if (iequals(spec, "fft"))
         return wl::Workload::fft(1024);
-    if (spec.rfind("fft:", 0) == 0 || spec.rfind("FFT:", 0) == 0) {
+    if (spec.size() >= 4 && iequals(spec.substr(0, 4), "fft:")) {
+        // Digits only: strtoul alone also accepts "+8" and wraps "-8".
         const std::string digits = spec.substr(4);
+        bool all_digits = !digits.empty();
+        for (char c : digits)
+            if (c < '0' || c > '9')
+                all_digits = false;
         char *end = nullptr;
-        unsigned long n = std::strtoul(digits.c_str(), &end, 10);
-        if (!digits.empty() && end == digits.c_str() + digits.size() &&
+        unsigned long n =
+            all_digits ? std::strtoul(digits.c_str(), &end, 10) : 0;
+        if (all_digits && end == digits.c_str() + digits.size() &&
             n >= 2 && (n & (n - 1)) == 0)
             return wl::Workload::fft(n);
         if (error)
@@ -125,10 +123,14 @@ parseQueryRequest(const JsonValue &v)
     if (const JsonValue *scenario = v.find("scenario")) {
         if (!scenario->isString())
             return RequestParse::failure("'scenario' must be a string");
-        q.scenario = scenario->asString();
-        if (!scenarioExists(q.scenario))
+        const core::Scenario *found =
+            core::findScenario(scenario->asString());
+        if (!found)
             return RequestParse::failure(
-                "unknown scenario '" + q.scenario + "'");
+                "unknown scenario '" + scenario->asString() + "'");
+        // Normalize to the registry spelling so differently-cased
+        // requests share one canonical memoization key.
+        q.scenario = found->name;
     }
 
     if (const JsonValue *node = v.find("node")) {

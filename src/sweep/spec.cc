@@ -20,12 +20,22 @@ workloadFromToken(const std::string &token)
         return wl::Workload::blackScholes();
     if (iequals(token, "fft"))
         return wl::Workload::fft(1024);
-    if (token.rfind("fft:", 0) == 0 || token.rfind("FFT:", 0) == 0) {
+    if (token.size() > 4 && iequals(token.substr(0, 4), "fft:")) {
+        // Strict digits-only size: stoul alone accepts leading
+        // whitespace, '+', '-' (wrapping), and trailing junk
+        // ("fft:1024abc" silently became fft:1024).
+        const std::string digits = token.substr(4);
+        for (char c : digits)
+            if (c < '0' || c > '9')
+                return std::nullopt;
         std::size_t n = 0;
         try {
-            n = std::stoul(token.substr(4));
+            std::size_t used = 0;
+            n = std::stoul(digits, &used);
+            if (used != digits.size())
+                return std::nullopt;
         } catch (const std::exception &) {
-            return std::nullopt;
+            return std::nullopt; // out of range
         }
         if (n < 2 || (n & (n - 1)) != 0)
             return std::nullopt; // FFT sizes are powers of two
@@ -34,17 +44,13 @@ workloadFromToken(const std::string &token)
     return std::nullopt;
 }
 
-/** Scenario by name without panicking on unknown input. */
+/** Scenario by name without panicking on unknown input. Matching is
+ *  case-insensitive via the one shared registry lookup, exactly like
+ *  workload tokens (and core::scenarioByName). */
 const core::Scenario *
 scenarioFromToken(const std::string &token)
 {
-    static const core::Scenario baseline = core::baselineScenario();
-    if (token == baseline.name)
-        return &baseline;
-    for (const core::Scenario &s : core::alternativeScenarios())
-        if (s.name == token)
-            return &s;
-    return nullptr;
+    return core::findScenario(token);
 }
 
 std::vector<std::string>
@@ -129,12 +135,20 @@ parseFractionList(const std::string &spec, std::string *error)
 std::optional<std::vector<core::Scenario>>
 parseScenarioList(const std::string &spec, std::string *error)
 {
+    // Dedup by canonical name, first occurrence wins: "all,power-200w"
+    // must run power-200w once, not twice (duplicates double-counted
+    // sweep units, CSV/JSON rows, and hcm_sweep_units_total).
     std::vector<core::Scenario> out;
+    auto push_unique = [&out](const core::Scenario &s) {
+        for (const core::Scenario &have : out)
+            if (have.name == s.name)
+                return;
+        out.push_back(s);
+    };
     for (const std::string &t : tokens(spec)) {
         if (iequals(t, "all")) {
-            out.push_back(core::baselineScenario());
-            for (const core::Scenario &s : core::alternativeScenarios())
-                out.push_back(s);
+            for (const core::Scenario &s : core::allScenarios())
+                push_unique(s);
             continue;
         }
         const core::Scenario *s = scenarioFromToken(t);
@@ -142,7 +156,7 @@ parseScenarioList(const std::string &spec, std::string *error)
             setError(error, "unknown scenario '" + t + "'");
             return std::nullopt;
         }
-        out.push_back(*s);
+        push_unique(*s);
     }
     if (out.empty()) {
         setError(error, "scenario list is empty");

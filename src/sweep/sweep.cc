@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/multi_amdahl.hh"
 #include "core/optimizer_batch.hh"
 #include "hwc/counter_region.hh"
 #include "obs/metrics.hh"
@@ -72,6 +73,11 @@ evaluateUnit(const Unit &unit, SweepRow &row)
     hwc::CounterRegion counters(&span);
 
     const std::vector<itrs::NodeParams> &nodes = itrs::nodeTable();
+    // Multi-Amdahl scenarios evaluate at the effective model fraction
+    // (identity for single-f scenarios); the matching effective
+    // organization was baked into the shared evaluator tables.
+    double f_eff =
+        core::effectiveFraction(unit.f, unit.scenario->segments);
     row.cells.clear();
     row.cells.reserve(nodes.size());
     for (std::size_t i = 0; i < nodes.size(); ++i) {
@@ -84,7 +90,7 @@ evaluateUnit(const Unit &unit, SweepRow &row)
         // are bit-identical to core::optimize on (org, budget, opts).
         cell.design =
             (*unit.evaluators)[unit.orgIndex * nodes.size() + i]
-                .best(unit.f);
+                .best(f_eff);
         cell.energyNormalized =
             cell.design.feasible
                 ? core::normalizedEnergy(
@@ -175,10 +181,13 @@ runSweep(const SweepSpec &spec, const SweepOptions &opts)
                 budgets[wi * spec.scenarios.size() + si];
             std::vector<core::BatchEvaluator> table(orgs[wi].size() *
                                                     nodes.size());
-            for (std::size_t oi = 0; oi < orgs[wi].size(); ++oi)
+            for (std::size_t oi = 0; oi < orgs[wi].size(); ++oi) {
+                core::EffectiveOrg eff = core::effectiveOrganization(
+                    orgs[wi][oi], spec.scenarios[si].segments);
                 for (std::size_t ni = 0; ni < nodes.size(); ++ni)
                     table[oi * nodes.size() + ni].assign(
-                        orgs[wi][oi], per_node[ni], eopts);
+                        eff.org, per_node[ni], eopts);
+            }
             evaluators.push_back(std::move(table));
         }
     }

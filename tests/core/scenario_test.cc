@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/scenario.hh"
+#include "util/format.hh"
 
 namespace hcm {
 namespace core {
@@ -18,10 +19,10 @@ TEST(ScenarioTest, BaselineMatchesTable6Assumptions)
     EXPECT_DOUBLE_EQ(s.alpha, 1.75);
 }
 
-TEST(ScenarioTest, SixAlternativesInPaperOrder)
+TEST(ScenarioTest, PaperAlternativesLeadInPaperOrder)
 {
     const auto &alts = alternativeScenarios();
-    ASSERT_EQ(alts.size(), 6u);
+    ASSERT_GE(alts.size(), 6u);
     EXPECT_EQ(alts[0].name, "bandwidth-90");
     EXPECT_DOUBLE_EQ(alts[0].baseBwGBs, 90.0);
     EXPECT_EQ(alts[1].name, "bandwidth-1tb");
@@ -36,10 +37,33 @@ TEST(ScenarioTest, SixAlternativesInPaperOrder)
     EXPECT_DOUBLE_EQ(alts[5].alpha, 2.25);
 }
 
-TEST(ScenarioTest, EachAlternativePerturbsExactlyOneKnob)
+TEST(ScenarioTest, ExtensionScenariosFollowThePaperSix)
 {
+    const auto &alts = alternativeScenarios();
+    ASSERT_EQ(alts.size(), 9u);
+    EXPECT_EQ(alts[6].name, "multi-amdahl");
+    EXPECT_EQ(alts[6].segments.segments.size(), 3u);
+    EXPECT_FALSE(alts[6].thermalBounded());
+    EXPECT_EQ(alts[7].name, "thermal-85c");
+    EXPECT_TRUE(alts[7].thermalBounded());
+    EXPECT_FALSE(alts[7].stacked3d);
+    EXPECT_EQ(alts[8].name, "thermal-3d");
+    EXPECT_TRUE(alts[8].thermalBounded());
+    EXPECT_TRUE(alts[8].stacked3d);
+    EXPECT_DOUBLE_EQ(alts[8].areaScale, 2.0);
+    EXPECT_DOUBLE_EQ(alts[8].baseBwGBs, 1000.0);
+}
+
+TEST(ScenarioTest, EachPaperAlternativePerturbsExactlyOneKnob)
+{
+    // The Section 6.2 property only holds for the paper's six; the
+    // extension scenarios are deliberately multi-knob (thermal-3d
+    // trades area and bandwidth against a shared heatsink path).
     Scenario base = baselineScenario();
-    for (const Scenario &s : alternativeScenarios()) {
+    const auto &alts = alternativeScenarios();
+    ASSERT_GE(alts.size(), 6u);
+    for (std::size_t i = 0; i < 6; ++i) {
+        const Scenario &s = alts[i];
         int changed = 0;
         if (s.baseBwGBs != base.baseBwGBs)
             ++changed;
@@ -50,6 +74,25 @@ TEST(ScenarioTest, EachAlternativePerturbsExactlyOneKnob)
         if (s.alpha != base.alpha)
             ++changed;
         EXPECT_EQ(changed, 1) << s.name;
+        EXPECT_TRUE(s.segments.empty()) << s.name;
+        EXPECT_FALSE(s.thermalBounded()) << s.name;
+    }
+}
+
+TEST(ScenarioTest, RegistryNamesAreUniqueAndCoverEverything)
+{
+    const auto &all = allScenarios();
+    ASSERT_EQ(all.size(), 1u + alternativeScenarios().size());
+    EXPECT_EQ(all.front().name, "baseline");
+    for (std::size_t i = 0; i < all.size(); ++i)
+        for (std::size_t j = i + 1; j < all.size(); ++j)
+            EXPECT_FALSE(iequals(all[i].name, all[j].name))
+                << all[i].name << " duplicated";
+    for (const Scenario &s : all) {
+        const Scenario *found = findScenario(s.name);
+        ASSERT_NE(found, nullptr) << s.name;
+        EXPECT_EQ(found->name, s.name);
+        EXPECT_EQ(&scenarioByName(s.name), found) << s.name;
     }
 }
 
@@ -57,6 +100,48 @@ TEST(ScenarioTest, LookupByName)
 {
     EXPECT_DOUBLE_EQ(scenarioByName("power-10w").powerBudgetW, 10.0);
     EXPECT_EQ(scenarioByName("baseline").name, "baseline");
+}
+
+TEST(ScenarioTest, LookupIsCaseInsensitive)
+{
+    EXPECT_EQ(scenarioByName("Power-200W").name, "power-200w");
+    EXPECT_EQ(scenarioByName("BASELINE").name, "baseline");
+    EXPECT_EQ(scenarioByName("Thermal-85C").name, "thermal-85c");
+    ASSERT_NE(findScenario("MULTI-AMDAHL"), nullptr);
+    EXPECT_EQ(findScenario("MULTI-AMDAHL")->name, "multi-amdahl");
+    EXPECT_EQ(findScenario("not-a-scenario"), nullptr);
+}
+
+TEST(ScenarioTest, ThermalBudgetDeratesForLeakageAtTheCap)
+{
+    // thermal-85c: (85 - 45) C / 0.35 C/W = 114.29 W through the heat
+    // path; leakage at the cap is the reference 30%, leaving
+    // 114.29 / 1.30 = 87.9 W of dynamic power — tighter than the
+    // 100 W power budget, so the thermal bound actually binds.
+    const Scenario &s = scenarioByName("thermal-85c");
+    double dyn_w = thermalDynamicPowerW(s);
+    EXPECT_NEAR(dyn_w, (85.0 - 45.0) / 0.35 / 1.30, 1e-9);
+    EXPECT_LT(dyn_w, s.powerBudgetW);
+
+    // thermal-3d doubles the thermal resistance (stacked logic shares
+    // one heatsink path), halving the admissible dynamic power.
+    const Scenario &s3d = scenarioByName("thermal-3d");
+    EXPECT_NEAR(thermalDynamicPowerW(s3d), dyn_w / 2.0, 1e-9);
+}
+
+TEST(ScenarioTest, MultiAmdahlProfileIsWellFormed)
+{
+    const Scenario &s = scenarioByName("multi-amdahl");
+    ASSERT_FALSE(s.segments.empty());
+    s.segments.check();
+    double total = 0.0;
+    for (const Segment &seg : s.segments.segments)
+        total += seg.weight;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    // The profile must retain real parallel work and carry at least one
+    // poorly-mapped segment so the scenario differs from baseline.
+    EXPECT_GT(s.segments.parallelWeight(), 0.5);
+    EXPECT_LT(s.segments.parallelWeight(), 1.0);
 }
 
 TEST(ScenarioDeathTest, UnknownNamePanics)

@@ -185,10 +185,14 @@ TEST(ReportTest, FigureFilesRoundTripThroughDisk)
 TEST(ReportTest, ScenarioSummaryCoversAllScenarios)
 {
     TextTable t = scenarioSummary(wl::Workload::fft(1024), 0.9);
-    EXPECT_EQ(t.rowCount(), 7u); // baseline + 6 alternatives
+    // Baseline + every alternative, including the extension scenarios.
+    EXPECT_EQ(t.rowCount(), allScenarios().size());
     std::string text = t.render();
     EXPECT_NE(text.find("bandwidth-1tb"), std::string::npos);
     EXPECT_NE(text.find("alpha-2.25"), std::string::npos);
+    EXPECT_NE(text.find("multi-amdahl"), std::string::npos);
+    EXPECT_NE(text.find("thermal-85c"), std::string::npos);
+    EXPECT_NE(text.find("thermal-3d"), std::string::npos);
 }
 
 TEST(ReportTest, StandardFractions)

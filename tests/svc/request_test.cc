@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/scenario.hh"
 #include "svc/request.hh"
 
 namespace hcm {
@@ -123,6 +124,29 @@ TEST(RequestParseTest, WorkloadSpecsMatchCliVocabulary)
     EXPECT_FALSE(parseWorkloadSpec("fft:0", &error));
     EXPECT_FALSE(parseWorkloadSpec("fft:", &error));
     EXPECT_FALSE(parseWorkloadSpec("fft:12", &error));
+    // Regression: strtoul accepted sign characters and trailing junk.
+    EXPECT_FALSE(parseWorkloadSpec("fft:1024abc", &error));
+    EXPECT_FALSE(parseWorkloadSpec("fft:+8", &error));
+    EXPECT_FALSE(parseWorkloadSpec("fft:-8", &error));
+    EXPECT_FALSE(parseWorkloadSpec("fft:99999999999999999999999", &error));
+}
+
+TEST(RequestParseTest, ScenarioNamesNormalizeThroughTheRegistry)
+{
+    // Mixed-case requests resolve case-insensitively (same registry as
+    // the sweep parser) and normalize to the canonical spelling so the
+    // memo cache keys differently-cased requests identically.
+    RequestParse parsed = parseQueryRequestText(
+        R"({"type":"optimize","scenario":"Power-200W"})");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.query.scenario, "power-200w");
+
+    for (const core::Scenario &s : core::allScenarios()) {
+        RequestParse p = parseQueryRequestText(
+            R"({"type":"optimize","scenario":")" + s.name + R"("})");
+        ASSERT_TRUE(p.ok) << s.name << ": " << p.error;
+        EXPECT_EQ(p.query.scenario, s.name);
+    }
 }
 
 TEST(RequestParseTest, DeviceNamesAreCaseInsensitive)

@@ -4,6 +4,7 @@
 
 #include "core/paper.hh"
 #include "sweep/spec.hh"
+#include "sweep/sweep.hh"
 
 namespace hcm {
 namespace sweep {
@@ -63,6 +64,83 @@ TEST(SweepSpecTest, ParsesScenarioListAndAll)
     // baseline + every Section 6.2 alternative.
     EXPECT_EQ(all->size(), 1u + core::alternativeScenarios().size());
     EXPECT_EQ((*all)[0].name, "baseline");
+}
+
+TEST(SweepSpecTest, FftSizeParsingIsStrict)
+{
+    // Regression: stoul-based parsing accepted trailing junk
+    // ("fft:1024abc" ran as fft:1024), sign characters, and sizes that
+    // overflow unsigned long.
+    std::string error;
+    EXPECT_FALSE(parseWorkloadList("fft:1024abc", &error));
+    EXPECT_FALSE(parseWorkloadList("fft:+8", &error));
+    EXPECT_FALSE(parseWorkloadList("fft:-8", &error));
+    EXPECT_FALSE(parseWorkloadList("fft: 8", &error));
+    EXPECT_FALSE(parseWorkloadList("fft:99999999999999999999999", &error));
+    EXPECT_FALSE(parseWorkloadList("fft:1", &error));
+    EXPECT_FALSE(parseWorkloadList("fft:0", &error));
+
+    auto ok = parseWorkloadList("FFT:64", &error);
+    ASSERT_TRUE(ok.has_value()) << error;
+    EXPECT_EQ((*ok)[0].name(), wl::Workload::fft(64).name());
+}
+
+TEST(SweepSpecTest, ScenarioTokensAreCaseInsensitive)
+{
+    // Regression: scenarioFromToken compared with operator== while
+    // workload tokens and core::scenarioByName matched case-insensitively,
+    // so "--scenarios Power-200W" was rejected.
+    std::string error;
+    auto list = parseScenarioList("Power-200W,BASELINE,Thermal-85C", &error);
+    ASSERT_TRUE(list.has_value()) << error;
+    ASSERT_EQ(list->size(), 3u);
+    EXPECT_EQ((*list)[0].name, "power-200w");
+    EXPECT_EQ((*list)[1].name, "baseline");
+    EXPECT_EQ((*list)[2].name, "thermal-85c");
+}
+
+TEST(SweepSpecTest, ScenarioListDeduplicates)
+{
+    // Regression: "all,power-200w" ran power-200w twice, double-counting
+    // sweep units, CSV rows, and hcm_sweep_units_total.
+    std::string error;
+    auto all = parseScenarioList("all", &error);
+    ASSERT_TRUE(all.has_value()) << error;
+    auto extra = parseScenarioList("all,power-200w,Baseline", &error);
+    ASSERT_TRUE(extra.has_value()) << error;
+    EXPECT_EQ(extra->size(), all->size());
+
+    // First occurrence wins, so an explicit leading scenario reorders.
+    auto led = parseScenarioList("power-200w,all", &error);
+    ASSERT_TRUE(led.has_value()) << error;
+    EXPECT_EQ(led->size(), all->size());
+    EXPECT_EQ((*led)[0].name, "power-200w");
+    EXPECT_EQ((*led)[1].name, "baseline");
+
+    // The unit count downstream sees exactly one pass per scenario.
+    SweepSpec once, twice;
+    once.workloads = twice.workloads = {wl::Workload::mmm()};
+    once.fractions = twice.fractions = {0.9};
+    once.scenarios = *all;
+    twice.scenarios = *extra;
+    EXPECT_EQ(countUnits(once), countUnits(twice));
+}
+
+TEST(SweepSpecTest, AllCoversEveryRegistryScenarioOnce)
+{
+    std::string error;
+    auto all = parseScenarioList("all", &error);
+    ASSERT_TRUE(all.has_value()) << error;
+    const auto &registry = core::allScenarios();
+    ASSERT_EQ(all->size(), registry.size());
+    for (std::size_t i = 0; i < registry.size(); ++i)
+        EXPECT_EQ((*all)[i].name, registry[i].name);
+    // And every registry name round-trips through the parser alone.
+    for (const core::Scenario &s : registry) {
+        auto one = parseScenarioList(s.name, &error);
+        ASSERT_TRUE(one.has_value()) << s.name << ": " << error;
+        EXPECT_EQ(one->size(), 1u);
+    }
 }
 
 TEST(SweepSpecTest, RejectsUnknownScenarioAndEmptyLists)

@@ -20,6 +20,7 @@
 #include "core/crossover.hh"
 #include "core/export.hh"
 #include "core/mixed.hh"
+#include "core/multi_amdahl.hh"
 #include "core/paper.hh"
 #include "devices/roofline.hh"
 #include "core/pareto.hh"
@@ -130,7 +131,8 @@ options (project/optimize/scenarios):
   --f <value>                 parallel fraction (default 0.99)
   --scenario <name>           baseline | bandwidth-90 | bandwidth-1tb |
                               half-area | power-200w | power-10w |
-                              alpha-2.25 (default baseline)
+                              alpha-2.25 | multi-amdahl | thermal-85c |
+                              thermal-3d (default baseline)
   --node <nm>                 40|32|22|16|11 (optimize only; default 22)
   --device <name>             corei7-baseline CMPs are always shown;
                               restricts HETs to one device
@@ -155,8 +157,9 @@ options (sweep):
   --fractions <list>          comma-separated parallel fractions in
                               [0,1] (default 0.5,0.9,0.99,0.999)
   --scenarios <list>          comma-separated scenario names, or "all"
-                              for baseline + every Section 6.2
-                              alternative (default baseline)
+                              for baseline + every alternative incl.
+                              multi-amdahl and the thermal scenarios;
+                              duplicates run once (default baseline)
   --jobs <n>                  worker threads (default: hardware;
                               1 = run serially inline)
   --progress                  report completed/total units on stderr
@@ -857,10 +860,17 @@ cmdOptimize(const Options &opts)
     core::Budget budget = core::makeBudget(node, opts.workload, scenario);
     core::OptimizerOptions oopts;
     oopts.alpha = scenario.alpha;
+    double f_eff = core::effectiveFraction(opts.f, scenario.segments);
 
     std::cout << "budgets at " << node.label() << " (BCE units): A="
               << fmtSig(budget.area, 3) << " P=" << fmtSig(budget.power, 3)
-              << " B=" << fmtSig(budget.bandwidth, 3) << "\n\n";
+              << " B=" << fmtSig(budget.bandwidth, 3);
+    if (scenario.thermalBounded())
+        std::cout << " TH=" << fmtSig(budget.thermal, 3) << " ("
+                  << fmtSig(core::thermalDynamicPowerW(scenario), 3)
+                  << " W dynamic at " << fmtSig(scenario.maxJunctionC, 3)
+                  << " C)";
+    std::cout << "\n\n";
 
     TextTable t("Best designs, " + opts.workload.name() + ", f=" +
                 fmtFixed(opts.f, 4));
@@ -871,7 +881,10 @@ cmdOptimize(const Options &opts)
         if (!opts.device.empty() && org.isHet() &&
             org.device != parseDevice(opts.device))
             continue;
-        core::DesignPoint dp = core::optimize(org, opts.f, budget, oopts);
+        core::EffectiveOrg eff =
+            core::effectiveOrganization(org, scenario.segments);
+        core::DesignPoint dp =
+            core::optimize(eff.org, f_eff, budget, oopts);
         if (!dp.feasible) {
             t.addRow({org.name, "-", "-", "infeasible", "-", "-"});
             continue;
@@ -925,8 +938,11 @@ cmdSimulate(const Options &opts)
     core::Budget budget = core::makeBudget(node, opts.workload, scenario);
     core::OptimizerOptions oopts;
     oopts.alpha = scenario.alpha;
-    core::DesignPoint design = core::optimize(*org, opts.f, budget,
-                                              oopts);
+    core::EffectiveOrg eff =
+        core::effectiveOrganization(*org, scenario.segments);
+    double f_eff = core::effectiveFraction(opts.f, scenario.segments);
+    core::DesignPoint design =
+        core::optimize(eff.org, f_eff, budget, oopts);
     if (!design.feasible)
         hcm_fatal("design infeasible at this node/scenario");
     if (design.n - design.r < 1.0)
@@ -934,10 +950,10 @@ cmdSimulate(const Options &opts)
                   fmtSig(design.n - design.r, 3),
                   "); the event simulator needs whole tiles");
 
-    sim::Machine m = sim::Machine::fromDesign(*org, design, budget,
+    sim::Machine m = sim::Machine::fromDesign(eff.org, design, budget,
                                               scenario.alpha);
     sim::SimStats stats = sim::ChipSimulator(m).run(
-        sim::TaskGraph::amdahl(opts.f, opts.chunks));
+        sim::TaskGraph::amdahl(f_eff, opts.chunks));
     std::cout << "design: r=" << fmtSig(design.r, 3) << ", tiles="
               << m.tiles << " (n=" << fmtSig(design.n, 4) << "), "
               << core::limiterName(design.limiter) << "-limited\n";
